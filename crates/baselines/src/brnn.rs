@@ -1,0 +1,219 @@
+//! BRNN\* — the nearest-neighbour semantics extended to moving objects.
+//!
+//! Classical MaxBRNN assumes static objects: a candidate influences an
+//! object iff it is the object's nearest candidate. The paper extends it
+//! to mobility (§6.2): "we run MaxOverlap to select for each object O
+//! the best location c, which influences the most positions in O.
+//! Afterwards, we choose the location that has been selected by the most
+//! objects."
+//!
+//! Concretely, per object each position votes for its nearest candidate
+//! (R-tree NN query); the candidate with the most position-votes is the
+//! object's selection (ties to the smaller index); the final score of a
+//! candidate is the number of objects that selected it.
+//!
+//! This inherits the limitations PRIME-LS removes — binary influence and
+//! a single influencing facility per object — which is exactly what the
+//! Table 3/4 comparison quantifies.
+
+use pinocchio_data::MovingObject;
+use pinocchio_geo::Point;
+use pinocchio_index::RTree;
+
+/// Runs BRNN\*. Returns the per-candidate object-vote counts.
+///
+/// # Panics
+/// Panics when `candidates` is empty.
+pub fn brnn_star(objects: &[MovingObject], candidates: &[Point]) -> Vec<u32> {
+    assert!(!candidates.is_empty(), "BRNN* needs at least one candidate");
+    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+
+    let mut votes = vec![0u32; candidates.len()];
+    let mut per_object: Vec<u32> = vec![0; candidates.len()];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for object in objects {
+        touched.clear();
+        for p in object.positions() {
+            let (_, &j, _) = tree
+                .nearest_neighbor(p)
+                .expect("non-empty candidate set has an NN");
+            if per_object[j] == 0 {
+                touched.push(j);
+            }
+            per_object[j] += 1;
+        }
+        // The object's selection: most position votes, ties to smaller id.
+        if let Some(&best) = touched
+            .iter()
+            .max_by(|&&a, &&b| per_object[a].cmp(&per_object[b]).then(b.cmp(&a)))
+        {
+            votes[best] += 1;
+        }
+        for &j in &touched {
+            per_object[j] = 0;
+        }
+    }
+    votes
+}
+
+/// BRkNN\* — the MaxBRkNN semantics (Wong et al., VLDB 2009) extended
+/// to moving objects the same way the paper extends MaxBRNN: each
+/// object ranks candidates by how many of its positions they are the
+/// nearest neighbour of, then *selects its top `k`* (ties towards the
+/// smaller index); a candidate's score is the number of objects that
+/// selected it. `k = 1` coincides with [`brnn_star`].
+///
+/// Objects whose positions touch fewer than `k` distinct candidates
+/// select only the candidates they touched.
+///
+/// # Panics
+/// Panics when `candidates` is empty or `k == 0`.
+pub fn brknn_star(objects: &[MovingObject], candidates: &[Point], k: usize) -> Vec<u32> {
+    assert!(!candidates.is_empty(), "BRkNN* needs at least one candidate");
+    assert!(k >= 1, "k must be at least 1");
+    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+
+    let mut votes = vec![0u32; candidates.len()];
+    let mut per_object: Vec<u32> = vec![0; candidates.len()];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for object in objects {
+        touched.clear();
+        for p in object.positions() {
+            let (_, &j, _) = tree
+                .nearest_neighbor(p)
+                .expect("non-empty candidate set has an NN");
+            if per_object[j] == 0 {
+                touched.push(j);
+            }
+            per_object[j] += 1;
+        }
+        // Top-k by (position votes desc, index asc).
+        touched.sort_by(|&a, &b| per_object[b].cmp(&per_object[a]).then(a.cmp(&b)));
+        for &j in touched.iter().take(k) {
+            votes[j] += 1;
+        }
+        for &j in &touched {
+            per_object[j] = 0;
+        }
+    }
+    votes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_vote_for_their_nn() {
+        // Object with 4 positions near candidate 1, one near candidate 0.
+        let objects = vec![MovingObject::new(
+            0,
+            vec![
+                Point::new(0.0, 0.0), // NN = candidate 0
+                Point::new(10.0, 0.0),
+                Point::new(10.1, 0.0),
+                Point::new(9.9, 0.0),
+                Point::new(10.0, 0.2),
+            ],
+        )];
+        let candidates = vec![Point::new(0.1, 0.0), Point::new(10.0, 0.1)];
+        assert_eq!(brnn_star(&objects, &candidates), vec![0, 1]);
+    }
+
+    #[test]
+    fn each_object_contributes_exactly_one_vote() {
+        let objects = vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0)]),
+            MovingObject::new(1, vec![Point::new(0.2, 0.0)]),
+            MovingObject::new(2, vec![Point::new(10.0, 0.0)]),
+        ];
+        let candidates = vec![Point::new(0.0, 0.1), Point::new(10.0, 0.1)];
+        let votes = brnn_star(&objects, &candidates);
+        assert_eq!(votes.iter().sum::<u32>(), objects.len() as u32);
+        assert_eq!(votes, vec![2, 1]);
+    }
+
+    #[test]
+    fn vote_ties_break_to_smaller_candidate_index() {
+        // Two positions, one nearest to each candidate: tie → candidate 0.
+        let objects = vec![MovingObject::new(
+            0,
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        )];
+        let candidates = vec![Point::new(10.0, 0.1), Point::new(0.0, 0.1)];
+        // position 1 votes c0 (dist 0.1), position 0 votes c1 (dist 0.1):
+        // 1 vote each → object selects candidate 0.
+        assert_eq!(brnn_star(&objects, &candidates), vec![1, 0]);
+    }
+
+    #[test]
+    fn ignores_probability_entirely() {
+        // BRNN* is blind to how far the NN actually is — the limitation
+        // the paper's Fig. 1 illustrates.
+        let objects = vec![MovingObject::new(0, vec![Point::new(500.0, 500.0)])];
+        let candidates = vec![Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let votes = brnn_star(&objects, &candidates);
+        assert_eq!(votes, vec![0, 1], "distant NN still gets the vote");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let _ = brnn_star(&[MovingObject::new(0, vec![Point::ORIGIN])], &[]);
+    }
+
+    #[test]
+    fn brknn_with_k1_equals_brnn() {
+        let objects = vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)]),
+            MovingObject::new(1, vec![Point::new(10.0, 0.0)]),
+            MovingObject::new(2, vec![Point::new(4.9, 0.1), Point::new(5.1, 0.0)]),
+        ];
+        let candidates = vec![
+            Point::new(0.1, 0.0),
+            Point::new(5.0, 0.1),
+            Point::new(10.1, 0.0),
+        ];
+        assert_eq!(
+            brknn_star(&objects, &candidates, 1),
+            brnn_star(&objects, &candidates)
+        );
+    }
+
+    #[test]
+    fn brknn_votes_grow_with_k() {
+        let objects = vec![MovingObject::new(
+            0,
+            vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)],
+        )];
+        let candidates = vec![
+            Point::new(0.1, 0.0),
+            Point::new(5.1, 0.0),
+            Point::new(10.1, 0.0),
+        ];
+        // k = 2: the object selects its two most-visited candidates.
+        let v2 = brknn_star(&objects, &candidates, 2);
+        assert_eq!(v2.iter().sum::<u32>(), 2);
+        // k beyond the touched set: selects everything it touched.
+        let v9 = brknn_star(&objects, &candidates, 9);
+        assert_eq!(v9, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn brknn_tie_break_prefers_smaller_index() {
+        // One position voting for candidate 1 only; k = 2 must pick the
+        // touched candidate first and nothing else (untouched candidates
+        // never get selected).
+        let objects = vec![MovingObject::new(0, vec![Point::new(5.0, 0.0)])];
+        let candidates = vec![Point::new(0.0, 0.0), Point::new(5.1, 0.0)];
+        assert_eq!(brknn_star(&objects, &candidates, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn brknn_zero_k_rejected() {
+        let _ = brknn_star(&[MovingObject::new(0, vec![Point::ORIGIN])], &[Point::ORIGIN], 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The baseline location-selection semantics the paper compares against
+//! (§6.2, "Comparison between Different Semantics").
+//!
+//! * [`brnn`] — **BRNN\*** : the paper's mobility-aware extension of
+//!   MaxBRNN/MaxOverlap (Wong et al., VLDB 2009). For each object the
+//!   candidate that is the nearest neighbour of the most of its
+//!   positions is "selected"; the candidate selected by the most
+//!   objects wins.
+//! * [`range`] — **RANGE** : an object is influenced when at least a
+//!   given proportion of its positions lie within a fixed range of the
+//!   candidate; the paper averages nine `(proportion, range)` combos.
+//! * [`mindist`] — a MIN-DIST reference (Qi et al., ICDE 2012 flavour):
+//!   the candidate minimising the mean object-to-candidate distance.
+//!   Orthogonal to PRIME-LS (§2.1) but useful as a sanity baseline.
+//!
+//! All baselines produce a per-candidate score vector and a ranking with
+//! the same tie-breaking convention as the core solvers (descending
+//! score, then ascending index), so the effectiveness experiments can
+//! compare Top-K lists uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brnn;
+pub mod mindist;
+pub mod range;
+
+pub use brnn::{brknn_star, brnn_star};
+pub use mindist::min_dist;
+pub use range::{range_baseline, range_nine_combo_rankings, RangeConfig};
+
+/// Ranks candidate indices by descending score, ties towards the
+/// smaller index — identical to `SolveResult::ranking`.
+pub fn rank_descending<S: PartialOrd>(scores: &[S]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Ranks candidate indices by *ascending* score (for cost-like scores
+/// such as MIN-DIST), ties towards the smaller index.
+pub fn rank_ascending<S: PartialOrd>(scores: &[S]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_descending_breaks_ties_by_index() {
+        assert_eq!(rank_descending(&[3.0, 9.0, 9.0, 1.0]), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn rank_ascending_is_reverse_semantics() {
+        assert_eq!(rank_ascending(&[3.0, 9.0, 9.0, 1.0]), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        let _ = rank_descending(&[1.0, f64::NAN]);
+    }
+}

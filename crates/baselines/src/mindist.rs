@@ -1,0 +1,81 @@
+//! A MIN-DIST reference baseline.
+//!
+//! MIN-DIST location selection (§2.1: Zhang et al., Qi et al.) picks the
+//! location minimising an aggregate distance to the objects rather than
+//! maximising influence. The paper classifies it as orthogonal to
+//! PRIME-LS; it is included here as a reference point for the
+//! effectiveness experiments and the documentation examples.
+//!
+//! Score of candidate `c`: the mean over objects of the *average*
+//! distance from `c` to the object's positions (averaging per object
+//! first keeps heavy check-in users from dominating).
+
+use pinocchio_data::MovingObject;
+use pinocchio_geo::Point;
+
+/// Computes the MIN-DIST score (lower is better) per candidate.
+///
+/// # Panics
+/// Panics when `candidates` or `objects` is empty.
+pub fn min_dist(objects: &[MovingObject], candidates: &[Point]) -> Vec<f64> {
+    assert!(!candidates.is_empty(), "MIN-DIST needs candidates");
+    assert!(!objects.is_empty(), "MIN-DIST needs objects");
+    let mut scores = vec![0.0f64; candidates.len()];
+    for object in objects {
+        let n = object.position_count() as f64;
+        for (j, c) in candidates.iter().enumerate() {
+            let sum: f64 = object.positions().iter().map(|p| p.euclidean(c)).sum();
+            scores[j] += sum / n;
+        }
+    }
+    let r = objects.len() as f64;
+    for s in &mut scores {
+        *s /= r;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank_ascending;
+
+    #[test]
+    fn central_candidate_wins() {
+        let objects = vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0)]),
+            MovingObject::new(1, vec![Point::new(10.0, 0.0)]),
+        ];
+        let candidates = vec![
+            Point::new(5.0, 0.0),  // centre: avg dist 5
+            Point::new(0.0, 0.0),  // edge: avg dist 5 — tie!
+            Point::new(20.0, 0.0), // far: avg dist 15
+        ];
+        let scores = min_dist(&objects, &candidates);
+        assert!((scores[0] - 5.0).abs() < 1e-12);
+        assert!((scores[1] - 5.0).abs() < 1e-12);
+        assert!((scores[2] - 15.0).abs() < 1e-12);
+        assert_eq!(rank_ascending(&scores), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_object_averaging_prevents_heavy_user_dominance() {
+        // Object 0 has 100 positions at x=0; object 1 has 1 position at
+        // x=10. A candidate at x=10 should not be dragged to x=0 by the
+        // position count alone.
+        let objects = vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0); 100]),
+            MovingObject::new(1, vec![Point::new(10.0, 0.0)]),
+        ];
+        let candidates = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let scores = min_dist(&objects, &candidates);
+        assert!((scores[0] - 5.0).abs() < 1e-12);
+        assert!((scores[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs objects")]
+    fn empty_objects_rejected() {
+        let _ = min_dist(&[], &[Point::ORIGIN]);
+    }
+}

@@ -1,0 +1,184 @@
+//! RANGE — the proportion-within-range semantics (§6.2).
+//!
+//! "We design a baseline RANGE with a simple definition of influence,
+//! where an object is deemed to be influenced if at least some
+//! proportion of its positions lie within a given range of a candidate."
+//!
+//! The paper sweeps proportions {25 %, 50 %, 75 %} and ranges
+//! {½×, 1×, 2×} of the default range — 5 ‰ of the complete scale (0.2 km
+//! for Foursquare) — and averages the results of the nine combinations.
+
+use pinocchio_data::MovingObject;
+use pinocchio_geo::Point;
+use pinocchio_index::RTree;
+
+/// One `(proportion, range)` parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeConfig {
+    /// Minimum fraction of positions that must lie in range, in `(0, 1]`.
+    pub proportion: f64,
+    /// Influence range in kilometres.
+    pub range_km: f64,
+}
+
+impl RangeConfig {
+    /// Validates the configuration.
+    pub fn new(proportion: f64, range_km: f64) -> Self {
+        assert!(
+            proportion > 0.0 && proportion <= 1.0,
+            "proportion must be in (0, 1], got {proportion}"
+        );
+        assert!(range_km > 0.0, "range must be positive, got {range_km}");
+        RangeConfig {
+            proportion,
+            range_km,
+        }
+    }
+
+    /// The paper's nine combinations for a dataset whose *complete
+    /// scale* (longest frame side) is `scale_km`: proportions
+    /// {0.25, 0.5, 0.75} × ranges {½, 1, 2} × (5 ‰ of scale).
+    pub fn paper_combinations(scale_km: f64) -> Vec<RangeConfig> {
+        assert!(scale_km > 0.0);
+        let default_range = 0.005 * scale_km;
+        let mut combos = Vec::with_capacity(9);
+        for proportion in [0.25, 0.5, 0.75] {
+            for factor in [0.5, 1.0, 2.0] {
+                combos.push(RangeConfig::new(proportion, default_range * factor));
+            }
+        }
+        combos
+    }
+}
+
+/// Runs the RANGE baseline for one configuration. Returns per-candidate
+/// influence counts (number of objects influenced).
+///
+/// Uses an R-tree over the *positions* of each object? No — over the
+/// candidates: for each object position, a circle query finds the
+/// candidates within range, accumulating per-candidate in-range position
+/// counts; an object is influenced by every candidate whose count
+/// reaches `⌈proportion · n⌉`.
+pub fn range_baseline(
+    objects: &[MovingObject],
+    candidates: &[Point],
+    config: RangeConfig,
+) -> Vec<u32> {
+    assert!(!candidates.is_empty(), "RANGE needs at least one candidate");
+    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+
+    let mut influence = vec![0u32; candidates.len()];
+    let mut in_range: Vec<u32> = vec![0; candidates.len()];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for object in objects {
+        touched.clear();
+        for p in object.positions() {
+            tree.query_circle(p, config.range_km, |_, &j| {
+                if in_range[j] == 0 {
+                    touched.push(j);
+                }
+                in_range[j] += 1;
+            });
+        }
+        let needed = (config.proportion * object.position_count() as f64).ceil() as u32;
+        let needed = needed.max(1);
+        for &j in &touched {
+            if in_range[j] >= needed {
+                influence[j] += 1;
+            }
+            in_range[j] = 0;
+        }
+    }
+    influence
+}
+
+/// Convenience for the Table 3/4 experiment: rankings of all nine paper
+/// combinations (outer Vec per combination).
+pub fn range_nine_combo_rankings(
+    objects: &[MovingObject],
+    candidates: &[Point],
+    scale_km: f64,
+) -> Vec<Vec<usize>> {
+    RangeConfig::paper_combinations(scale_km)
+        .into_iter()
+        .map(|cfg| crate::rank_descending(&range_baseline(objects, candidates, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportion_threshold_is_respected() {
+        // Object with 4 positions; 2 are within 1 km of the candidate.
+        let objects = vec![MovingObject::new(
+            0,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
+        )];
+        let candidates = vec![Point::new(0.2, 0.0)];
+        // 50 % of 4 = 2 in-range needed: influenced.
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(0.5, 1.0));
+        assert_eq!(inf, vec![1]);
+        // 75 % of 4 = 3 needed: not influenced.
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(0.75, 1.0));
+        assert_eq!(inf, vec![0]);
+    }
+
+    #[test]
+    fn range_boundary_is_inclusive() {
+        let objects = vec![MovingObject::new(0, vec![Point::new(1.0, 0.0)])];
+        let candidates = vec![Point::new(0.0, 0.0)];
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(1.0, 1.0));
+        assert_eq!(inf, vec![1], "distance exactly equal to range counts");
+    }
+
+    #[test]
+    fn multiple_candidates_can_influence_one_object() {
+        // Unlike BRNN*, RANGE allows multi-facility influence.
+        let objects = vec![MovingObject::new(
+            0,
+            vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)],
+        )];
+        let candidates = vec![Point::new(0.0, 0.1), Point::new(0.1, -0.1)];
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(0.5, 0.5));
+        assert_eq!(inf, vec![1, 1]);
+    }
+
+    #[test]
+    fn paper_combinations_match_spec() {
+        // Foursquare-like scale: 39.22 km → default range ≈ 0.196 km.
+        let combos = RangeConfig::paper_combinations(39.22);
+        assert_eq!(combos.len(), 9);
+        let default = 0.005 * 39.22;
+        assert!(combos.iter().any(|c| (c.range_km - default).abs() < 1e-12));
+        assert!(combos
+            .iter()
+            .any(|c| (c.range_km - default * 0.5).abs() < 1e-12));
+        assert!(combos
+            .iter()
+            .any(|c| (c.range_km - default * 2.0).abs() < 1e-12));
+        assert!((0.19..0.21).contains(&default), "paper quotes ~0.2 km");
+    }
+
+    #[test]
+    fn minimum_one_position_required() {
+        // Tiny proportion on a single-position object still needs 1 hit.
+        let objects = vec![MovingObject::new(0, vec![Point::new(5.0, 0.0)])];
+        let candidates = vec![Point::new(0.0, 0.0)];
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(0.01, 1.0));
+        assert_eq!(inf, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "proportion")]
+    fn bad_proportion_rejected() {
+        let _ = RangeConfig::new(0.0, 1.0);
+    }
+}

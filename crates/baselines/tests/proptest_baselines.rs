@@ -1,0 +1,108 @@
+//! Property-based tests of the baseline semantics.
+
+use pinocchio_baselines::{brnn_star, min_dist, range_baseline, rank_descending, RangeConfig};
+use pinocchio_data::MovingObject;
+use pinocchio_geo::Point;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..50.0, 0.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_objects() -> impl Strategy<Value = Vec<MovingObject>> {
+    prop::collection::vec(prop::collection::vec(arb_point(), 1..15), 1..20).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, ps)| MovingObject::new(i as u64, ps))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every object casts exactly one BRNN* vote.
+    #[test]
+    fn brnn_votes_sum_to_object_count(
+        objects in arb_objects(),
+        candidates in prop::collection::vec(arb_point(), 1..15),
+    ) {
+        let votes = brnn_star(&objects, &candidates);
+        prop_assert_eq!(
+            votes.iter().sum::<u32>() as usize,
+            objects.len()
+        );
+    }
+
+    /// RANGE influence grows with the range and shrinks with the
+    /// required proportion.
+    #[test]
+    fn range_monotonicity(
+        objects in arb_objects(),
+        candidates in prop::collection::vec(arb_point(), 1..10),
+        range in 0.5f64..10.0,
+        grow in 1.1f64..3.0,
+    ) {
+        let small = range_baseline(&objects, &candidates, RangeConfig::new(0.5, range));
+        let large = range_baseline(&objects, &candidates, RangeConfig::new(0.5, range * grow));
+        for (s, l) in small.iter().zip(&large) {
+            prop_assert!(l >= s, "influence must grow with range");
+        }
+        let lax = range_baseline(&objects, &candidates, RangeConfig::new(0.25, range));
+        let strict = range_baseline(&objects, &candidates, RangeConfig::new(0.75, range));
+        for (a, b) in lax.iter().zip(&strict) {
+            prop_assert!(a >= b, "influence must shrink with the proportion");
+        }
+    }
+
+    /// RANGE influence is bounded by the object count.
+    #[test]
+    fn range_bounded_by_objects(
+        objects in arb_objects(),
+        candidates in prop::collection::vec(arb_point(), 1..10),
+    ) {
+        let inf = range_baseline(&objects, &candidates, RangeConfig::new(0.5, 5.0));
+        for v in inf {
+            prop_assert!(v as usize <= objects.len());
+        }
+    }
+
+    /// MIN-DIST scores are translation-equivariant: shifting the whole
+    /// world leaves the scores (and hence the ranking) unchanged.
+    #[test]
+    fn min_dist_translation_invariance(
+        objects in arb_objects(),
+        candidates in prop::collection::vec(arb_point(), 1..10),
+        dx in -20.0f64..20.0,
+        dy in -20.0f64..20.0,
+    ) {
+        let base = min_dist(&objects, &candidates);
+        let shift = |p: &Point| Point::new(p.x + dx, p.y + dy);
+        let moved_objects: Vec<MovingObject> = objects
+            .iter()
+            .map(|o| MovingObject::new(o.id(), o.positions().iter().map(&shift).collect()))
+            .collect();
+        let moved_candidates: Vec<Point> = candidates.iter().map(&shift).collect();
+        let moved = min_dist(&moved_objects, &moved_candidates);
+        for (a, b) in base.iter().zip(&moved) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// rank_descending returns a permutation with descending scores.
+    #[test]
+    fn rank_descending_is_a_sorted_permutation(
+        scores in prop::collection::vec(0u32..100, 1..40),
+    ) {
+        let ranking = rank_descending(&scores);
+        let mut seen = ranking.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..scores.len()).collect::<Vec<_>>());
+        for w in ranking.windows(2) {
+            prop_assert!(
+                scores[w[0]] > scores[w[1]]
+                    || (scores[w[0]] == scores[w[1]] && w[0] < w[1])
+            );
+        }
+    }
+}

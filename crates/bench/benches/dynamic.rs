@@ -1,0 +1,129 @@
+//! ablation_dynamic: incremental maintenance (`DynamicPrimeLs`) vs
+//! re-solving from scratch after each update — quantifies the paper's
+//! future-work scenario.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use pinocchio_core::{Algorithm, DynamicPrimeLs, PrimeLs};
+use pinocchio_data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio_geo::Point;
+use pinocchio_prob::PowerLawPf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn world() -> (Vec<pinocchio_data::MovingObject>, Vec<Point>) {
+    let d = SyntheticGenerator::new(GeneratorConfig::small(200, 21)).generate();
+    let (_, candidates) = sample_candidate_group(&d, 80, 5);
+    (d.objects().to_vec(), candidates)
+}
+
+fn bench_append_position(c: &mut Criterion) {
+    let (objects, candidates) = world();
+    let mut group = c.benchmark_group("ablation_dynamic_append");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Fresh state per iteration (iter_batched): mutating one shared state
+    // across criterion's iterations would grow the objects unboundedly
+    // and measure an ever-larger problem.
+    let (base_dynamic, handles, _) = DynamicPrimeLs::from_parts(
+        PowerLawPf::paper_default(),
+        0.7,
+        objects.clone(),
+        candidates.clone(),
+    );
+    group.bench_function("incremental", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter_batched(
+            || base_dynamic.clone(),
+            |mut dynamic| {
+                let h = handles[rng.gen_range(0..handles.len())];
+                dynamic.append_position(
+                    h,
+                    Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..28.0)),
+                );
+                black_box(dynamic.best())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("recompute", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter_batched(
+            || objects.clone(),
+            |mut objects| {
+                let slot = rng.gen_range(0..objects.len());
+                let mut positions = objects[slot].positions().to_vec();
+                positions.push(Point::new(
+                    rng.gen_range(0.0..40.0),
+                    rng.gen_range(0.0..28.0),
+                ));
+                objects[slot] =
+                    pinocchio_data::MovingObject::new(objects[slot].id(), positions);
+                let problem = PrimeLs::builder()
+                    .objects(objects)
+                    .candidates(candidates.clone())
+                    .probability_function(PowerLawPf::paper_default())
+                    .tau(0.7)
+                    .build()
+                    .unwrap();
+                black_box(problem.solve(Algorithm::PinocchioVo).max_influence)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_candidate_churn(c: &mut Criterion) {
+    let (objects, candidates) = world();
+    let mut group = c.benchmark_group("ablation_dynamic_candidate");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("incremental_insert_remove", |b| {
+        let (mut dynamic, _, _) = DynamicPrimeLs::from_parts(
+            PowerLawPf::paper_default(),
+            0.7,
+            objects.clone(),
+            candidates.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let h = dynamic.insert_candidate(Point::new(
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(0.0..28.0),
+            ));
+            let best = dynamic.best();
+            dynamic.remove_candidate(h);
+            black_box(best)
+        })
+    });
+
+    group.bench_function("recompute", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut cands = candidates.clone();
+            cands.push(Point::new(
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(0.0..28.0),
+            ));
+            let problem = PrimeLs::builder()
+                .objects(objects.clone())
+                .candidates(cands)
+                .probability_function(PowerLawPf::paper_default())
+                .tau(0.7)
+                .build()
+                .unwrap();
+            black_box(problem.solve(Algorithm::PinocchioVo).max_influence)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append_position, bench_candidate_churn);
+criterion_main!(benches);

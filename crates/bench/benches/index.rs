@@ -1,0 +1,115 @@
+//! ablation_index: R-tree vs uniform grid vs linear scan for the query
+//! shapes the solvers issue (circle range queries, NN), plus build cost
+//! (STR bulk load vs one-by-one insertion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinocchio_geo::Point;
+use std::time::Duration;
+use pinocchio_index::{GridIndex, RTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| (Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..70.0)), i))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let items = points(5_000, 1);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("rtree_bulk_load", |b| {
+        b.iter(|| black_box(RTree::bulk_load(items.clone())).len())
+    });
+    group.bench_function("rtree_insert", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (p, i) in &items {
+                t.insert(*p, *i);
+            }
+            black_box(t.len())
+        })
+    });
+    group.bench_function("grid_build", |b| {
+        b.iter(|| black_box(GridIndex::build(items.clone(), 8).unwrap()).len())
+    });
+    group.finish();
+}
+
+fn bench_circle_query(c: &mut Criterion) {
+    let items = points(5_000, 2);
+    let rtree = RTree::bulk_load(items.clone());
+    let grid = GridIndex::build(items.clone(), 8).unwrap();
+    let center = Point::new(50.0, 35.0);
+    let mut group = c.benchmark_group("index_circle_query");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for radius in [2.0f64, 10.0, 30.0] {
+        group.bench_function(BenchmarkId::new("rtree", radius as u32), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                rtree.query_circle(&center, radius, |_, _| hits += 1);
+                black_box(hits)
+            })
+        });
+        group.bench_function(BenchmarkId::new("grid", radius as u32), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                grid.query_circle(&center, radius, |_, _| hits += 1);
+                black_box(hits)
+            })
+        });
+        group.bench_function(BenchmarkId::new("linear", radius as u32), |b| {
+            b.iter(|| {
+                let r_sq = radius * radius;
+                black_box(
+                    items
+                        .iter()
+                        .filter(|(p, _)| p.euclidean_sq(&center) <= r_sq)
+                        .count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let items = points(5_000, 3);
+    let rtree = RTree::bulk_load(items.clone());
+    let queries = points(100, 4);
+    let mut group = c.benchmark_group("index_nn");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("rtree_nn", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (q, _) in &queries {
+                acc += *rtree.nearest_neighbor(q).unwrap().1;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("linear_nn", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (q, _) in &queries {
+                acc += items
+                    .iter()
+                    .min_by(|a, b| a.0.euclidean_sq(q).total_cmp(&b.0.euclidean_sq(q)))
+                    .unwrap()
+                    .1;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_circle_query, bench_nn);
+criterion_main!(benches);

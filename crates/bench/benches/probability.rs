@@ -1,0 +1,94 @@
+//! ablation_earlystop and probability-kernel micro-benches: the exact
+//! cumulative product vs the Lemma 4 early-stopping scan, and the
+//! `minMaxRadius` memo cache vs recomputation (Algorithm 1's HashMap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinocchio_geo::{Euclidean, Point};
+use std::time::Duration;
+use pinocchio_prob::{
+    min_max_radius, CumulativeProbability, MinMaxRadiusCache, PowerLawPf,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn positions(n: usize, spread: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..spread), rng.gen_range(0.0..spread)))
+        .collect()
+}
+
+/// ablation_earlystop: Strategy 2 pays off most when the candidate is
+/// close (early certain influence); the far case shows its worst-case
+/// overhead is nil.
+fn bench_early_stop(c: &mut Criterion) {
+    let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+    let pos = positions(200, 10.0, 5);
+    let mut group = c.benchmark_group("ablation_earlystop");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, candidate) in [
+        ("near", Point::new(5.0, 5.0)),
+        ("far", Point::new(500.0, 500.0)),
+    ] {
+        group.bench_function(BenchmarkId::new("exhaustive", label), |b| {
+            b.iter(|| black_box(eval.influences(&candidate, &pos, 0.7)))
+        });
+        group.bench_function(BenchmarkId::new("early_stop", label), |b| {
+            b.iter(|| black_box(eval.influences_early_stop(&candidate, &pos, 0.7).influenced))
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 1's HashMap `HM`: memoised minMaxRadius vs recomputing the
+/// inverse for every object.
+fn bench_radius_cache(c: &mut Criterion) {
+    let pf = PowerLawPf::paper_default();
+    // Realistic position-count stream: many repeats, few distinct.
+    let mut rng = StdRng::seed_from_u64(9);
+    let counts: Vec<usize> = (0..10_000).map(|_| rng.gen_range(1..300)).collect();
+    let mut group = c.benchmark_group("minmaxradius");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let mut cache = MinMaxRadiusCache::new(0.7);
+            let mut acc = 0.0;
+            for &n in &counts {
+                acc += cache.get(&pf, n).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &n in &counts {
+                acc += min_max_radius(&pf, 0.7, n).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Raw kernel: cumulative probability over growing position counts.
+fn bench_cumulative(c: &mut Criterion) {
+    let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+    let candidate = Point::new(50.0, 50.0);
+    let mut group = c.benchmark_group("cumulative_probability");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [10usize, 100, 1000] {
+        let pos = positions(n, 40.0, n as u64);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(eval.cumulative(&candidate, &pos)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_early_stop, bench_radius_cache, bench_cumulative);
+criterion_main!(benches);

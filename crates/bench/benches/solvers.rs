@@ -1,0 +1,109 @@
+//! Criterion benches for the four PRIME-LS solvers (micro version of
+//! Fig. 8) plus the parallel-validation ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinocchio_core::{parallel, solve_with_options, Algorithm, PrimeLs};
+use std::time::Duration;
+use pinocchio_data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio_prob::PowerLawPf;
+use std::hint::black_box;
+
+fn fixture(users: usize, candidates: usize) -> PrimeLs<PowerLawPf> {
+    let d = SyntheticGenerator::new(GeneratorConfig::small(users, 42)).generate();
+    let (_, cands) = sample_candidate_group(&d, candidates, 7);
+    PrimeLs::builder()
+        .objects(d.objects().to_vec())
+        .candidates(cands)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.7)
+        .build()
+        .unwrap()
+}
+
+/// Fig. 8 in miniature: all four algorithms on the same instance.
+fn bench_algorithms(c: &mut Criterion) {
+    let problem = fixture(250, 150);
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for algorithm in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algorithm.label()), |b| {
+            b.iter(|| black_box(problem.solve(algorithm)).max_influence)
+        });
+    }
+    group.finish();
+}
+
+/// Candidate-count scaling of the headline algorithm (Fig. 8 sweep).
+fn bench_vo_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pin_vo_candidates");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for m in [50usize, 100, 200, 400] {
+        let problem = fixture(250, m);
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| black_box(problem.solve(Algorithm::PinocchioVo)).max_influence)
+        });
+    }
+    group.finish();
+}
+
+/// ablation_parallel: sequential vs threaded NA and PIN.
+fn bench_parallel(c: &mut Criterion) {
+    let problem = fixture(250, 150);
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("naive_seq", |b| {
+        b.iter(|| black_box(problem.solve(Algorithm::Naive)).max_influence)
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("naive_par", threads), |b| {
+            b.iter(|| black_box(parallel::solve_naive(&problem, threads)).max_influence)
+        });
+    }
+    group.bench_function("pin_seq", |b| {
+        b.iter(|| black_box(problem.solve(Algorithm::Pinocchio)).max_influence)
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("pin_par", threads), |b| {
+            b.iter(|| black_box(parallel::solve_pinocchio(&problem, threads)).max_influence)
+        });
+    }
+    group.finish();
+}
+
+/// ablation_strategies: the two validation optimizations toggled on the
+/// pruned solver:
+/// * `s1_s2`   — full PIN-VO (bounds heap + early stopping),
+/// * `s1_only` — bounds heap with exhaustive per-object validation,
+/// * `none`    — plain PIN (Algorithm 2: no heap, no early stop).
+fn bench_strategies(c: &mut Criterion) {
+    let problem = fixture(250, 150);
+    let mut group = c.benchmark_group("ablation_strategies");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("s1_s2 (PIN-VO)", |b| {
+        b.iter(|| black_box(solve_with_options(&problem, true, true)).max_influence)
+    });
+    group.bench_function("s1_only", |b| {
+        b.iter(|| black_box(solve_with_options(&problem, true, false)).max_influence)
+    });
+    group.bench_function("none (PIN)", |b| {
+        b.iter(|| black_box(problem.solve(Algorithm::Pinocchio)).max_influence)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_vo_scaling,
+    bench_parallel,
+    bench_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Fig. 6 — geographical distribution of check-ins and candidates.
+//!
+//! The paper plots the skewed geography of the Foursquare sample and a
+//! 600-candidate group. A terminal cannot render a scatter plot, so this
+//! binary prints an ASCII density map of the check-ins (darker = denser)
+//! with candidate locations overlaid, and writes the raw scatter data to
+//! CSV next to the JSON record for external plotting.
+
+use pinocchio_bench::{dataset, experiments_dir, write_record, DatasetKind};
+use pinocchio_data::sample_candidate_group;
+
+const COLS: usize = 78;
+const ROWS: usize = 26;
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn main() {
+    let d = dataset(DatasetKind::Foursquare);
+    let frame = d.frame();
+    let (_, candidates) = sample_candidate_group(&d, 600.min(d.venues().len()), 6);
+
+    // Bin check-ins into the character grid.
+    let mut bins = vec![0u64; COLS * ROWS];
+    let mut total = 0u64;
+    for o in d.objects() {
+        for p in o.positions() {
+            let cx = (((p.x - frame.lo().x) / frame.width()) * (COLS - 1) as f64) as usize;
+            let cy = (((p.y - frame.lo().y) / frame.height()) * (ROWS - 1) as f64) as usize;
+            bins[cy * COLS + cx] += 1;
+            total += 1;
+        }
+    }
+    let max = *bins.iter().max().unwrap_or(&1) as f64;
+
+    let mut grid: Vec<Vec<u8>> = (0..ROWS)
+        .map(|r| {
+            (0..COLS)
+                .map(|c| {
+                    let density = bins[r * COLS + c] as f64 / max;
+                    // Log-ish scaling: the distribution is heavily skewed.
+                    let level = ((density.sqrt()) * (SHADES.len() - 1) as f64).round() as usize;
+                    SHADES[level.min(SHADES.len() - 1)]
+                })
+                .collect()
+        })
+        .collect();
+    // Overlay candidates as 'o'.
+    for c in &candidates {
+        let cx = (((c.x - frame.lo().x) / frame.width()) * (COLS - 1) as f64) as usize;
+        let cy = (((c.y - frame.lo().y) / frame.height()) * (ROWS - 1) as f64) as usize;
+        grid[cy][cx] = b'o';
+    }
+
+    println!(
+        "Fig. 6: check-in density ({} check-ins, shade = sqrt density) and 600 candidates (o)\n",
+        total
+    );
+    // Print top row last so north is up.
+    for row in grid.iter().rev() {
+        println!("{}", String::from_utf8_lossy(row));
+    }
+    println!(
+        "\nframe: {:.2} x {:.2} km; darker cells hold more check-ins",
+        frame.width(),
+        frame.height()
+    );
+
+    // Raw scatter sample for external plotting.
+    let mut csv = String::from("kind,x_km,y_km\n");
+    for (i, o) in d.objects().iter().enumerate() {
+        if i % 10 == 0 {
+            for p in o.positions().iter().take(3) {
+                csv.push_str(&format!("checkin,{:.4},{:.4}\n", p.x, p.y));
+            }
+        }
+    }
+    for c in &candidates {
+        csv.push_str(&format!("candidate,{:.4},{:.4}\n", c.x, c.y));
+    }
+    let csv_path = experiments_dir().join("fig06_geo.csv");
+    std::fs::write(&csv_path, csv).expect("write scatter csv");
+    println!("[scatter sample written to {}]", csv_path.display());
+
+    write_record(
+        "fig06_geo",
+        &serde_json::json!({
+            "checkins": total,
+            "candidates": candidates.len(),
+            "frame_km": [frame.width(), frame.height()],
+            "grid": [COLS, ROWS],
+            "max_bin": max,
+        }),
+    );
+}

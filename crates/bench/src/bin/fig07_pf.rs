@@ -1,0 +1,60 @@
+//! Fig. 7 — the probability functions.
+//!
+//! (a) power law with λ ∈ {0.75, 1.0, 1.25} at ρ = 0.9;
+//! (b) power law with ρ ∈ {0.5, 0.7, 0.9} at λ = 1.0.
+//!
+//! Prints the curves as value series (one row per distance) — the same
+//! numbers the paper plots.
+
+use pinocchio_bench::{linspace, write_record};
+use pinocchio_eval::Table;
+use pinocchio_prob::{PowerLawPf, ProbabilityFunction};
+
+fn main() {
+    let distances = linspace(0.0, 10.0, 21);
+
+    let lambdas = [0.75, 1.0, 1.25];
+    let mut a = Table::new(
+        "Fig. 7a: PF(d) = 0.9·(1+d)^(−λ)",
+        &["d (km)", "λ=0.75", "λ=1.0", "λ=1.25"],
+    );
+    for &d in &distances {
+        let mut row = vec![format!("{d:.1}")];
+        row.extend(
+            lambdas
+                .iter()
+                .map(|&l| format!("{:.4}", PowerLawPf::with_lambda(l).prob(d))),
+        );
+        a.push_row(row);
+    }
+    println!("{a}");
+
+    let rhos = [0.5, 0.7, 0.9];
+    let mut b = Table::new(
+        "Fig. 7b: PF(d) = ρ·(1+d)^(−1)",
+        &["d (km)", "ρ=0.5", "ρ=0.7", "ρ=0.9"],
+    );
+    for &d in &distances {
+        let mut row = vec![format!("{d:.1}")];
+        row.extend(
+            rhos.iter()
+                .map(|&r| format!("{:.4}", PowerLawPf::with_rho(r).prob(d))),
+        );
+        b.push_row(row);
+    }
+    println!("{b}");
+
+    let series = |pf: PowerLawPf| -> Vec<f64> { distances.iter().map(|&d| pf.prob(d)).collect() };
+    write_record(
+        "fig07_pf",
+        &serde_json::json!({
+            "distances_km": distances,
+            "lambda_sweep": lambdas.iter()
+                .map(|&l| (l.to_string(), series(PowerLawPf::with_lambda(l))))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+            "rho_sweep": rhos.iter()
+                .map(|&r| (r.to_string(), series(PowerLawPf::with_rho(r))))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+        }),
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 8 — scalability in the number of candidates.
+//!
+//! Running time of NA / PIN / PIN-VO / PIN-VO* on both datasets while the
+//! candidate-set size sweeps over {200, 400, 600, 800, 1000}
+//! (τ = 0.7, ρ = 0.9, λ = 1.0 — the paper's defaults).
+//!
+//! Expected shape (paper): every algorithm grows with m; PIN-VO is the
+//! fastest by orders of magnitude over NA; PIN slightly ahead of
+//! PIN-VO*; all three pruned/optimized variants are faster on F than on
+//! G relative to NA.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::sample_candidate_group;
+use pinocchio_eval::Table;
+use pinocchio_prob::PowerLawPf;
+
+fn main() {
+    let mut record = serde_json::Map::new();
+    for kind in [DatasetKind::Foursquare, DatasetKind::Gowalla] {
+        let d = dataset(kind);
+        let mut table = Table::new(
+            format!("Fig. 8 ({}): running time vs #candidates", kind.letter()),
+            &["m", "NA", "PIN", "PIN-VO", "PIN-VO*", "best", "max inf"],
+        );
+        let mut per_kind = Vec::new();
+        for &m in &defaults::CANDIDATE_SWEEP {
+            let (_, candidates) = sample_candidate_group(&d, m.min(d.venues().len()), 8);
+            let p = problem(&d, candidates, PowerLawPf::paper_default(), defaults::TAU);
+            let mut row = vec![m.to_string()];
+            let mut times = serde_json::Map::new();
+            let mut answer = (0usize, 0u32);
+            for algorithm in Algorithm::ALL {
+                let (r, secs) = timed_solve(&p, algorithm);
+                row.push(fmt_secs(secs));
+                times.insert(algorithm.label().to_string(), serde_json::json!(secs));
+                answer = (r.best_candidate, r.max_influence);
+            }
+            row.push(format!("#{}", answer.0));
+            row.push(answer.1.to_string());
+            table.push_row(row);
+            per_kind.push(serde_json::json!({ "m": m, "seconds": times }));
+        }
+        println!("{table}");
+        record.insert(kind.letter().to_string(), serde_json::json!(per_kind));
+    }
+    write_record("fig08_scal_candidates", &serde_json::Value::Object(record));
+}

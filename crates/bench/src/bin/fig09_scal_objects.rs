@@ -1,0 +1,49 @@
+//! Fig. 9 — scalability in the number of objects.
+//!
+//! Running time of the four algorithms on 2k..10k objects sampled from
+//! the Gowalla-like dataset, against the same 600-candidate group
+//! (τ = 0.7). Expected shape (paper): qualitatively the same ordering as
+//! Fig. 8 — PIN-VO best, then PIN, PIN-VO*, NA.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::{sample_candidate_group, sample_objects};
+use pinocchio_eval::Table;
+use pinocchio_prob::PowerLawPf;
+
+fn main() {
+    let d = dataset(DatasetKind::Gowalla);
+    let (_, candidates) =
+        sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 9);
+
+    let full = d.objects().len();
+    let sweep: Vec<usize> = [2_000usize, 4_000, 6_000, 8_000, 10_000]
+        .iter()
+        .map(|&k| k.min(full))
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 9 (G): running time vs #objects (600 candidates)",
+        &["r", "NA", "PIN", "PIN-VO", "PIN-VO*", "max inf"],
+    );
+    let mut record = Vec::new();
+    for (i, &r_count) in sweep.iter().enumerate() {
+        let objects = sample_objects(&d, r_count, 17 + i as u64);
+        let sub = d.with_objects(objects);
+        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let mut row = vec![r_count.to_string()];
+        let mut times = serde_json::Map::new();
+        let mut max_inf = 0u32;
+        for algorithm in Algorithm::ALL {
+            let (res, secs) = timed_solve(&p, algorithm);
+            row.push(fmt_secs(secs));
+            times.insert(algorithm.label().to_string(), serde_json::json!(secs));
+            max_inf = res.max_influence;
+        }
+        row.push(max_inf.to_string());
+        table.push_row(row);
+        record.push(serde_json::json!({ "objects": r_count, "seconds": times }));
+    }
+    println!("{table}");
+    write_record("fig09_scal_objects", &serde_json::json!(record));
+}

@@ -1,0 +1,138 @@
+//! Fig. 11 — effect of the number of positions `n`.
+//!
+//! (a) Gowalla-like objects in their natural Table-5 groups: PIN-VO
+//!     runtime relative to NA, and the maximum influence as a share of
+//!     the group — the paper finds the n ≥ 70 group reaches > 60 % while
+//!     the [1,10) group only ~20 %, and the optimal locations of the
+//!     five groups lie within ~0.7 km of each other.
+//! (b) The same 1,999 heavy objects (n ≥ 50) restricted to 10..50
+//!     randomly chosen positions.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::{
+    group_by_position_count, resample_positions, sample_candidate_group, TABLE5_BOUNDS,
+};
+use pinocchio_eval::Table;
+use pinocchio_geo::Point;
+use pinocchio_prob::PowerLawPf;
+
+fn pairwise_distances(points: &[Point]) -> (f64, f64) {
+    let (mut sum, mut max, mut count) = (0.0f64, 0.0f64, 0usize);
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].euclidean(&points[j]);
+            sum += d;
+            max = max.max(d);
+            count += 1;
+        }
+    }
+    (sum / count.max(1) as f64, max)
+}
+
+fn main() {
+    let d = dataset(DatasetKind::Gowalla);
+    let (_, candidates) =
+        sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 11);
+
+    // ---- (a) natural groups -------------------------------------------
+    let groups = group_by_position_count(&d, &TABLE5_BOUNDS);
+    let mut a = Table::new(
+        "Fig. 11a (G): natural position-count groups",
+        &["group", "objects", "NA", "PIN-VO", "speedup", "max inf", "inf share %"],
+    );
+    let mut optima = Vec::new();
+    let mut rec_a = Vec::new();
+    for g in &groups {
+        if g.object_indices.len() < 2 {
+            continue;
+        }
+        let objects: Vec<_> = g
+            .object_indices
+            .iter()
+            .map(|&i| d.objects()[i].clone())
+            .collect();
+        let count = objects.len();
+        let sub = d.with_objects(objects);
+        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
+        let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
+        assert_eq!(na.max_influence, vo.max_influence);
+        optima.push(vo.best_location);
+        let share = vo.max_influence as f64 / count as f64 * 100.0;
+        a.push_row(vec![
+            format!("[{}, {})", g.lo, g.hi),
+            count.to_string(),
+            fmt_secs(na_secs),
+            fmt_secs(vo_secs),
+            format!("{:.1}x", na_secs / vo_secs.max(1e-9)),
+            vo.max_influence.to_string(),
+            format!("{share:.1}"),
+        ]);
+        rec_a.push(serde_json::json!({
+            "group": [g.lo, g.hi], "objects": count,
+            "na_secs": na_secs, "vo_secs": vo_secs,
+            "max_influence": vo.max_influence, "influence_share": share / 100.0,
+            "best_location": [vo.best_location.x, vo.best_location.y],
+        }));
+    }
+    println!("{a}");
+    let (avg_d, max_d) = pairwise_distances(&optima);
+    println!(
+        "optimal locations across groups: avg pairwise distance {avg_d:.2} km, max {max_d:.2} km\n"
+    );
+
+    // ---- (b) resampled instances --------------------------------------
+    let heavy: Vec<_> = d
+        .objects()
+        .iter()
+        .filter(|o| o.position_count() >= 50)
+        .cloned()
+        .collect();
+    println!("(b) uses {} objects with ≥ 50 positions\n", heavy.len());
+    let mut b = Table::new(
+        "Fig. 11b (G): same objects restricted to n positions",
+        &["n", "NA", "PIN-VO", "speedup", "max inf", "inf share %"],
+    );
+    let mut optima_b = Vec::new();
+    let mut rec_b = Vec::new();
+    for (i, n) in [10usize, 20, 30, 40, 50].into_iter().enumerate() {
+        let objects = resample_positions(&heavy, n, 300 + i as u64);
+        let count = objects.len();
+        let sub = d.with_objects(objects);
+        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
+        let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
+        assert_eq!(na.max_influence, vo.max_influence);
+        optima_b.push(vo.best_location);
+        let share = vo.max_influence as f64 / count as f64 * 100.0;
+        b.push_row(vec![
+            n.to_string(),
+            fmt_secs(na_secs),
+            fmt_secs(vo_secs),
+            format!("{:.1}x", na_secs / vo_secs.max(1e-9)),
+            vo.max_influence.to_string(),
+            format!("{share:.1}"),
+        ]);
+        rec_b.push(serde_json::json!({
+            "n": n, "na_secs": na_secs, "vo_secs": vo_secs,
+            "max_influence": vo.max_influence, "influence_share": share / 100.0,
+            "best_location": [vo.best_location.x, vo.best_location.y],
+        }));
+    }
+    println!("{b}");
+    let (avg_b, max_b) = pairwise_distances(&optima_b);
+    println!(
+        "optimal locations across n: avg pairwise distance {avg_b:.2} km, max {max_b:.2} km"
+    );
+
+    write_record(
+        "fig11_effect_n",
+        &serde_json::json!({
+            "natural_groups": rec_a,
+            "natural_optima_distance_km": { "avg": avg_d, "max": max_d },
+            "resampled": rec_b,
+            "resampled_optima_distance_km": { "avg": avg_b, "max": max_b },
+        }),
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 12 — effect of the probability threshold τ.
+//!
+//! Running time (NA vs PIN-VO) and maximum influence for
+//! τ ∈ {0.1, 0.3, 0.5, 0.7, 0.9} on both datasets.
+//!
+//! Expected shape (paper): PIN-VO's time falls then rises as τ grows
+//! (very small τ leaves many near-tied candidates for Strategy 1; large
+//! τ weakens Strategy 2); the maximum influence decreases monotonically.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::sample_candidate_group;
+use pinocchio_eval::Table;
+use pinocchio_prob::PowerLawPf;
+
+fn main() {
+    let mut record = serde_json::Map::new();
+    for kind in [DatasetKind::Foursquare, DatasetKind::Gowalla] {
+        let d = dataset(kind);
+        let (_, candidates) =
+            sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 12);
+        let mut table = Table::new(
+            format!("Fig. 12 ({}): effect of tau", kind.letter()),
+            &["tau", "NA", "PIN-VO", "speedup", "max inf", "inf %"],
+        );
+        let mut per_kind = Vec::new();
+        let total = d.objects().len() as f64;
+        for &tau in &defaults::TAU_SWEEP {
+            let p = problem(&d, candidates.clone(), PowerLawPf::paper_default(), tau);
+            let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
+            let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
+            assert_eq!(na.max_influence, vo.max_influence, "solvers disagree at tau={tau}");
+            table.push_row(vec![
+                format!("{tau:.1}"),
+                fmt_secs(na_secs),
+                fmt_secs(vo_secs),
+                format!("{:.1}x", na_secs / vo_secs.max(1e-9)),
+                vo.max_influence.to_string(),
+                format!("{:.1}", vo.max_influence as f64 / total * 100.0),
+            ]);
+            per_kind.push(serde_json::json!({
+                "tau": tau, "na_secs": na_secs, "vo_secs": vo_secs,
+                "max_influence": vo.max_influence,
+            }));
+        }
+        println!("{table}");
+        record.insert(kind.letter().to_string(), serde_json::json!(per_kind));
+    }
+    write_record("fig12_effect_tau", &serde_json::Value::Object(record));
+}

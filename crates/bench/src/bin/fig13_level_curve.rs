@@ -1,0 +1,150 @@
+//! Fig. 13 — the relationship between `n` and `τ`.
+//!
+//! Construction (paper §6.2): using the Fig. 11b resampled instance sets
+//! with n ∈ {10, 20, 30, 40, 50} positions, fix the reference maximum
+//! influence as the n = 20, τ = 0.7 solve; for every other n, tune τ
+//! until the maximum influence matches the reference. The resulting
+//! ⟨n, τ⟩ pairs form a level curve:
+//!
+//! (a) the tuned runs should cost about the same as the original run
+//!     (time error < 3 % of NA in the paper), and the optimal locations
+//!     should nearly coincide;
+//! (b) a polynomial fit of the level curve (Matlab polyfit in the paper)
+//!     predicts the τ for intermediate n ∈ {15, 25, 35, 45} with small
+//!     influence error.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::{resample_positions, sample_candidate_group};
+use pinocchio_eval::{tune_tau, Polynomial, Table};
+use pinocchio_geo::Point;
+use pinocchio_prob::PowerLawPf;
+
+fn main() {
+    let d = dataset(DatasetKind::Gowalla);
+    let (_, candidates) =
+        sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 13);
+    let heavy: Vec<_> = d
+        .objects()
+        .iter()
+        .filter(|o| o.position_count() >= 50)
+        .cloned()
+        .collect();
+    println!("level curve over {} objects with ≥ 50 positions\n", heavy.len());
+
+    let instance = |n: usize| {
+        let objects = resample_positions(&heavy, n, 900 + n as u64);
+        d.with_objects(objects)
+    };
+
+    // Reference: n = 20, τ = 0.7.
+    let reference_problem = problem(
+        &instance(20),
+        candidates.clone(),
+        PowerLawPf::paper_default(),
+        0.7,
+    );
+    let reference = reference_problem.solve(Algorithm::PinocchioVo);
+    println!(
+        "reference: n = 20, tau = 0.70 -> max influence {}\n",
+        reference.max_influence
+    );
+
+    // Tune τ for each n to hit the reference influence.
+    let mut table = Table::new(
+        "Fig. 13a: tuned <n, tau> level curve",
+        &["n", "tau", "max inf", "PIN-VO", "best location"],
+    );
+    let (mut ns, mut taus) = (Vec::new(), Vec::new());
+    let mut optima: Vec<Point> = Vec::new();
+    let mut rec = Vec::new();
+    for n in [10usize, 20, 30, 40, 50] {
+        let sub = instance(n);
+        let (tau, influence) = if n == 20 {
+            (0.7, reference.max_influence)
+        } else {
+            tune_tau(
+                |tau| {
+                    problem(&sub, candidates.clone(), PowerLawPf::paper_default(), tau)
+                        .solve(Algorithm::PinocchioVo)
+                        .max_influence
+                },
+                reference.max_influence,
+                0.01,
+                0.99,
+                24,
+            )
+        };
+        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), tau);
+        let (r, secs) = timed_solve(&p, Algorithm::PinocchioVo);
+        table.push_row(vec![
+            n.to_string(),
+            format!("{tau:.3}"),
+            influence.to_string(),
+            fmt_secs(secs),
+            r.best_location.to_string(),
+        ]);
+        ns.push(n as f64);
+        taus.push(tau);
+        optima.push(r.best_location);
+        rec.push(serde_json::json!({
+            "n": n, "tau": tau, "max_influence": influence, "vo_secs": secs,
+        }));
+    }
+    println!("{table}");
+
+    let (mut sum, mut max, mut cnt) = (0.0f64, 0.0f64, 0);
+    for i in 0..optima.len() {
+        for j in (i + 1)..optima.len() {
+            let dist = optima[i].euclidean(&optima[j]);
+            sum += dist;
+            max = max.max(dist);
+            cnt += 1;
+        }
+    }
+    println!(
+        "optimal locations along the curve: avg pairwise distance {:.2} km, max {:.2} km\n",
+        sum / cnt as f64,
+        max
+    );
+
+    // (b) polynomial fit of τ(n), validated on intermediate n.
+    let poly = Polynomial::fit(&ns, &taus, 2);
+    println!("Fig. 13b: quadratic fit tau(n) = {poly}");
+    let mut fit_table = Table::new(
+        "fit validation at intermediate n",
+        &["n", "predicted tau", "max inf at predicted tau", "influence error %"],
+    );
+    let mut rec_fit = Vec::new();
+    for n in [15usize, 25, 35, 45] {
+        let predicted = poly.eval(n as f64).clamp(0.01, 0.99);
+        let sub = instance(n);
+        let inf = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), predicted)
+            .solve(Algorithm::PinocchioVo)
+            .max_influence;
+        let err = (inf as f64 - reference.max_influence as f64).abs()
+            / reference.max_influence.max(1) as f64
+            * 100.0;
+        fit_table.push_row(vec![
+            n.to_string(),
+            format!("{predicted:.3}"),
+            inf.to_string(),
+            format!("{err:.1}"),
+        ]);
+        rec_fit.push(serde_json::json!({
+            "n": n, "predicted_tau": predicted, "max_influence": inf, "error_pct": err,
+        }));
+    }
+    println!("{fit_table}");
+
+    write_record(
+        "fig13_level_curve",
+        &serde_json::json!({
+            "reference_influence": reference.max_influence,
+            "level_curve": rec,
+            "optima_distance_km": { "avg": sum / cnt as f64, "max": max },
+            "fit_coefficients": poly.coefficients(),
+            "fit_validation": rec_fit,
+        }),
+    );
+}

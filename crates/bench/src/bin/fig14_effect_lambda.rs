@@ -1,0 +1,52 @@
+//! Fig. 14 — effect of the power-law exponent λ.
+//!
+//! PIN-VO running time and maximum influence for λ ∈ {0.75, 1.0, 1.25}
+//! on both datasets (ρ = 0.9, τ = 0.7).
+//!
+//! Expected shape (paper): similar running times across λ; maximum
+//! influence *drops* as λ grows (faster decay ⇒ lower cumulative
+//! probabilities), falling more steeply on Gowalla, whose objects have
+//! fewer positions.
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::sample_candidate_group;
+use pinocchio_eval::Table;
+use pinocchio_prob::PowerLawPf;
+
+fn main() {
+    let lambdas = [0.75, 1.0, 1.25];
+    let mut record = serde_json::Map::new();
+    for kind in [DatasetKind::Foursquare, DatasetKind::Gowalla] {
+        let d = dataset(kind);
+        let (_, candidates) =
+            sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 14);
+        let total = d.objects().len() as f64;
+        let mut table = Table::new(
+            format!("Fig. 14 ({}): effect of lambda", kind.letter()),
+            &["lambda", "PIN-VO", "max inf", "inf %"],
+        );
+        let mut per_kind = Vec::new();
+        for &lambda in &lambdas {
+            let p = problem(
+                &d,
+                candidates.clone(),
+                PowerLawPf::with_lambda(lambda),
+                defaults::TAU,
+            );
+            let (r, secs) = timed_solve(&p, Algorithm::PinocchioVo);
+            table.push_row(vec![
+                format!("{lambda:.2}"),
+                fmt_secs(secs),
+                r.max_influence.to_string(),
+                format!("{:.1}", r.max_influence as f64 / total * 100.0),
+            ]);
+            per_kind.push(serde_json::json!({
+                "lambda": lambda, "vo_secs": secs, "max_influence": r.max_influence,
+            }));
+        }
+        println!("{table}");
+        record.insert(kind.letter().to_string(), serde_json::json!(per_kind));
+    }
+    write_record("fig14_effect_lambda", &serde_json::Value::Object(record));
+}

@@ -1,0 +1,77 @@
+//! Table 2 — "Description of Real-World Datasets".
+//!
+//! Prints the statistics of the two synthetic datasets in the paper's
+//! Table 2 layout, plus the §4.3 coverage figures the pruning analysis
+//! relies on. Compare against the paper's reported values:
+//!
+//! |                | Foursquare (F) | Gowalla (G) |
+//! |----------------|----------------|-------------|
+//! | user count     | 2,321          | 10,162      |
+//! | venue count    | 5,594          | 24,081      |
+//! | check-ins      | 167,231        | 381,165     |
+//! | avg. check-ins | 72             | 37          |
+//! | min check-ins  | 3              | 2           |
+//! | max check-ins  | 661            | 780         |
+
+use pinocchio_bench::{dataset, write_record, DatasetKind};
+use pinocchio_data::DatasetStats;
+use pinocchio_eval::Table;
+
+fn main() {
+    let f = DatasetStats::of(&dataset(DatasetKind::Foursquare));
+    let g = DatasetStats::of(&dataset(DatasetKind::Gowalla));
+
+    let mut table = Table::new(
+        "Table 2: dataset description (synthetic, paper-calibrated)",
+        &["", "Foursquare(F)", "Gowalla(G)"],
+    );
+    let row = |label: &str, a: String, b: String| vec![label.to_string(), a, b];
+    table.push_row(row("user count", f.users.to_string(), g.users.to_string()));
+    table.push_row(row("venue count", f.venues.to_string(), g.venues.to_string()));
+    table.push_row(row("check-ins", f.checkins.to_string(), g.checkins.to_string()));
+    table.push_row(row(
+        "avg. check-ins",
+        format!("{:.0}", f.avg_checkins),
+        format!("{:.0}", g.avg_checkins),
+    ));
+    table.push_row(row(
+        "min check-ins",
+        f.min_checkins.to_string(),
+        g.min_checkins.to_string(),
+    ));
+    table.push_row(row(
+        "max check-ins",
+        f.max_checkins.to_string(),
+        g.max_checkins.to_string(),
+    ));
+    table.push_row(row(
+        "frame (km)",
+        format!("{:.2} x {:.2}", f.frame_width_km, f.frame_height_km),
+        format!("{:.2} x {:.2}", g.frame_width_km, g.frame_height_km),
+    ));
+    table.push_row(row(
+        "avg object MBR (km)",
+        format!("{:.2} x {:.2}", f.avg_object_width_km, f.avg_object_height_km),
+        format!("{:.2} x {:.2}", g.avg_object_width_km, g.avg_object_height_km),
+    ));
+    println!("{table}");
+
+    let json = |s: &DatasetStats| {
+        serde_json::json!({
+            "name": s.name,
+            "users": s.users,
+            "venues": s.venues,
+            "checkins": s.checkins,
+            "avg_checkins": s.avg_checkins,
+            "min_checkins": s.min_checkins,
+            "max_checkins": s.max_checkins,
+            "frame_km": [s.frame_width_km, s.frame_height_km],
+            "avg_object_mbr_km": [s.avg_object_width_km, s.avg_object_height_km],
+            "avg_coverage": s.avg_coverage(),
+        })
+    };
+    write_record(
+        "table2_datasets",
+        &serde_json::json!({ "foursquare": json(&f), "gowalla": json(&g) }),
+    );
+}

@@ -1,0 +1,101 @@
+//! Tables 3 and 4 — Precision@K and AveragePrecision@K of PRIME-LS vs
+//! the RANGE and BRNN* semantics (§6.2, "Comparison between Different
+//! Semantics").
+//!
+//! Protocol (paper): 200-candidate groups sampled uniformly from
+//! check-in coordinates; ground truth = actual check-in counts at the
+//! candidates; K = 10..50; RANGE averaged over its nine parameter
+//! combinations; results averaged over 50 random candidate groups;
+//! Foursquare dataset (Gowalla reported as "qualitatively similar").
+
+use pinocchio_baselines::{brnn_star, range_nine_combo_rankings, rank_descending};
+use pinocchio_bench::{dataset, is_small_scale, problem, write_record, DatasetKind};
+use pinocchio_core::Algorithm;
+use pinocchio_data::{sample_candidate_group, DatasetStats};
+use pinocchio_eval::{average_precision_at_k, precision_at_k, relevant_ranking, Table};
+use pinocchio_prob::PowerLawPf;
+
+const KS: [usize; 5] = [10, 20, 30, 40, 50];
+
+fn main() {
+    let d = dataset(DatasetKind::Foursquare);
+    let stats = DatasetStats::of(&d);
+    let scale = stats.frame_width_km.max(stats.frame_height_km);
+    let groups: u64 = if is_small_scale() { 10 } else { 50 };
+    let group_size = 200.min(d.venues().len());
+
+    // [method][k] accumulators.
+    let mut p = [[0.0f64; 5]; 3];
+    let mut ap = [[0.0f64; 5]; 3];
+
+    for g in 0..groups {
+        let (venue_indices, candidates) = sample_candidate_group(&d, group_size, 0xCAFE + g);
+        let relevant = relevant_ranking(&d, &venue_indices);
+
+        let prime_rank = problem(&d, candidates.clone(), PowerLawPf::paper_default(), 0.7)
+            .solve(Algorithm::Pinocchio)
+            .ranking()
+            .expect("PIN reports exact influences");
+        let nine = range_nine_combo_rankings(d.objects(), &candidates, scale);
+        let brnn_rank = rank_descending(&brnn_star(d.objects(), &candidates));
+
+        for (ki, &k) in KS.iter().enumerate() {
+            p[0][ki] += precision_at_k(&prime_rank, &relevant, k);
+            ap[0][ki] += average_precision_at_k(&prime_rank, &relevant, k);
+            p[1][ki] += nine
+                .iter()
+                .map(|r| precision_at_k(r, &relevant, k))
+                .sum::<f64>()
+                / nine.len() as f64;
+            ap[1][ki] += nine
+                .iter()
+                .map(|r| average_precision_at_k(r, &relevant, k))
+                .sum::<f64>()
+                / nine.len() as f64;
+            p[2][ki] += precision_at_k(&brnn_rank, &relevant, k);
+            ap[2][ki] += average_precision_at_k(&brnn_rank, &relevant, k);
+        }
+    }
+    let n = groups as f64;
+    for row in p.iter_mut().chain(ap.iter_mut()) {
+        for cell in row.iter_mut() {
+            *cell /= n;
+        }
+    }
+
+    let labels = ["Prime-ls", "Avg. range", "brnn*"];
+    let header = ["method", "@10", "@20", "@30", "@40", "@50"];
+    let mut t3 = Table::new(
+        format!("Table 3: Precision@K ({} groups of {group_size} candidates)", groups),
+        &header,
+    );
+    let mut t4 = Table::new("Table 4: Average Precision@K", &header);
+    for (i, label) in labels.iter().enumerate() {
+        t3.push_row(
+            std::iter::once(label.to_string())
+                .chain(p[i].iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
+        t4.push_row(
+            std::iter::once(label.to_string())
+                .chain(ap[i].iter().map(|v| format!("{v:.3}")))
+                .collect(),
+        );
+    }
+    let mut random_row = vec!["random".to_string()];
+    random_row.extend(KS.iter().map(|&k| format!("{:.3}", k as f64 / group_size as f64)));
+    t3.push_row(random_row);
+    println!("{t3}");
+    println!("{t4}");
+
+    write_record(
+        "table34_precision",
+        &serde_json::json!({
+            "groups": groups,
+            "group_size": group_size,
+            "ks": KS,
+            "precision": { "prime_ls": p[0], "avg_range": p[1], "brnn_star": p[2] },
+            "avg_precision": { "prime_ls": ap[0], "avg_range": ap[1], "brnn_star": ap[2] },
+        }),
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 5 — "Five Groups": Gowalla objects bucketed by position count.
+//!
+//! Paper values: [1,10): 2,501  [10,30): 4,325  [30,50): 1,337
+//! `[50,70)`: 655  `[70,780]`: 1,344.
+
+use pinocchio_bench::{dataset, write_record, DatasetKind};
+use pinocchio_data::{group_by_position_count, TABLE5_BOUNDS};
+use pinocchio_eval::Table;
+
+fn main() {
+    let d = dataset(DatasetKind::Gowalla);
+    let groups = group_by_position_count(&d, &TABLE5_BOUNDS);
+
+    let mut table = Table::new(
+        "Table 5: Gowalla-like objects grouped by number of positions",
+        &["# of positions", "# of objects"],
+    );
+    for g in &groups {
+        table.push_row(vec![format!("[{}, {})", g.lo, g.hi), g.object_indices.len().to_string()]);
+    }
+    table.push_row(vec!["total".into(), d.objects().len().to_string()]);
+    println!("{table}");
+
+    write_record(
+        "table5_groups",
+        &serde_json::json!({
+            "bounds": TABLE5_BOUNDS,
+            "counts": groups.iter().map(|g| g.object_indices.len()).collect::<Vec<_>>(),
+            "total": d.objects().len(),
+        }),
+    );
+}

@@ -1,0 +1,598 @@
+//! Incremental PRIME-LS for dynamic scenarios — the paper's stated
+//! future work (§7: "we plan to study incremental solution towards
+//! PRIME-LS in dynamic scenarios, where candidate locations, objects as
+//! well as their positions keep on changing").
+//!
+//! [`DynamicPrimeLs`] maintains the *exact* per-candidate influence
+//! counts under four kinds of updates:
+//!
+//! * object insertion / removal,
+//! * appending a freshly observed position to an object,
+//! * candidate insertion / removal.
+//!
+//! The maintained state is a per-object bitmask of the candidates that
+//! influence it, so removals are O(m/64) and the optimal candidate is
+//! always available exactly. Updates reuse the static machinery — the
+//! per-object pruning regions classify most candidates without any
+//! probability computation — plus one incremental theorem:
+//!
+//! > **Monotonicity under growth** (from Definition 1): appending a
+//! > position never decreases `Pr_c(O)`, so a candidate that influences
+//! > `O` keeps influencing it. Only the currently *non-influencing*
+//! > candidates need rechecking when a position arrives.
+//!
+//! Every operation leaves the structure in a state identical to
+//! rebuilding from scratch (asserted extensively by the tests).
+
+use crate::result::Algorithm;
+use pinocchio_data::MovingObject;
+use pinocchio_geo::{InfluenceRegions, Point, RegionVerdict};
+use pinocchio_prob::{min_max_radius, CumulativeProbability, ProbabilityFunction};
+
+/// Handle to an object slot in a [`DynamicPrimeLs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectHandle(usize);
+
+/// Handle to a candidate slot in a [`DynamicPrimeLs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidateHandle(usize);
+
+/// One live object row: the object plus its cached pruning geometry and
+/// the bitmask of candidate slots it is currently influenced by.
+#[derive(Debug, Clone)]
+struct ObjectRow {
+    object: MovingObject,
+    /// `None` when the object can never be influenced at the current τ.
+    regions: Option<InfluenceRegions>,
+    /// Bit `j` set ⇔ candidate slot `j` influences this object.
+    influenced_by: Vec<u64>,
+}
+
+/// Exact, incrementally maintained PRIME-LS state.
+///
+/// All coordinates are planar kilometres, matching the static solvers.
+///
+/// ```
+/// use pinocchio_core::DynamicPrimeLs;
+/// use pinocchio_data::MovingObject;
+/// use pinocchio_geo::Point;
+/// use pinocchio_prob::PowerLawPf;
+///
+/// let mut state = DynamicPrimeLs::new(PowerLawPf::paper_default(), 0.7);
+/// let kiosk = state.insert_candidate(Point::new(0.0, 0.0));
+/// let user = state.insert_object(MovingObject::new(0, vec![Point::new(40.0, 0.0)]));
+/// assert_eq!(state.influence(kiosk), 0); // too far away
+///
+/// // The user checks in right next to the kiosk: PF(0.1) ≈ 0.82 ≥ 0.7.
+/// state.append_position(user, Point::new(0.1, 0.0));
+/// assert_eq!(state.influence(kiosk), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicPrimeLs<P> {
+    pf: P,
+    tau: f64,
+    objects: Vec<Option<ObjectRow>>,
+    candidates: Vec<Option<Point>>,
+    /// Exact `inf(c)` per candidate slot (0 for freed slots).
+    influences: Vec<u32>,
+    live_objects: usize,
+}
+
+impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
+    /// Creates an empty dynamic instance.
+    ///
+    /// # Panics
+    /// Panics unless `τ ∈ (0, 1)`.
+    pub fn new(pf: P, tau: f64) -> Self {
+        assert!(tau > 0.0 && tau < 1.0, "tau must be in (0, 1), got {tau}");
+        DynamicPrimeLs {
+            pf,
+            tau,
+            objects: Vec::new(),
+            candidates: Vec::new(),
+            influences: Vec::new(),
+            live_objects: 0,
+        }
+    }
+
+    /// Bootstraps from a static problem description.
+    pub fn from_parts(
+        pf: P,
+        tau: f64,
+        objects: Vec<MovingObject>,
+        candidates: Vec<Point>,
+    ) -> (Self, Vec<ObjectHandle>, Vec<CandidateHandle>) {
+        let mut this = Self::new(pf, tau);
+        let cands: Vec<CandidateHandle> = candidates
+            .into_iter()
+            .map(|c| this.insert_candidate(c))
+            .collect();
+        let objs: Vec<ObjectHandle> =
+            objects.into_iter().map(|o| this.insert_object(o)).collect();
+        (this, objs, cands)
+    }
+
+    fn evaluator(&self) -> CumulativeProbability<P, pinocchio_geo::Euclidean> {
+        CumulativeProbability::new(self.pf.clone(), pinocchio_geo::Euclidean)
+    }
+
+    /// The influence threshold.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.live_objects
+    }
+
+    /// Number of live candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.iter().flatten().count()
+    }
+
+    /// Exact influence of a candidate.
+    ///
+    /// # Panics
+    /// Panics on a stale (removed) handle.
+    pub fn influence(&self, c: CandidateHandle) -> u32 {
+        assert!(self.candidates[c.0].is_some(), "stale candidate handle");
+        self.influences[c.0]
+    }
+
+    /// The current optimum `(handle, location, influence)`, ties broken
+    /// towards the older (smaller-slot) candidate; `None` when no live
+    /// candidate exists.
+    pub fn best(&self) -> Option<(CandidateHandle, Point, u32)> {
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(j, c)| c.map(|point| (j, point)))
+            .max_by(|a, b| {
+                self.influences[a.0]
+                    .cmp(&self.influences[b.0])
+                    .then(b.0.cmp(&a.0))
+            })
+            .map(|(j, point)| (CandidateHandle(j), point, self.influences[j]))
+    }
+
+    // ---- bitmask helpers ------------------------------------------------
+
+    fn mask_words(&self) -> usize {
+        self.candidates.len().div_ceil(64)
+    }
+
+    fn bit(mask: &[u64], j: usize) -> bool {
+        mask.get(j / 64).is_some_and(|w| w >> (j % 64) & 1 == 1)
+    }
+
+    fn set_bit(mask: &mut Vec<u64>, j: usize) {
+        if mask.len() <= j / 64 {
+            mask.resize(j / 64 + 1, 0);
+        }
+        mask[j / 64] |= 1 << (j % 64);
+    }
+
+    fn clear_bit(mask: &mut [u64], j: usize) {
+        if let Some(w) = mask.get_mut(j / 64) {
+            *w &= !(1 << (j % 64));
+        }
+    }
+
+    // ---- object updates -------------------------------------------------
+
+    /// Inserts an object, classifying every live candidate through the
+    /// pruning regions and validating only the undecided ones.
+    pub fn insert_object(&mut self, object: MovingObject) -> ObjectHandle {
+        let regions = min_max_radius(&self.pf, self.tau, object.position_count())
+            .map(|mu| InfluenceRegions::new(object.mbr(), mu));
+        let mut row = ObjectRow {
+            object,
+            regions,
+            influenced_by: vec![0; self.mask_words()],
+        };
+        self.classify_candidates_into(&mut row, None);
+        for w in 0..row.influenced_by.len() {
+            let mut bits = row.influenced_by[w];
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                self.influences[j] += 1;
+                bits &= bits - 1;
+            }
+        }
+        self.live_objects += 1;
+        let handle = ObjectHandle(self.objects.len());
+        self.objects.push(Some(row));
+        handle
+    }
+
+    /// Removes an object, subtracting its influence contributions.
+    ///
+    /// # Panics
+    /// Panics on a stale handle.
+    pub fn remove_object(&mut self, handle: ObjectHandle) -> MovingObject {
+        let row = self.objects[handle.0]
+            .take()
+            .expect("stale object handle");
+        for (w, &bits) in row.influenced_by.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                self.influences[j] -= 1;
+                bits &= bits - 1;
+            }
+        }
+        self.live_objects -= 1;
+        row.object
+    }
+
+    /// Appends a freshly observed position to an object.
+    ///
+    /// By monotonicity only candidates that did *not* influence the
+    /// object can change state, and they can only gain influence —
+    /// the bitmask grows, never shrinks.
+    ///
+    /// # Panics
+    /// Panics on a stale handle or a non-finite position.
+    pub fn append_position(&mut self, handle: ObjectHandle, position: Point) {
+        assert!(position.is_finite(), "non-finite position");
+        let mut row = self.objects[handle.0]
+            .take()
+            .expect("stale object handle");
+        let mut positions = row.object.positions().to_vec();
+        positions.push(position);
+        row.object = MovingObject::new(row.object.id(), positions);
+        // n changed ⇒ minMaxRadius changed; MBR may have grown.
+        row.regions = min_max_radius(&self.pf, self.tau, row.object.position_count())
+            .map(|mu| InfluenceRegions::new(row.object.mbr(), mu));
+        let previously = row.influenced_by.clone();
+        self.classify_candidates_into(&mut row, Some(&previously));
+        // Count the newly gained candidates.
+        for (w, (&now, &before)) in row.influenced_by.iter().zip(&previously).enumerate() {
+            debug_assert_eq!(now & before, before, "influence must be monotone");
+            let mut gained = now & !before;
+            while gained != 0 {
+                let j = w * 64 + gained.trailing_zeros() as usize;
+                self.influences[j] += 1;
+                gained &= gained - 1;
+            }
+        }
+        self.objects[handle.0] = Some(row);
+    }
+
+    /// Recomputes `row.influenced_by`. With `skip_influenced`, bits
+    /// already set in the given previous mask are kept without
+    /// re-validation (the monotone append path).
+    fn classify_candidates_into(&self, row: &mut ObjectRow, skip_influenced: Option<&[u64]>) {
+        let eval = self.evaluator();
+        let words = self.mask_words();
+        row.influenced_by.resize(words, 0);
+        for (j, cand) in self.candidates.iter().enumerate() {
+            let Some(c) = cand else { continue };
+            if let Some(prev) = skip_influenced {
+                if Self::bit(prev, j) {
+                    Self::set_bit(&mut row.influenced_by, j);
+                    continue;
+                }
+            }
+            let influenced = match &row.regions {
+                None => false,
+                Some(regions) => match regions.classify(c) {
+                    RegionVerdict::Influences => true,
+                    RegionVerdict::CannotInfluence => false,
+                    RegionVerdict::Undecided => {
+                        eval.influences_early_stop(c, row.object.positions(), self.tau)
+                            .influenced
+                    }
+                },
+            };
+            if influenced {
+                Self::set_bit(&mut row.influenced_by, j);
+            } else {
+                Self::clear_bit(&mut row.influenced_by, j);
+            }
+        }
+    }
+
+    // ---- candidate updates ----------------------------------------------
+
+    /// Inserts a candidate, computing its exact influence against every
+    /// live object (classification first, validation only when needed).
+    ///
+    /// # Panics
+    /// Panics on a non-finite location.
+    pub fn insert_candidate(&mut self, location: Point) -> CandidateHandle {
+        assert!(location.is_finite(), "non-finite candidate");
+        // Reuse a freed slot when available so bitmasks stay compact.
+        let j = match self.candidates.iter().position(Option::is_none) {
+            Some(j) => {
+                self.candidates[j] = Some(location);
+                j
+            }
+            None => {
+                self.candidates.push(Some(location));
+                self.influences.push(0);
+                self.candidates.len() - 1
+            }
+        };
+        let eval = self.evaluator();
+        let mut influence = 0u32;
+        let tau = self.tau;
+        for row in self.objects.iter_mut().flatten() {
+            let influenced = match &row.regions {
+                None => false,
+                Some(regions) => match regions.classify(&location) {
+                    RegionVerdict::Influences => true,
+                    RegionVerdict::CannotInfluence => false,
+                    RegionVerdict::Undecided => {
+                        eval.influences_early_stop(&location, row.object.positions(), tau)
+                            .influenced
+                    }
+                },
+            };
+            if influenced {
+                Self::set_bit(&mut row.influenced_by, j);
+                influence += 1;
+            } else {
+                Self::clear_bit(&mut row.influenced_by, j);
+            }
+        }
+        self.influences[j] = influence;
+        CandidateHandle(j)
+    }
+
+    /// Removes a candidate.
+    ///
+    /// # Panics
+    /// Panics on a stale handle.
+    pub fn remove_candidate(&mut self, handle: CandidateHandle) -> Point {
+        let location = self.candidates[handle.0]
+            .take()
+            .expect("stale candidate handle");
+        self.influences[handle.0] = 0;
+        for row in self.objects.iter_mut().flatten() {
+            Self::clear_bit(&mut row.influenced_by, handle.0);
+        }
+        location
+    }
+
+    // ---- verification -----------------------------------------------
+
+    /// Rebuilds the influence counts from scratch with the static solver
+    /// and asserts they match the incremental state. Test/debug aid;
+    /// O(full solve).
+    pub fn verify_against_static(&self) {
+        let objects: Vec<MovingObject> = self
+            .objects
+            .iter()
+            .flatten()
+            .map(|r| r.object.clone())
+            .collect();
+        let live: Vec<(usize, Point)> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(j, c)| c.map(|p| (j, p)))
+            .collect();
+        if objects.is_empty() || live.is_empty() {
+            for (j, _) in &live {
+                assert_eq!(self.influences[*j], 0, "slot {j}");
+            }
+            return;
+        }
+        let problem = crate::problem::PrimeLs::builder()
+            .objects(objects)
+            .candidates(live.iter().map(|&(_, p)| p).collect())
+            .probability_function(self.pf.clone())
+            .tau(self.tau)
+            .build()
+            .expect("well-formed");
+        let reference = problem
+            .solve(Algorithm::Pinocchio)
+            .influences
+            .expect("PIN reports all influences");
+        for (k, (j, _)) in live.iter().enumerate() {
+            assert_eq!(
+                self.influences[*j], reference[k],
+                "influence mismatch at slot {j}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_prob::PowerLawPf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng_object(rng: &mut StdRng, id: u64) -> MovingObject {
+        let n = rng.gen_range(1..12);
+        MovingObject::new(
+            id,
+            (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)))
+                .collect(),
+        )
+    }
+
+    fn fresh(tau: f64) -> DynamicPrimeLs<PowerLawPf> {
+        DynamicPrimeLs::new(PowerLawPf::paper_default(), tau)
+    }
+
+    #[test]
+    fn empty_state() {
+        let d = fresh(0.7);
+        assert_eq!(d.object_count(), 0);
+        assert_eq!(d.candidate_count(), 0);
+        assert_eq!(d.best(), None);
+        d.verify_against_static();
+    }
+
+    #[test]
+    fn insertions_match_static_solver() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = fresh(0.7);
+        for k in 0..10 {
+            d.insert_candidate(Point::new(
+                rng.gen_range(0.0..30.0),
+                rng.gen_range(0.0..20.0),
+            ));
+            if k % 2 == 0 {
+                d.verify_against_static();
+            }
+        }
+        for i in 0..25 {
+            d.insert_object(rng_object(&mut rng, i));
+            if i % 5 == 0 {
+                d.verify_against_static();
+            }
+        }
+        d.verify_against_static();
+        assert_eq!(d.object_count(), 25);
+        assert_eq!(d.candidate_count(), 10);
+    }
+
+    #[test]
+    fn removals_match_static_solver() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = fresh(0.5);
+        let cands: Vec<_> = (0..8)
+            .map(|_| {
+                d.insert_candidate(Point::new(
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.0..20.0),
+                ))
+            })
+            .collect();
+        let objs: Vec<_> = (0..20).map(|i| d.insert_object(rng_object(&mut rng, i))).collect();
+        d.verify_against_static();
+
+        for &h in objs.iter().step_by(3) {
+            d.remove_object(h);
+        }
+        d.verify_against_static();
+        d.remove_candidate(cands[2]);
+        d.remove_candidate(cands[5]);
+        d.verify_against_static();
+        assert_eq!(d.candidate_count(), 6);
+    }
+
+    #[test]
+    fn append_position_is_monotone_and_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = fresh(0.7);
+        for _ in 0..6 {
+            d.insert_candidate(Point::new(
+                rng.gen_range(0.0..30.0),
+                rng.gen_range(0.0..20.0),
+            ));
+        }
+        let handles: Vec<_> =
+            (0..10).map(|i| d.insert_object(rng_object(&mut rng, i))).collect();
+        d.verify_against_static();
+
+        for step in 0..30 {
+            let h = handles[step % handles.len()];
+            d.append_position(
+                h,
+                Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)),
+            );
+            if step % 6 == 0 {
+                d.verify_against_static();
+            }
+        }
+        d.verify_against_static();
+    }
+
+    #[test]
+    fn appending_near_a_candidate_gains_influence() {
+        let mut d = fresh(0.7);
+        let c = d.insert_candidate(Point::new(0.0, 0.0));
+        let o = d.insert_object(MovingObject::new(0, vec![Point::new(50.0, 50.0)]));
+        assert_eq!(d.influence(c), 0);
+        // One position right on the candidate: PF(0) = 0.9 ≥ 0.7.
+        d.append_position(o, Point::new(0.0, 0.0));
+        assert_eq!(d.influence(c), 1);
+        d.verify_against_static();
+    }
+
+    #[test]
+    fn slot_reuse_after_candidate_removal() {
+        let mut d = fresh(0.7);
+        let a = d.insert_candidate(Point::new(0.0, 0.0));
+        let _b = d.insert_candidate(Point::new(10.0, 0.0));
+        d.insert_object(MovingObject::new(0, vec![Point::new(0.1, 0.0)]));
+        assert_eq!(d.influence(a), 1);
+        d.remove_candidate(a);
+        // New candidate reuses slot 0 and must get a fresh, correct count.
+        let c = d.insert_candidate(Point::new(0.2, 0.0));
+        assert_eq!(c, CandidateHandle(0));
+        assert_eq!(d.influence(c), 1);
+        d.verify_against_static();
+    }
+
+    #[test]
+    fn best_tracks_updates() {
+        let mut d = fresh(0.6);
+        let west = d.insert_candidate(Point::new(0.0, 0.0));
+        let east = d.insert_candidate(Point::new(20.0, 0.0));
+        for i in 0..3 {
+            d.insert_object(MovingObject::new(i, vec![Point::new(0.1 * i as f64, 0.0)]));
+        }
+        let (h, _, inf) = d.best().unwrap();
+        assert_eq!(h, west);
+        assert_eq!(inf, 3);
+        // Shift the world east.
+        let handles: Vec<_> = (3..8)
+            .map(|i| {
+                // y ∈ {0.0 .. 0.4}: PF(0.4) = 0.9/1.4 ≈ 0.64 ≥ 0.6.
+                d.insert_object(MovingObject::new(
+                    i,
+                    vec![Point::new(20.0, 0.1 * (i - 3) as f64)],
+                ))
+            })
+            .collect();
+        let (h, _, inf) = d.best().unwrap();
+        assert_eq!(h, east);
+        assert_eq!(inf, 5);
+        for h in handles {
+            d.remove_object(h);
+        }
+        assert_eq!(d.best().unwrap().0, west);
+        d.verify_against_static();
+    }
+
+    #[test]
+    fn uninfluenceable_objects_can_become_influenceable() {
+        // τ = 0.95 > PF(0): a single-position object can never be
+        // influenced, but appending a second position changes that.
+        let mut d = fresh(0.95);
+        let c = d.insert_candidate(Point::new(0.0, 0.0));
+        let o = d.insert_object(MovingObject::new(0, vec![Point::new(0.0, 0.1)]));
+        assert_eq!(d.influence(c), 0);
+        d.append_position(o, Point::new(0.1, 0.0));
+        // Two positions at ~0.1 km: 1 − (1 − 0.9/1.1)² ≈ 0.967 ≥ 0.95.
+        assert_eq!(d.influence(c), 1);
+        d.verify_against_static();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale object handle")]
+    fn stale_object_handle_rejected() {
+        let mut d = fresh(0.7);
+        let o = d.insert_object(MovingObject::new(0, vec![Point::ORIGIN]));
+        d.remove_object(o);
+        d.remove_object(o);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale candidate handle")]
+    fn stale_candidate_handle_rejected() {
+        let mut d = fresh(0.7);
+        let c = d.insert_candidate(Point::ORIGIN);
+        d.remove_candidate(c);
+        let _ = d.influence(c);
+    }
+}

@@ -1,0 +1,125 @@
+//! NA — the exhaustive baseline (§6.1).
+//!
+//! Computes the cumulative influence probability for every
+//! object–candidate pair and picks the candidate with the highest
+//! influence. `O(m · r · n̄)` position evaluations; the yardstick every
+//! other solver is measured against, and the correctness oracle for the
+//! test suite.
+
+use crate::problem::PrimeLs;
+use crate::result::{Algorithm, SolveResult, SolveStats};
+use pinocchio_prob::ProbabilityFunction;
+use std::time::Instant;
+
+/// Runs the NA algorithm.
+pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResult {
+    let start = Instant::now();
+    let eval = problem.evaluator();
+    let tau = problem.tau();
+    let mut stats = SolveStats::default();
+
+    let mut influences = vec![0u32; problem.candidates().len()];
+    for object in problem.objects() {
+        let positions = object.positions();
+        for (j, c) in problem.candidates().iter().enumerate() {
+            stats.validated_pairs += 1;
+            stats.positions_evaluated += positions.len() as u64;
+            if eval.influences(c, positions, tau) {
+                influences[j] += 1;
+            }
+        }
+    }
+
+    let (best_candidate, &max_influence) = influences
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))) // ties → smallest index
+        .expect("at least one candidate by construction");
+
+    SolveResult {
+        algorithm: Algorithm::Naive,
+        best_candidate,
+        best_location: problem.candidates()[best_candidate],
+        max_influence,
+        influences: Some(influences),
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_data::MovingObject;
+    use pinocchio_geo::Point;
+    use pinocchio_prob::PowerLawPf;
+
+    fn problem() -> PrimeLs<PowerLawPf> {
+        // Object 0 clusters near (0,0); object 1 near (10,10); object 2
+        // has one position at each cluster.
+        PrimeLs::builder()
+            .objects(vec![
+                MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(0.5, 0.5)]),
+                MovingObject::new(1, vec![Point::new(10.0, 10.0), Point::new(10.5, 9.5)]),
+                MovingObject::new(2, vec![Point::new(0.2, 0.0), Point::new(10.0, 10.2)]),
+            ])
+            .candidates(vec![Point::new(0.2, 0.2), Point::new(10.2, 10.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_influences_exactly() {
+        let p = problem();
+        let r = solve(&p);
+        // Candidate 0 sits inside cluster A: influences objects 0 and 2
+        // (object 2's near position contributes PF(~0.28) ≈ 0.7 plus the
+        // far one) — verify against direct computation.
+        let eval = p.evaluator();
+        let mut expected = vec![0u32; 2];
+        for (j, c) in p.candidates().iter().enumerate() {
+            for o in p.objects() {
+                if eval.influences(c, o.positions(), p.tau()) {
+                    expected[j] += 1;
+                }
+            }
+        }
+        assert_eq!(r.influences.as_ref().unwrap(), &expected);
+        let max = *expected.iter().max().unwrap();
+        assert_eq!(r.max_influence, max);
+        assert_eq!(
+            r.best_candidate,
+            expected.iter().position(|&v| v == max).unwrap(),
+            "ties must break towards the smallest index"
+        );
+    }
+
+    #[test]
+    fn stats_count_all_pairs() {
+        let p = problem();
+        let r = solve(&p);
+        assert_eq!(r.stats.validated_pairs, 6); // 3 objects × 2 candidates
+        assert_eq!(r.stats.positions_evaluated, 12); // every pair scans 2 positions
+        assert_eq!(r.stats.pruned_pairs(), 0);
+    }
+
+    #[test]
+    fn multi_influence_is_possible() {
+        // A single candidate equidistant-ish from everything with a lax
+        // threshold influences multiple objects — the paper's key departure
+        // from BRNN semantics.
+        let p = PrimeLs::builder()
+            .objects(vec![
+                MovingObject::new(0, vec![Point::new(-1.0, 0.0)]),
+                MovingObject::new(1, vec![Point::new(1.0, 0.0)]),
+            ])
+            .candidates(vec![Point::new(0.0, 0.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.2)
+            .build()
+            .unwrap();
+        assert_eq!(solve(&p).max_influence, 2);
+    }
+}

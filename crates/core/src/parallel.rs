@@ -1,0 +1,230 @@
+//! Parallel influence counting — an extension beyond the paper.
+//!
+//! The paper's future work mentions scaling to dynamic scenarios; an
+//! obvious first step is exploiting cores. Influence counting is
+//! embarrassingly parallel over *objects*: each thread processes an
+//! object stripe against all candidates and produces a partial influence
+//! vector; vectors are summed at the end. The pruning rules apply
+//! per-object, so PINOCCHIO parallelises the same way.
+//!
+//! PINOCCHIO-VO is *not* parallelised here: Strategy 1's global
+//! `maxminInf` bound makes it inherently sequential — exactly the kind
+//! of design trade-off the `ablation_parallel` benchmark quantifies
+//! (pruned-but-parallel PIN vs sequential-but-adaptive VO).
+//!
+//! Scoped threads from `std` are used; the partial vectors are the only
+//! shared state and are owned per thread.
+
+use crate::problem::PrimeLs;
+use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::state::A2d;
+use pinocchio_index::RTree;
+use pinocchio_prob::ProbabilityFunction;
+use std::time::Instant;
+
+/// Parallel NA: exhaustive counting with `threads` worker threads.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn solve_naive<P: ProbabilityFunction + Clone + Sync>(
+    problem: &PrimeLs<P>,
+    threads: usize,
+) -> SolveResult {
+    assert!(threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+    let objects = problem.objects();
+    let chunk = objects.len().div_ceil(threads);
+
+    let partials: Vec<(Vec<u32>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = objects
+            .chunks(chunk.max(1))
+            .map(|stripe| {
+                let eval = problem.evaluator();
+                scope.spawn(move || {
+                    let mut inf = vec![0u32; m];
+                    let mut positions = 0u64;
+                    for o in stripe {
+                        for (j, c) in problem.candidates().iter().enumerate() {
+                            positions += o.position_count() as u64;
+                            if eval.influences(c, o.positions(), tau) {
+                                inf[j] += 1;
+                            }
+                        }
+                    }
+                    (inf, positions)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    finish(problem, partials, Algorithm::Naive, start, 0)
+}
+
+/// Parallel PINOCCHIO: per-object pruning and validation distributed
+/// over `threads` worker threads (the candidate R-tree is shared
+/// read-only).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
+    problem: &PrimeLs<P>,
+    threads: usize,
+) -> SolveResult {
+    assert!(threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+
+    let tree: RTree<usize> = problem
+        .candidates()
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| (c, j))
+        .collect();
+    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
+    let uninfluenceable = (a2d.entries().len() - a2d.influenceable()) as u64;
+    let entries = a2d.entries();
+    let chunk = entries.len().div_ceil(threads);
+
+    let partials: Vec<(Vec<u32>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk.max(1))
+            .map(|stripe| {
+                let eval = problem.evaluator();
+                let tree = &tree;
+                scope.spawn(move || {
+                    let mut inf = vec![0u32; m];
+                    let mut positions = 0u64;
+                    let mut undecided: Vec<usize> = Vec::new();
+                    for entry in stripe {
+                        let Some(regions) = entry.regions else { continue };
+                        let object = &problem.objects()[entry.index];
+                        undecided.clear();
+                        tree.query_region(
+                            |node| node.intersects(&regions.nib_mbr()),
+                            |p| regions.in_non_influence_boundary(p),
+                            &mut |p, &j| {
+                                if regions.in_influence_arcs(p) {
+                                    inf[j] += 1;
+                                } else {
+                                    undecided.push(j);
+                                }
+                            },
+                        );
+                        for &j in &undecided {
+                            positions += object.position_count() as u64;
+                            if eval.influences(
+                                &problem.candidates()[j],
+                                object.positions(),
+                                tau,
+                            ) {
+                                inf[j] += 1;
+                            }
+                        }
+                    }
+                    (inf, positions)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    finish(problem, partials, Algorithm::Pinocchio, start, uninfluenceable)
+}
+
+fn finish<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    partials: Vec<(Vec<u32>, u64)>,
+    algorithm: Algorithm,
+    start: Instant,
+    uninfluenceable: u64,
+) -> SolveResult {
+    let m = problem.candidates().len();
+    let mut influences = vec![0u32; m];
+    let mut positions_evaluated = 0;
+    for (partial, positions) in partials {
+        for (acc, v) in influences.iter_mut().zip(partial) {
+            *acc += v;
+        }
+        positions_evaluated += positions;
+    }
+    let (best_candidate, &max_influence) = influences
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .expect("at least one candidate");
+    SolveResult {
+        algorithm,
+        best_candidate,
+        best_location: problem.candidates()[best_candidate],
+        max_influence,
+        influences: Some(influences),
+        stats: SolveStats {
+            positions_evaluated,
+            uninfluenceable_objects: uninfluenceable,
+            ..Default::default()
+        },
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive, pinocchio};
+    use pinocchio_data::{GeneratorConfig, SyntheticGenerator};
+    use pinocchio_prob::PowerLawPf;
+
+    fn problem(seed: u64) -> PrimeLs<PowerLawPf> {
+        let d = SyntheticGenerator::new(GeneratorConfig::small(60, seed)).generate();
+        let (_, candidates) = pinocchio_data::sample_candidate_group(&d, 30, seed);
+        PrimeLs::builder()
+            .objects(d.objects().to_vec())
+            .candidates(candidates)
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_naive_matches_sequential() {
+        let p = problem(31);
+        let seq = naive::solve(&p);
+        for threads in [1, 2, 4, 7] {
+            let par = solve_naive(&p, threads);
+            assert_eq!(par.influences, seq.influences, "threads={threads}");
+            assert_eq!(par.best_candidate, seq.best_candidate);
+            assert_eq!(par.stats.positions_evaluated, seq.stats.positions_evaluated);
+        }
+    }
+
+    #[test]
+    fn parallel_pinocchio_matches_sequential() {
+        let p = problem(32);
+        let seq = pinocchio::solve(&p);
+        for threads in [1, 3, 8] {
+            let par = solve_pinocchio(&p, threads);
+            assert_eq!(par.influences, seq.influences, "threads={threads}");
+            assert_eq!(par.best_candidate, seq.best_candidate);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_objects_is_fine() {
+        let p = problem(33);
+        let par = solve_naive(&p, 500);
+        let seq = naive::solve(&p);
+        assert_eq!(par.influences, seq.influences);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let p = problem(34);
+        let _ = solve_naive(&p, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The PRIME-LS problem instance and its builder.
+
+use crate::result::{Algorithm, SolveResult};
+use pinocchio_data::MovingObject;
+use pinocchio_geo::Point;
+use pinocchio_prob::{CumulativeProbability, ProbabilityFunction};
+use std::fmt;
+
+/// Errors detected when assembling a [`PrimeLs`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No moving objects were supplied.
+    NoObjects,
+    /// No candidate locations were supplied.
+    NoCandidates,
+    /// `τ` outside the open interval `(0, 1)`.
+    InvalidTau(f64),
+    /// A candidate has a non-finite coordinate (index given).
+    NonFiniteCandidate(usize),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoObjects => write!(f, "PRIME-LS needs at least one moving object"),
+            BuildError::NoCandidates => write!(f, "PRIME-LS needs at least one candidate"),
+            BuildError::InvalidTau(t) => write!(f, "tau must be in (0, 1), got {t}"),
+            BuildError::NonFiniteCandidate(i) => {
+                write!(f, "candidate {i} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A fully specified PRIME-LS problem instance (Definition 3).
+///
+/// Holds the moving objects `Ω`, candidate locations `C`, probability
+/// function `PF` and threshold `τ`, and dispatches to the solvers.
+/// Coordinates are planar kilometres (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct PrimeLs<P> {
+    objects: Vec<MovingObject>,
+    candidates: Vec<Point>,
+    pf: P,
+    tau: f64,
+}
+
+impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
+    /// Starts building a problem instance.
+    pub fn builder() -> PrimeLsBuilder<P> {
+        PrimeLsBuilder::new()
+    }
+
+    /// The moving objects `Ω`.
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// The candidate locations `C`.
+    pub fn candidates(&self) -> &[Point] {
+        &self.candidates
+    }
+
+    /// The probability function `PF`.
+    pub fn pf(&self) -> &P {
+        &self.pf
+    }
+
+    /// The influence threshold `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The cumulative-probability evaluator used by all solvers
+    /// (Euclidean metric over the planar kilometre frame).
+    pub fn evaluator(&self) -> CumulativeProbability<P, pinocchio_geo::Euclidean> {
+        CumulativeProbability::new(self.pf.clone(), pinocchio_geo::Euclidean)
+    }
+
+    /// Solves the instance with the chosen algorithm.
+    pub fn solve(&self, algorithm: Algorithm) -> SolveResult {
+        match algorithm {
+            Algorithm::Naive => crate::naive::solve(self),
+            Algorithm::Pinocchio => crate::pinocchio::solve(self),
+            Algorithm::PinocchioVo => crate::vo::solve(self, true),
+            Algorithm::PinocchioVoStar => crate::vo::solve(self, false),
+        }
+    }
+
+    /// Exact per-candidate influence vector, computed with the pruned
+    /// PINOCCHIO algorithm. This is what the effectiveness experiments
+    /// (Tables 3–4) use to rank the top-K candidates.
+    pub fn all_influences(&self) -> Vec<u32> {
+        crate::pinocchio::solve(self)
+            .influences
+            .expect("PINOCCHIO reports exact influences for all candidates")
+    }
+}
+
+/// Builder for [`PrimeLs`]. All four components are mandatory.
+#[derive(Debug, Clone)]
+pub struct PrimeLsBuilder<P> {
+    objects: Vec<MovingObject>,
+    candidates: Vec<Point>,
+    pf: Option<P>,
+    tau: Option<f64>,
+}
+
+impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
+    fn new() -> Self {
+        PrimeLsBuilder {
+            objects: Vec::new(),
+            candidates: Vec::new(),
+            pf: None,
+            tau: None,
+        }
+    }
+
+    /// Sets the moving objects.
+    pub fn objects(mut self, objects: Vec<MovingObject>) -> Self {
+        self.objects = objects;
+        self
+    }
+
+    /// Sets the candidate locations.
+    pub fn candidates(mut self, candidates: Vec<Point>) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the probability function.
+    pub fn probability_function(mut self, pf: P) -> Self {
+        self.pf = Some(pf);
+        self
+    }
+
+    /// Sets the influence threshold `τ ∈ (0, 1)`.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.tau = Some(tau);
+        self
+    }
+
+    /// Validates and assembles the problem instance.
+    pub fn build(self) -> Result<PrimeLs<P>, BuildError> {
+        if self.objects.is_empty() {
+            return Err(BuildError::NoObjects);
+        }
+        if self.candidates.is_empty() {
+            return Err(BuildError::NoCandidates);
+        }
+        let tau = self.tau.unwrap_or(f64::NAN);
+        if !(tau > 0.0 && tau < 1.0) {
+            return Err(BuildError::InvalidTau(tau));
+        }
+        if let Some(i) = self.candidates.iter().position(|c| !c.is_finite()) {
+            return Err(BuildError::NonFiniteCandidate(i));
+        }
+        let pf = self.pf.expect("probability function is mandatory");
+        Ok(PrimeLs {
+            objects: self.objects,
+            candidates: self.candidates,
+            pf,
+            tau,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_prob::PowerLawPf;
+
+    fn one_object() -> Vec<MovingObject> {
+        vec![MovingObject::new(0, vec![Point::new(0.0, 0.0)])]
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let p = PrimeLs::builder()
+            .objects(one_object())
+            .candidates(vec![Point::new(1.0, 1.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap();
+        assert_eq!(p.objects().len(), 1);
+        assert_eq!(p.candidates().len(), 1);
+        assert_eq!(p.tau(), 0.7);
+    }
+
+    #[test]
+    fn builder_rejects_missing_pieces() {
+        let err = PrimeLs::<PowerLawPf>::builder()
+            .candidates(vec![Point::new(1.0, 1.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::NoObjects);
+
+        let err = PrimeLs::builder()
+            .objects(one_object())
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::NoCandidates);
+    }
+
+    #[test]
+    fn builder_rejects_bad_tau() {
+        for tau in [0.0, 1.0, -0.3, 1.7] {
+            let err = PrimeLs::builder()
+                .objects(one_object())
+                .candidates(vec![Point::new(1.0, 1.0)])
+                .probability_function(PowerLawPf::paper_default())
+                .tau(tau)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, BuildError::InvalidTau(tau));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_non_finite_candidate() {
+        let err = PrimeLs::builder()
+            .objects(one_object())
+            .candidates(vec![Point::new(1.0, 1.0), Point::new(f64::NAN, 0.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::NonFiniteCandidate(1));
+    }
+}

@@ -1,0 +1,154 @@
+//! Solver results and cost instrumentation.
+
+use pinocchio_geo::Point;
+use std::fmt;
+use std::time::Duration;
+
+/// The four solvers evaluated in §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// NA — exhaustive evaluation of all object–candidate pairs.
+    Naive,
+    /// PIN — Algorithm 2 (pruning + plain validation).
+    Pinocchio,
+    /// PIN-VO — Algorithm 3 (pruning + Strategy 1 + Strategy 2).
+    PinocchioVo,
+    /// PIN-VO* — validation optimizations without the pruning phase.
+    PinocchioVoStar,
+}
+
+impl Algorithm {
+    /// All four algorithms, in the paper's comparison order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Naive,
+        Algorithm::Pinocchio,
+        Algorithm::PinocchioVo,
+        Algorithm::PinocchioVoStar,
+    ];
+
+    /// The label used in the paper's plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "NA",
+            Algorithm::Pinocchio => "PIN",
+            Algorithm::PinocchioVo => "PIN-VO",
+            Algorithm::PinocchioVoStar => "PIN-VO*",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cost counters collected during a solve.
+///
+/// These power the pruning-effect (Fig. 10) and strategy-ablation
+/// experiments; wall-clock time alone would hide *why* a solver wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Object–candidate pairs decided by the influence-arcs rule.
+    pub decided_by_ia: u64,
+    /// Object–candidate pairs decided by the non-influence boundary.
+    pub decided_by_nib: u64,
+    /// Object–candidate pairs that required probability evaluation.
+    pub validated_pairs: u64,
+    /// Individual position probabilities evaluated (`PF(dist)` calls).
+    pub positions_evaluated: u64,
+    /// Candidates whose validation ran to completion (VO only).
+    pub candidates_fully_validated: u64,
+    /// Candidates skipped entirely by Strategy 1 (VO only).
+    pub candidates_skipped_by_bounds: u64,
+    /// Objects that can never be influenced (`minMaxRadius` undefined).
+    pub uninfluenceable_objects: u64,
+}
+
+impl SolveStats {
+    /// Total object–candidate pairs decided without exact validation.
+    pub fn pruned_pairs(&self) -> u64 {
+        self.decided_by_ia + self.decided_by_nib
+    }
+
+    /// Fraction of decided pairs that never needed validation.
+    ///
+    /// Returns `None` when nothing was decided (degenerate input).
+    pub fn pruned_fraction(&self) -> Option<f64> {
+        let total = self.pruned_pairs() + self.validated_pairs;
+        (total > 0).then(|| self.pruned_pairs() as f64 / total as f64)
+    }
+}
+
+/// The outcome of one PRIME-LS solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Which algorithm produced this result.
+    pub algorithm: Algorithm,
+    /// Index (into the candidate slice) of the optimal candidate; ties
+    /// broken towards the smallest index, so all algorithms agree.
+    pub best_candidate: usize,
+    /// The optimal candidate's location.
+    pub best_location: Point,
+    /// `inf(best)` — the maximum influence (Definition 2).
+    pub max_influence: u32,
+    /// Exact influence of every candidate, when the algorithm computes
+    /// it (NA and PIN do; the VO variants stop early by design and only
+    /// certify the winner).
+    pub influences: Option<Vec<u32>>,
+    /// Cost counters.
+    pub stats: SolveStats,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+impl SolveResult {
+    /// Candidate indices ranked by descending influence (ties by index),
+    /// available when `influences` is present. Used by the Top-K
+    /// effectiveness experiments.
+    pub fn ranking(&self) -> Option<Vec<usize>> {
+        let inf = self.influences.as_ref()?;
+        let mut idx: Vec<usize> = (0..inf.len()).collect();
+        idx.sort_by(|&a, &b| inf[b].cmp(&inf[a]).then(a.cmp(&b)));
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::Naive.label(), "NA");
+        assert_eq!(Algorithm::PinocchioVo.to_string(), "PIN-VO");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let s = SolveStats {
+            decided_by_ia: 30,
+            decided_by_nib: 30,
+            validated_pairs: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.pruned_pairs(), 60);
+        assert!((s.pruned_fraction().unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(SolveStats::default().pruned_fraction(), None);
+    }
+
+    #[test]
+    fn ranking_sorts_descending_with_index_ties() {
+        let r = SolveResult {
+            algorithm: Algorithm::Naive,
+            best_candidate: 2,
+            best_location: Point::ORIGIN,
+            max_influence: 9,
+            influences: Some(vec![3, 9, 9, 1]),
+            stats: SolveStats::default(),
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.ranking().unwrap(), vec![1, 2, 0, 3]);
+    }
+}

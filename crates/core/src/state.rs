@@ -1,0 +1,137 @@
+//! The moving-object 2-D array `A_2D` (Algorithm 1).
+//!
+//! §4.3 argues that the *object* side of the problem should **not** be
+//! indexed hierarchically: activity MBRs overlap so heavily (objects
+//! cover ~55 % of each axis) that R-tree node MBRs degenerate and every
+//! leaf gets explored anyway. Instead, Algorithm 1 builds a flat
+//! two-dimensional array: one row per object holding its positions
+//! (`A_1D`) plus the precomputed pruning data — `minMaxRadius` (memoised
+//! per position count in the HashMap `HM`), the influence arcs and the
+//! non-influence boundary with its rectangular over-approximation.
+//!
+//! Objects whose `minMaxRadius` is undefined (the required per-position
+//! probability exceeds `PF(0)`) can never be influenced by any candidate
+//! and are marked so every solver can skip them.
+
+use pinocchio_data::MovingObject;
+use pinocchio_geo::InfluenceRegions;
+use pinocchio_prob::{MinMaxRadiusCache, ProbabilityFunction};
+
+/// Pruning state for one moving object — one row of `A_2D`.
+#[derive(Debug, Clone)]
+pub struct ObjectEntry {
+    /// Index of the object in the problem's object slice.
+    pub index: usize,
+    /// Influence-arc / non-influence-boundary geometry, or `None` when
+    /// the object can never be influenced (skipped by all solvers).
+    pub regions: Option<InfluenceRegions>,
+}
+
+/// The full `A_2D` structure of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct A2d {
+    entries: Vec<ObjectEntry>,
+    influenceable: usize,
+    distinct_position_counts: usize,
+}
+
+impl A2d {
+    /// Runs Algorithm 1: computes `minMaxRadius` (memoised per `n`) and
+    /// the pruning regions for every object.
+    pub fn build<P: ProbabilityFunction>(
+        objects: &[MovingObject],
+        pf: &P,
+        tau: f64,
+    ) -> Self {
+        let mut cache = MinMaxRadiusCache::new(tau);
+        let mut influenceable = 0;
+        let entries = objects
+            .iter()
+            .enumerate()
+            .map(|(index, o)| {
+                let regions = cache
+                    .get(pf, o.position_count())
+                    .map(|mu| InfluenceRegions::new(o.mbr(), mu));
+                if regions.is_some() {
+                    influenceable += 1;
+                }
+                ObjectEntry { index, regions }
+            })
+            .collect();
+        A2d {
+            entries,
+            influenceable,
+            distinct_position_counts: cache.distinct_counts(),
+        }
+    }
+
+    /// All object entries, in object order.
+    pub fn entries(&self) -> &[ObjectEntry] {
+        &self.entries
+    }
+
+    /// Number of objects that can possibly be influenced.
+    pub fn influenceable(&self) -> usize {
+        self.influenceable
+    }
+
+    /// The paper's `N`: distinct position counts across all objects
+    /// (size of the HashMap `HM`).
+    pub fn distinct_position_counts(&self) -> usize {
+        self.distinct_position_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_geo::Point;
+    use pinocchio_prob::{min_max_radius, PowerLawPf};
+
+    fn objects() -> Vec<MovingObject> {
+        vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(2.0, 1.0)]),
+            MovingObject::new(1, vec![Point::new(5.0, 5.0)]),
+            MovingObject::new(2, vec![Point::new(1.0, 1.0), Point::new(1.5, 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn builds_regions_with_correct_radii() {
+        let pf = PowerLawPf::paper_default();
+        let a2d = A2d::build(&objects(), &pf, 0.7);
+        assert_eq!(a2d.entries().len(), 3);
+        assert_eq!(a2d.influenceable(), 3);
+        // Two distinct position counts: 1 and 2.
+        assert_eq!(a2d.distinct_position_counts(), 2);
+
+        let mu2 = min_max_radius(&pf, 0.7, 2).unwrap();
+        let r = a2d.entries()[0].regions.unwrap();
+        assert!((r.radius() - mu2).abs() < 1e-12);
+
+        let mu1 = min_max_radius(&pf, 0.7, 1).unwrap();
+        let r = a2d.entries()[1].regions.unwrap();
+        assert!((r.radius() - mu1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninfluenceable_objects_are_marked() {
+        // τ = 0.95 > PF(0) = 0.9: single-position objects can never be
+        // influenced; two-position objects still can.
+        let pf = PowerLawPf::paper_default();
+        let a2d = A2d::build(&objects(), &pf, 0.95);
+        assert!(a2d.entries()[0].regions.is_some());
+        assert!(a2d.entries()[1].regions.is_none());
+        assert!(a2d.entries()[2].regions.is_some());
+        assert_eq!(a2d.influenceable(), 2);
+    }
+
+    #[test]
+    fn region_mbr_matches_object_mbr() {
+        let objs = objects();
+        let a2d = A2d::build(&objs, &PowerLawPf::paper_default(), 0.5);
+        for (o, e) in objs.iter().zip(a2d.entries()) {
+            assert_eq!(e.regions.unwrap().mbr(), o.mbr());
+        }
+    }
+}

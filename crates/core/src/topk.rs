@@ -1,0 +1,203 @@
+//! Top-k PRIME-LS — an extension in the spirit of the top-t most
+//! influential facility literature the paper builds on (Xia et al.,
+//! VLDB 2005; Zhan et al., CIKM 2012): return the `k` candidates with
+//! the highest influence, not just the single optimum.
+//!
+//! The PINOCCHIO-VO machinery generalises directly: Strategy 1's global
+//! cut-off becomes the *k-th best* certified influence instead of the
+//! best one. Candidates are still popped in descending `maxInf` order;
+//! once the heap's top `maxInf` falls strictly below the cut-off, no
+//! remaining candidate can enter the top-k (ties cannot be lost either —
+//! a skipped candidate's influence is strictly below the cut-off).
+
+use crate::problem::PrimeLs;
+use crate::vo::prepare;
+use pinocchio_geo::Point;
+use pinocchio_prob::ProbabilityFunction;
+use std::collections::BinaryHeap;
+
+/// One entry of a top-k result, ranked by `(influence desc, index asc)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry {
+    /// Candidate index into the problem's candidate slice.
+    pub candidate: usize,
+    /// The candidate's location.
+    pub location: Point,
+    /// Exact influence `inf(c)`.
+    pub influence: u32,
+}
+
+/// Computes the exact top-`k` candidates by influence using the
+/// bound-driven validation of PINOCCHIO-VO.
+///
+/// Returns fewer than `k` entries only when the problem has fewer than
+/// `k` candidates. The ranking convention matches
+/// `SolveResult::ranking`: descending influence, ties towards the
+/// smaller candidate index.
+///
+/// ```
+/// use pinocchio_core::{solve_top_k, PrimeLs};
+/// use pinocchio_data::MovingObject;
+/// use pinocchio_geo::Point;
+/// use pinocchio_prob::PowerLawPf;
+///
+/// let problem = PrimeLs::builder()
+///     .objects(vec![
+///         MovingObject::new(0, vec![Point::new(0.0, 0.0)]),
+///         MovingObject::new(1, vec![Point::new(0.2, 0.0)]),
+///         MovingObject::new(2, vec![Point::new(30.0, 0.0)]),
+///     ])
+///     .candidates(vec![Point::new(0.1, 0.0), Point::new(30.1, 0.0), Point::new(99.0, 0.0)])
+///     .probability_function(PowerLawPf::paper_default())
+///     .tau(0.7)
+///     .build()
+///     .unwrap();
+/// let top2 = solve_top_k(&problem, 2);
+/// assert_eq!(top2[0].candidate, 0); // influences both downtown users
+/// assert_eq!(top2[0].influence, 2);
+/// assert_eq!(top2[1].candidate, 1);
+/// assert_eq!(top2[1].influence, 1);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn solve_top_k<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    k: usize,
+) -> Vec<TopKEntry> {
+    assert!(k > 0, "top-k needs k >= 1");
+    let eval = problem.evaluator();
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+
+    let mut prep = prepare(problem, true);
+    let vs_store = std::mem::take(&mut prep.vs_store);
+    let mut min_inf = std::mem::take(&mut prep.min_inf);
+    let mut max_inf = std::mem::take(&mut prep.max_inf);
+
+    let mut heap: BinaryHeap<(u32, u32, std::cmp::Reverse<usize>)> = (0..m)
+        .map(|j| (max_inf[j], min_inf[j], std::cmp::Reverse(j)))
+        .collect();
+
+    // Exact influences of fully validated candidates.
+    let mut validated: Vec<(u32, usize)> = Vec::new();
+    // Min-heap over the current best-k exact influences; its top is the
+    // Strategy-1 cut-off once k candidates are in.
+    let mut best_k: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+    let cutoff = |best_k: &BinaryHeap<std::cmp::Reverse<u32>>| -> u32 {
+        if best_k.len() < k {
+            0
+        } else {
+            best_k.peek().map_or(0, |r| r.0)
+        }
+    };
+
+    while let Some((top_max, _, std::cmp::Reverse(j))) = heap.pop() {
+        if top_max < cutoff(&best_k) {
+            break; // nobody left can reach the current top-k
+        }
+        let candidate = problem.candidates()[j];
+        let mut dead = false;
+        for &obj in &vs_store[j] {
+            let object = &problem.objects()[obj as usize];
+            let outcome = eval.influences_early_stop(&candidate, object.positions(), tau);
+            if outcome.influenced {
+                min_inf[j] += 1;
+            } else {
+                max_inf[j] -= 1;
+                if max_inf[j] < cutoff(&best_k) {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            continue;
+        }
+        let exact = min_inf[j];
+        debug_assert_eq!(exact, max_inf[j], "bounds meet after validation");
+        validated.push((exact, j));
+        best_k.push(std::cmp::Reverse(exact));
+        if best_k.len() > k {
+            best_k.pop();
+        }
+    }
+
+    validated.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    validated.truncate(k);
+    validated
+        .into_iter()
+        .map(|(influence, candidate)| TopKEntry {
+            candidate,
+            location: problem.candidates()[candidate],
+            influence,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Algorithm;
+    use pinocchio_data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+    use pinocchio_prob::PowerLawPf;
+
+    fn problem(seed: u64) -> PrimeLs<PowerLawPf> {
+        let d = SyntheticGenerator::new(GeneratorConfig::small(80, seed)).generate();
+        let (_, candidates) = sample_candidate_group(&d, 40, seed);
+        PrimeLs::builder()
+            .objects(d.objects().to_vec())
+            .candidates(candidates)
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn top_k_matches_full_ranking() {
+        for seed in [1u64, 2, 3] {
+            let p = problem(seed);
+            let full = p.solve(Algorithm::Pinocchio);
+            let ranking = full.ranking().unwrap();
+            let influences = full.influences.unwrap();
+            for k in [1usize, 3, 10, 40] {
+                let top = solve_top_k(&p, k);
+                assert_eq!(top.len(), k.min(p.candidates().len()), "seed {seed} k {k}");
+                for (entry, &expect) in top.iter().zip(&ranking) {
+                    assert_eq!(entry.candidate, expect, "seed {seed} k {k}");
+                    assert_eq!(entry.influence, influences[expect]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_1_matches_solve() {
+        let p = problem(9);
+        let top = solve_top_k(&p, 1);
+        let best = p.solve(Algorithm::PinocchioVo);
+        assert_eq!(top[0].candidate, best.best_candidate);
+        assert_eq!(top[0].influence, best.max_influence);
+    }
+
+    #[test]
+    fn k_larger_than_m_returns_everything_sorted() {
+        let p = problem(11);
+        let top = solve_top_k(&p, 1000);
+        assert_eq!(top.len(), p.candidates().len());
+        for w in top.windows(2) {
+            assert!(
+                w[0].influence > w[1].influence
+                    || (w[0].influence == w[1].influence && w[0].candidate < w[1].candidate)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        let p = problem(13);
+        let _ = solve_top_k(&p, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! PINOCCHIO-VO — Algorithm 3 (pruning + optimized validation) and the
+//! PIN-VO* ablation (optimized validation without pruning).
+//!
+//! The validation phase keeps, per candidate `c`:
+//!
+//! * `minInf(c)` — influence certified so far (IA hits + validated
+//!   influenced objects),
+//! * `maxInf(c)` — influence still possible (total influenceable objects
+//!   − NIB exclusions − validated non-influenced objects),
+//!
+//! and a global `maxminInf = max_c minInf(c)` over fully validated
+//! candidates.
+//!
+//! **Strategy 1** organises candidates in a max-heap ordered by
+//! `(maxInf, minInf)`; once the top's `maxInf` falls below `maxminInf`,
+//! no remaining candidate can win and validation stops. The same bound
+//! kills a candidate mid-validation as soon as enough objects fail.
+//!
+//! **Strategy 2** evaluates each object's positions incrementally and
+//! stops as soon as the partial non-influence probability certifies
+//! influence (Lemma 4) — implemented in
+//! `pinocchio_prob::CumulativeProbability::influences_early_stop`.
+//!
+//! Both strategies are *cost* optimizations only: the returned optimum
+//! (smallest index among maxima) is always identical to NA's.
+
+use crate::problem::PrimeLs;
+use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::state::A2d;
+use pinocchio_index::RTree;
+use pinocchio_prob::ProbabilityFunction;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Output of the shared pruning phase: per-candidate influence bounds
+/// and verification sets, plus the counters accumulated so far.
+pub(crate) struct Prepared {
+    /// Certified influence (IA hits so far).
+    pub min_inf: Vec<u32>,
+    /// Still-possible influence (influenceable objects − NIB exclusions).
+    pub max_inf: Vec<u32>,
+    /// Per-candidate verification sets (pruning mode).
+    pub(crate) vs_store: Vec<Vec<u32>>,
+    /// Shared verification set of all influenceable objects (no-pruning
+    /// mode).
+    pub(crate) vs_all: Vec<u32>,
+    /// Pruning-phase counters (extended during validation).
+    pub stats: SolveStats,
+}
+
+/// Runs Algorithm 3's pruning phase (lines 1–12): builds `A_2D`, plays
+/// the IA/NIB rules per object against the candidate R-tree, and fills
+/// the per-candidate verification sets. With `with_pruning = false`
+/// (PIN-VO*), bounds stay trivial and every influenceable object lands
+/// in every verification set.
+pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    with_pruning: bool,
+) -> Prepared {
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+    let mut stats = SolveStats::default();
+
+    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
+    let r_influenceable = a2d.influenceable() as u32;
+    stats.uninfluenceable_objects = (a2d.entries().len() - a2d.influenceable()) as u64;
+
+    let mut min_inf = vec![0u32; m];
+    let mut max_inf = vec![r_influenceable; m];
+
+    let mut vs_store: Vec<Vec<u32>> = Vec::new();
+    let mut vs_all: Vec<u32> = Vec::new();
+
+    if with_pruning {
+        vs_store = vec![Vec::new(); m];
+        let tree: RTree<usize> = problem
+            .candidates()
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (c, j))
+            .collect();
+        let mut in_nib = vec![false; m];
+        for entry in a2d.entries() {
+            let Some(regions) = entry.regions else { continue };
+            tree.query_region(
+                |node| node.intersects(&regions.nib_mbr()),
+                |p| regions.in_non_influence_boundary(p),
+                &mut |p, &j| {
+                    in_nib[j] = true;
+                    if regions.in_influence_arcs(p) {
+                        stats.decided_by_ia += 1;
+                        min_inf[j] += 1;
+                    } else {
+                        vs_store[j].push(entry.index as u32);
+                    }
+                },
+            );
+            for (j, flag) in in_nib.iter_mut().enumerate() {
+                if *flag {
+                    *flag = false; // reset for the next object
+                } else {
+                    stats.decided_by_nib += 1;
+                    max_inf[j] -= 1; // Lemma 3: cannot influence
+                }
+            }
+        }
+    } else {
+        vs_all = a2d
+            .entries()
+            .iter()
+            .filter(|e| e.regions.is_some())
+            .map(|e| e.index as u32)
+            .collect();
+    }
+    Prepared {
+        min_inf,
+        max_inf,
+        vs_store,
+        vs_all,
+        stats,
+    }
+}
+
+/// Runs PINOCCHIO-VO (`with_pruning = true`, Algorithm 3) or PIN-VO*
+/// (`with_pruning = false`).
+pub fn solve<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    with_pruning: bool,
+) -> SolveResult {
+    solve_with_options(problem, with_pruning, true)
+}
+
+/// As [`solve`] with Strategy 2 individually controllable — the
+/// `ablation_strategies` benchmark uses this to separate the
+/// contributions of the bounds heap (Strategy 1) and per-object early
+/// stopping (Strategy 2). With `early_stop = false`, validation
+/// evaluates every position of every verified object, exactly like
+/// Algorithm 2's plain validation, while Strategy 1 still drives
+/// candidate ordering and cut-offs.
+pub fn solve_with_options<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    with_pruning: bool,
+    early_stop: bool,
+) -> SolveResult {
+    let start = Instant::now();
+    let eval = problem.evaluator();
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+    let mut prep = prepare(problem, with_pruning);
+    let vs_store = std::mem::take(&mut prep.vs_store);
+    let vs_all = std::mem::take(&mut prep.vs_all);
+    let mut min_inf = std::mem::take(&mut prep.min_inf);
+    let mut max_inf = std::mem::take(&mut prep.max_inf);
+    let mut stats = prep.stats;
+
+    // ---- validation phase (Strategy 1 driver) --------------------------
+    // Max-heap over (maxInf, minInf, smaller-index-first). Bounds of a
+    // candidate only change while *it* is being validated, so the
+    // insertion-time keys stay exact for every candidate still in the
+    // heap.
+    let mut heap: BinaryHeap<(u32, u32, std::cmp::Reverse<usize>)> = (0..m)
+        .map(|j| (max_inf[j], min_inf[j], std::cmp::Reverse(j)))
+        .collect();
+
+    // maxminInf starts at the best certified lower bound. The candidate
+    // attaining it has maxInf ≥ maxminInf, so it is always popped and
+    // fully validated before the cut-off fires — the final winner is
+    // therefore always an exactly-counted candidate.
+    let mut maxmin_inf = min_inf.iter().copied().max().unwrap_or(0);
+    let mut best: Option<(u32, usize)> = None; // (exact influence, index)
+
+    while let Some((top_max, _, std::cmp::Reverse(j))) = heap.pop() {
+        if top_max < maxmin_inf {
+            // Strategy 1 cut-off: nobody left can beat the incumbent.
+            stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+            break;
+        }
+        let candidate = problem.candidates()[j];
+        let vs: &[u32] = if with_pruning { &vs_store[j] } else { &vs_all };
+
+        let mut dead = false;
+        for &k in vs {
+            let object = &problem.objects()[k as usize];
+            let outcome = if early_stop {
+                eval.influences_early_stop(&candidate, object.positions(), tau)
+            } else {
+                pinocchio_prob::EarlyStopOutcome {
+                    influenced: eval.influences(&candidate, object.positions(), tau),
+                    positions_evaluated: object.position_count(),
+                    non_influence_product: f64::NAN, // unused on this path
+                }
+            };
+            stats.validated_pairs += 1;
+            stats.positions_evaluated += outcome.positions_evaluated as u64;
+            if outcome.influenced {
+                min_inf[j] += 1;
+            } else {
+                max_inf[j] -= 1;
+                if max_inf[j] < maxmin_inf {
+                    dead = true; // Strategy 1, mid-validation variant
+                    break;
+                }
+            }
+        }
+        if dead {
+            continue;
+        }
+        stats.candidates_fully_validated += 1;
+        let exact = min_inf[j];
+        debug_assert_eq!(
+            exact, max_inf[j],
+            "bounds must meet after full validation"
+        );
+        match best {
+            Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
+            _ => best = Some((exact, j)),
+        }
+        if exact > maxmin_inf {
+            maxmin_inf = exact;
+        }
+    }
+
+    let (max_influence, best_candidate) =
+        best.expect("the incumbent candidate is always fully validated");
+
+    SolveResult {
+        algorithm: if with_pruning {
+            Algorithm::PinocchioVo
+        } else {
+            Algorithm::PinocchioVoStar
+        },
+        best_candidate,
+        best_location: problem.candidates()[best_candidate],
+        max_influence,
+        influences: None,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use pinocchio_data::{GeneratorConfig, MovingObject, SyntheticGenerator};
+    use pinocchio_geo::Point;
+    use pinocchio_prob::PowerLawPf;
+
+    fn synthetic_problem(tau: f64, seed: u64, users: usize) -> PrimeLs<PowerLawPf> {
+        let d = SyntheticGenerator::new(GeneratorConfig::small(users, seed)).generate();
+        let (_, candidates) = pinocchio_data::sample_candidate_group(&d, 50, seed);
+        PrimeLs::builder()
+            .objects(d.objects().to_vec())
+            .candidates(candidates)
+            .probability_function(PowerLawPf::paper_default())
+            .tau(tau)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn vo_agrees_with_naive() {
+        for tau in [0.1, 0.5, 0.7, 0.9] {
+            for seed in [1, 2, 3] {
+                let p = synthetic_problem(tau, seed, 50);
+                let na = naive::solve(&p);
+                let vo = solve(&p, true);
+                assert_eq!(vo.best_candidate, na.best_candidate, "tau={tau} seed={seed}");
+                assert_eq!(vo.max_influence, na.max_influence, "tau={tau} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn vo_star_agrees_with_naive() {
+        for tau in [0.3, 0.7] {
+            for seed in [4, 5] {
+                let p = synthetic_problem(tau, seed, 50);
+                let na = naive::solve(&p);
+                let vo_star = solve(&p, false);
+                assert_eq!(vo_star.best_candidate, na.best_candidate);
+                assert_eq!(vo_star.max_influence, na.max_influence);
+                assert_eq!(vo_star.stats.pruned_pairs(), 0, "VO* must not prune");
+            }
+        }
+    }
+
+    #[test]
+    fn vo_does_less_work_than_naive() {
+        let p = synthetic_problem(0.7, 7, 80);
+        let na = naive::solve(&p);
+        let vo = solve(&p, true);
+        assert!(
+            vo.stats.positions_evaluated < na.stats.positions_evaluated,
+            "VO {} vs NA {}",
+            vo.stats.positions_evaluated,
+            na.stats.positions_evaluated
+        );
+        assert!(vo.stats.validated_pairs < na.stats.validated_pairs);
+    }
+
+    #[test]
+    fn strategy1_skips_candidates() {
+        let p = synthetic_problem(0.7, 8, 80);
+        let vo = solve(&p, true);
+        let total = p.candidates().len() as u64;
+        assert_eq!(
+            vo.stats.candidates_fully_validated
+                + vo.stats.candidates_skipped_by_bounds
+                + died_mid(&vo, total),
+            total
+        );
+        assert!(
+            vo.stats.candidates_fully_validated < total,
+            "some candidate should be skipped or die early"
+        );
+    }
+
+    fn died_mid(vo: &SolveResult, total: u64) -> u64 {
+        total - vo.stats.candidates_fully_validated - vo.stats.candidates_skipped_by_bounds
+    }
+
+    #[test]
+    fn handles_all_uninfluenceable() {
+        // τ = 0.95 > PF(0), all objects single-position: nothing can be
+        // influenced; solver must return influence 0 deterministically.
+        let p = PrimeLs::builder()
+            .objects(vec![
+                MovingObject::new(0, vec![Point::new(0.0, 0.0)]),
+                MovingObject::new(1, vec![Point::new(5.0, 5.0)]),
+            ])
+            .candidates(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.95)
+            .build()
+            .unwrap();
+        for with_pruning in [true, false] {
+            let r = solve(&p, with_pruning);
+            assert_eq!(r.max_influence, 0);
+            assert_eq!(r.best_candidate, 0, "ties break to the smallest index");
+            assert_eq!(r.stats.uninfluenceable_objects, 2);
+        }
+    }
+
+    #[test]
+    fn tie_break_matches_naive_exactly() {
+        // Symmetric world: two identical clusters, two symmetric candidates
+        // — influence ties are guaranteed.
+        let p = PrimeLs::builder()
+            .objects(vec![
+                MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)]),
+                MovingObject::new(1, vec![Point::new(10.0, 0.0), Point::new(10.1, 0.0)]),
+            ])
+            .candidates(vec![Point::new(10.05, 0.0), Point::new(0.05, 0.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap();
+        let na = naive::solve(&p);
+        let vo = solve(&p, true);
+        let vo_star = solve(&p, false);
+        assert_eq!(na.max_influence, 1);
+        assert_eq!(na.best_candidate, 0);
+        assert_eq!(vo.best_candidate, 0);
+        assert_eq!(vo_star.best_candidate, 0);
+    }
+
+    #[test]
+    fn strategy2_toggle_changes_cost_not_answers() {
+        let p = synthetic_problem(0.5, 10, 80);
+        let with_s2 = solve_with_options(&p, true, true);
+        let without_s2 = solve_with_options(&p, true, false);
+        assert_eq!(with_s2.best_candidate, without_s2.best_candidate);
+        assert_eq!(with_s2.max_influence, without_s2.max_influence);
+        assert!(
+            with_s2.stats.positions_evaluated <= without_s2.stats.positions_evaluated,
+            "early stopping must not evaluate more positions"
+        );
+    }
+
+    #[test]
+    fn early_stop_reduces_positions_not_verdicts() {
+        // PIN validates undecided pairs with full scans; VO validates the
+        // same pairs with early stopping — fewer positions, same answer.
+        let p = synthetic_problem(0.5, 9, 80);
+        let pin = crate::pinocchio::solve(&p);
+        let vo = solve(&p, true);
+        assert_eq!(pin.best_candidate, vo.best_candidate);
+        assert_eq!(pin.max_influence, vo.max_influence);
+        assert!(
+            vo.stats.positions_evaluated <= pin.stats.positions_evaluated,
+            "Strategy 2 must not evaluate more positions"
+        );
+    }
+}

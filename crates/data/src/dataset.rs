@@ -1,0 +1,139 @@
+//! Datasets: moving objects plus venues with ground truth.
+
+use crate::object::MovingObject;
+use pinocchio_geo::{Mbr, Point};
+
+/// A point of interest at which check-ins occur.
+///
+/// Venues double as the pool from which candidate locations are sampled
+/// — exactly as the paper samples its candidates "from check-in
+/// coordinates by random uniform sampling" (§6.1) — and carry the
+/// ground-truth popularity used to score effectiveness (Tables 3–4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Venue {
+    /// Venue position in the dataset's planar kilometre frame.
+    pub position: Point,
+    /// Total number of check-ins recorded at this venue.
+    pub checkins: u64,
+    /// Number of *distinct* users who checked in here.
+    pub distinct_visitors: u64,
+}
+
+/// A complete evaluation dataset: named collection of moving objects and
+/// venues in a shared planar kilometre frame.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    objects: Vec<MovingObject>,
+    venues: Vec<Venue>,
+}
+
+impl Dataset {
+    /// Assembles a dataset.
+    ///
+    /// # Panics
+    /// Panics when there are no objects — every experiment needs at least
+    /// one moving object. (Venue-less datasets are permitted: ground
+    /// truth is only needed by the effectiveness experiments.)
+    pub fn new(
+        name: impl Into<String>,
+        objects: Vec<MovingObject>,
+        venues: Vec<Venue>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!objects.is_empty(), "dataset {name} has no moving objects");
+        Dataset {
+            name,
+            objects,
+            venues,
+        }
+    }
+
+    /// Dataset name (e.g. `"foursquare-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The moving objects `Ω`.
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// The venues with their ground-truth popularity.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// Total number of check-ins across all objects.
+    pub fn total_checkins(&self) -> usize {
+        self.objects.iter().map(MovingObject::position_count).sum()
+    }
+
+    /// The frame enclosing every position of every object.
+    pub fn frame(&self) -> Mbr {
+        let mut mbr: Option<Mbr> = None;
+        for o in &self.objects {
+            let m = o.mbr();
+            mbr = Some(mbr.map_or(m, |acc| acc.union(&m)));
+        }
+        mbr.expect("non-empty by construction")
+    }
+
+    /// Returns a dataset restricted to the given objects (cloned),
+    /// keeping venues and name; used by the object-count scalability
+    /// experiment (Fig. 9).
+    pub fn with_objects(&self, objects: Vec<MovingObject>) -> Dataset {
+        Dataset::new(self.name.clone(), objects, self.venues.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]),
+                MovingObject::new(1, vec![Point::new(5.0, 1.0)]),
+            ],
+            vec![Venue {
+                position: Point::new(1.0, 1.0),
+                checkins: 10,
+                distinct_visitors: 2,
+            }],
+        )
+    }
+
+    #[test]
+    fn accessors_and_totals() {
+        let d = toy();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.objects().len(), 2);
+        assert_eq!(d.venues().len(), 1);
+        assert_eq!(d.total_checkins(), 3);
+    }
+
+    #[test]
+    fn frame_encloses_everything() {
+        let d = toy();
+        let f = d.frame();
+        assert_eq!(f.lo(), Point::new(0.0, 0.0));
+        assert_eq!(f.hi(), Point::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn with_objects_substitutes() {
+        let d = toy();
+        let d2 = d.with_objects(vec![MovingObject::new(9, vec![Point::new(1.0, 1.0)])]);
+        assert_eq!(d2.objects().len(), 1);
+        assert_eq!(d2.venues().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no moving objects")]
+    fn empty_dataset_rejected() {
+        let _ = Dataset::new("empty", vec![], vec![]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Plain CSV persistence for datasets.
+//!
+//! Real check-in datasets (the paper uses the collections published with
+//! Yuan et al., SIGIR 2013) can be converted to two small CSV files and
+//! loaded here, so the entire benchmark suite runs unchanged on real
+//! data when it is available:
+//!
+//! * `checkins.csv` — `user_id,x_km,y_km` one row per check-in
+//!   (coordinates already projected; see `pinocchio_geo::projection`),
+//! * `venues.csv` — `x_km,y_km,checkins,distinct_visitors`.
+
+use crate::dataset::{Dataset, Venue};
+use crate::object::MovingObject;
+use pinocchio_geo::{EquirectangularProjection, Point};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by the CSV loader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A malformed CSV row: `(line_number, description)`.
+    Parse(usize, String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes the dataset's check-ins to `path` as `user_id,x,y` rows.
+pub fn save_checkins(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for o in dataset.objects() {
+        for p in o.positions() {
+            writeln!(w, "{},{},{}", o.id(), p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the dataset's venues to `path` as
+/// `x,y,checkins,distinct_visitors` rows.
+pub fn save_venues(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for v in dataset.venues() {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            v.position.x, v.position.y, v.checkins, v.distinct_visitors
+        )?;
+    }
+    Ok(())
+}
+
+/// Loads a dataset from `checkins_path` (+ optional `venues_path`).
+///
+/// Check-in rows are grouped by user id (rows need not be sorted).
+pub fn load_dataset(
+    name: &str,
+    checkins_path: &Path,
+    venues_path: Option<&Path>,
+) -> Result<Dataset, IoError> {
+    let mut by_user: BTreeMap<u64, Vec<Point>> = BTreeMap::new();
+    for (lineno, line) in BufReader::new(File::open(checkins_path)?).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse = |field: Option<&str>, what: &str| -> Result<f64, IoError> {
+            field
+                .ok_or_else(|| IoError::Parse(lineno + 1, format!("missing {what}")))?
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| IoError::Parse(lineno + 1, format!("bad {what}: {e}")))
+        };
+        let uid = parts
+            .next()
+            .ok_or_else(|| IoError::Parse(lineno + 1, "missing user id".into()))?
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad user id: {e}")))?;
+        let x = parse(parts.next(), "x")?;
+        let y = parse(parts.next(), "y")?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(IoError::Parse(lineno + 1, "non-finite coordinate".into()));
+        }
+        by_user.entry(uid).or_default().push(Point::new(x, y));
+    }
+    if by_user.is_empty() {
+        return Err(IoError::Parse(0, "no check-ins found".into()));
+    }
+    let objects: Vec<MovingObject> = by_user
+        .into_iter()
+        .map(|(uid, positions)| MovingObject::new(uid, positions))
+        .collect();
+
+    let venues = match venues_path {
+        None => Vec::new(),
+        Some(vp) => {
+            let mut venues = Vec::new();
+            for (lineno, line) in BufReader::new(File::open(vp)?).lines().enumerate() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+                if fields.len() != 4 {
+                    return Err(IoError::Parse(
+                        lineno + 1,
+                        format!("expected 4 fields, got {}", fields.len()),
+                    ));
+                }
+                let fx = |i: usize, what: &str| -> Result<f64, IoError> {
+                    fields[i]
+                        .parse::<f64>()
+                        .map_err(|e| IoError::Parse(lineno + 1, format!("bad {what}: {e}")))
+                };
+                let fu = |i: usize, what: &str| -> Result<u64, IoError> {
+                    fields[i]
+                        .parse::<u64>()
+                        .map_err(|e| IoError::Parse(lineno + 1, format!("bad {what}: {e}")))
+                };
+                venues.push(Venue {
+                    position: Point::new(fx(0, "x")?, fx(1, "y")?),
+                    checkins: fu(2, "checkins")?,
+                    distinct_visitors: fu(3, "distinct_visitors")?,
+                });
+            }
+            venues
+        }
+    };
+    Ok(Dataset::new(name, objects, venues))
+}
+
+/// Loads a dataset whose CSV coordinates are *geodetic*
+/// (`user_id,longitude,latitude` rows, degrees) and projects every
+/// position — and every venue, when given — into a local planar
+/// kilometre frame anchored at the check-in centroid.
+///
+/// Returns the dataset together with the projection so results can be
+/// mapped back to longitude/latitude.
+pub fn load_geodetic_dataset(
+    name: &str,
+    checkins_path: &Path,
+    venues_path: Option<&Path>,
+) -> Result<(Dataset, EquirectangularProjection), IoError> {
+    let raw = load_dataset(name, checkins_path, venues_path)?;
+    let all_geo: Vec<Point> = raw
+        .objects()
+        .iter()
+        .flat_map(|o| o.positions().iter().copied())
+        .collect();
+    let proj = EquirectangularProjection::centered_on(&all_geo)
+        .expect("dataset is non-empty by construction");
+    let objects: Vec<MovingObject> = raw
+        .objects()
+        .iter()
+        .map(|o| {
+            MovingObject::new(
+                o.id(),
+                o.positions().iter().map(|p| proj.forward(p)).collect(),
+            )
+        })
+        .collect();
+    let venues: Vec<Venue> = raw
+        .venues()
+        .iter()
+        .map(|v| Venue {
+            position: proj.forward(&v.position),
+            checkins: v.checkins,
+            distinct_visitors: v.distinct_visitors,
+        })
+        .collect();
+    Ok((Dataset::new(name, objects, venues), proj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, SyntheticGenerator};
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pinocchio-io-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_dataset() {
+        let d = SyntheticGenerator::new(GeneratorConfig::small(40, 13)).generate();
+        let dir = tempdir();
+        let cpath = dir.join("checkins.csv");
+        let vpath = dir.join("venues.csv");
+        save_checkins(&d, &cpath).unwrap();
+        save_venues(&d, &vpath).unwrap();
+        let d2 = load_dataset("reload", &cpath, Some(&vpath)).unwrap();
+
+        assert_eq!(d2.objects().len(), d.objects().len());
+        assert_eq!(d2.total_checkins(), d.total_checkins());
+        assert_eq!(d2.venues().len(), d.venues().len());
+        for (a, b) in d.venues().iter().zip(d2.venues()) {
+            assert_eq!(a.checkins, b.checkins);
+            assert_eq!(a.distinct_visitors, b.distinct_visitors);
+            assert!((a.position.x - b.position.x).abs() < 1e-12);
+        }
+        // Per-object position multisets survive (objects keyed by id).
+        for (a, b) in d.objects().iter().zip(d2.objects()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.position_count(), b.position_count());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loader_rejects_garbage() {
+        let dir = tempdir();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1,2.0,not-a-number\n").unwrap();
+        let err = load_dataset("bad", &path, None).unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loader_skips_comments_and_blank_lines() {
+        let dir = tempdir();
+        let path = dir.join("ok.csv");
+        std::fs::write(&path, "# header\n\n1,0.5,0.5\n1,1.5,0.5\n2,3.0,3.0\n").unwrap();
+        let d = load_dataset("ok", &path, None).unwrap();
+        assert_eq!(d.objects().len(), 2);
+        assert_eq!(d.total_checkins(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn geodetic_loader_projects_to_km_frame() {
+        use pinocchio_geo::Haversine;
+        let dir = tempdir();
+        let path = dir.join("geo.csv");
+        // Two users around Singapore (lon ~103.8, lat ~1.3).
+        std::fs::write(
+            &path,
+            "1,103.80,1.30
+1,103.82,1.31
+2,103.95,1.35
+2,103.96,1.36
+",
+        )
+        .unwrap();
+        let (d, proj) = load_geodetic_dataset("sg", &path, None).unwrap();
+        assert_eq!(d.objects().len(), 2);
+        // Distances in the projected frame match haversine within 0.1 %.
+        let a = d.objects()[0].positions()[0];
+        let b = d.objects()[1].positions()[0];
+        let planar = a.euclidean(&b);
+        let sphere = Haversine::distance_km(
+            &pinocchio_geo::Point::new(103.80, 1.30),
+            &pinocchio_geo::Point::new(103.95, 1.35),
+        );
+        assert!((planar - sphere).abs() / sphere < 1e-3, "{planar} vs {sphere}");
+        // Round trip through the returned projection.
+        let back = proj.inverse(&a);
+        assert!((back.x - 103.80).abs() < 1e-9);
+        assert!((back.y - 1.30).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let dir = tempdir();
+        let path = dir.join("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(load_dataset("empty", &path, None).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! The moving-object model.
+
+use pinocchio_geo::{Mbr, Point};
+
+/// A moving object `O = {p₁ … pₙ}` — a user described by the multiset of
+/// positions (check-ins) they visited (§3.1).
+///
+/// Positions are stored as a flat `Vec<Point>` — the paper's
+/// one-dimensional array `A_1D` — in arrival order; none of the
+/// algorithms require a particular ordering (the `minMaxRadius`
+/// derivation sorts *conceptually* by distance to a candidate, but the
+/// proofs only use min/max distances, which are order-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingObject {
+    id: u64,
+    positions: Vec<Point>,
+}
+
+impl MovingObject {
+    /// Creates a moving object from its identifier and positions.
+    ///
+    /// # Panics
+    /// Panics when `positions` is empty or contains a non-finite
+    /// coordinate — an object with no observed position carries no
+    /// information and Definition 1's product would be vacuous.
+    pub fn new(id: u64, positions: Vec<Point>) -> Self {
+        assert!(
+            !positions.is_empty(),
+            "moving object {id} must have at least one position"
+        );
+        assert!(
+            positions.iter().all(Point::is_finite),
+            "moving object {id} has a non-finite position"
+        );
+        MovingObject { id, positions }
+    }
+
+    /// The object's identifier.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The object's positions (`A_1D`).
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Number of positions `n`.
+    #[inline]
+    pub fn position_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The MBR of the object's activity region (`MBR(O)`, §3.1).
+    pub fn mbr(&self) -> Mbr {
+        Mbr::from_points(&self.positions).expect("non-empty by construction")
+    }
+
+    /// A copy of this object restricted to the positions at `indices`
+    /// (used by the Fig. 11b / Fig. 13 resampling experiments).
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or out of bounds.
+    pub fn with_position_subset(&self, indices: &[usize]) -> MovingObject {
+        MovingObject::new(
+            self.id,
+            indices.iter().map(|&i| self.positions[i]).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let o = MovingObject::new(7, vec![Point::new(1.0, 2.0), Point::new(3.0, 0.0)]);
+        assert_eq!(o.id(), 7);
+        assert_eq!(o.position_count(), 2);
+        let mbr = o.mbr();
+        assert_eq!(mbr.lo(), Point::new(1.0, 0.0));
+        assert_eq!(mbr.hi(), Point::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn single_position_object_has_degenerate_mbr() {
+        let o = MovingObject::new(1, vec![Point::new(5.0, 5.0)]);
+        assert_eq!(o.mbr().area(), 0.0);
+    }
+
+    #[test]
+    fn subset_selects_positions() {
+        let o = MovingObject::new(
+            1,
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+        );
+        let s = o.with_position_subset(&[0, 2]);
+        assert_eq!(s.positions(), &[Point::new(0.0, 0.0), Point::new(2.0, 2.0)]);
+        assert_eq!(s.id(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one position")]
+    fn empty_object_rejected() {
+        let _ = MovingObject::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_position_rejected() {
+        let _ = MovingObject::new(1, vec![Point::new(f64::NAN, 0.0)]);
+    }
+}

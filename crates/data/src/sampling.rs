@@ -1,0 +1,208 @@
+//! Deterministic sub-sampling utilities used across the evaluation.
+//!
+//! * candidate groups — "we choose 200, 400, …, 1,000 positions from
+//!   check-in coordinates as candidate locations by random uniform
+//!   sampling" (§6.1) and "we randomly choose 50 different groups of
+//!   candidates" (§6.2, Tables 3–4);
+//! * object subsets — "2k to 10k objects chosen randomly from Gowalla"
+//!   (Fig. 9);
+//! * position subsets — "we generate five different instances of it by
+//!   choosing 10, …, 50 positions randomly from all its positions"
+//!   (Fig. 11b);
+//! * position-count groups — Table 5's five groups.
+
+use crate::dataset::Dataset;
+use crate::object::MovingObject;
+use pinocchio_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's Table 5 grouping boundaries: `[lo, hi)` position-count
+/// ranges (the last bound is inclusive of the paper's maximum, 780).
+pub const TABLE5_BOUNDS: [(usize, usize); 5] =
+    [(1, 10), (10, 30), (30, 50), (50, 70), (70, 781)];
+
+/// A group of objects sharing a position-count range.
+#[derive(Debug, Clone)]
+pub struct PositionCountGroup {
+    /// Inclusive lower bound on position count.
+    pub lo: usize,
+    /// Exclusive upper bound on position count.
+    pub hi: usize,
+    /// Indices into the dataset's object slice.
+    pub object_indices: Vec<usize>,
+}
+
+/// Buckets the dataset's objects by position count into `[lo, hi)`
+/// ranges (Table 5). Objects outside every range are dropped.
+pub fn group_by_position_count(
+    dataset: &Dataset,
+    bounds: &[(usize, usize)],
+) -> Vec<PositionCountGroup> {
+    bounds
+        .iter()
+        .map(|&(lo, hi)| {
+            assert!(lo < hi, "empty group bound [{lo}, {hi})");
+            PositionCountGroup {
+                lo,
+                hi,
+                object_indices: dataset
+                    .objects()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| (lo..hi).contains(&o.position_count()))
+                    .map(|(i, _)| i)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates).
+fn sample_indices(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Uniformly samples `size` distinct venues as a candidate group.
+///
+/// Returns `(venue_indices, candidate_points)`; the indices let the
+/// evaluation look up ground-truth popularity for each candidate.
+pub fn sample_candidate_group(
+    dataset: &Dataset,
+    size: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = sample_indices(dataset.venues().len(), size, &mut rng);
+    let pts = idx.iter().map(|&i| dataset.venues()[i].position).collect();
+    (idx, pts)
+}
+
+/// Uniformly samples `k` objects (cloned) from the dataset (Fig. 9).
+pub fn sample_objects(dataset: &Dataset, k: usize, seed: u64) -> Vec<MovingObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_indices(dataset.objects().len(), k, &mut rng)
+        .into_iter()
+        .map(|i| dataset.objects()[i].clone())
+        .collect()
+}
+
+/// Restricts each given object to `k` randomly chosen positions
+/// (Fig. 11b / Fig. 13 instance construction). Objects with fewer than
+/// `k` positions are skipped.
+pub fn resample_positions(
+    objects: &[MovingObject],
+    k: usize,
+    seed: u64,
+) -> Vec<MovingObject> {
+    assert!(k >= 1, "objects need at least one position");
+    let mut rng = StdRng::seed_from_u64(seed);
+    objects
+        .iter()
+        .filter(|o| o.position_count() >= k)
+        .map(|o| {
+            let idx = sample_indices(o.position_count(), k, &mut rng);
+            o.with_position_subset(&idx)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, SyntheticGenerator};
+
+    fn data() -> Dataset {
+        SyntheticGenerator::new(GeneratorConfig::small(120, 7)).generate()
+    }
+
+    #[test]
+    fn grouping_partitions_by_count() {
+        let d = data();
+        let groups = group_by_position_count(&d, &TABLE5_BOUNDS);
+        assert_eq!(groups.len(), 5);
+        for g in &groups {
+            for &i in &g.object_indices {
+                let n = d.objects()[i].position_count();
+                assert!((g.lo..g.hi).contains(&n));
+            }
+        }
+        // Groups are disjoint.
+        let total: usize = groups.iter().map(|g| g.object_indices.len()).sum();
+        let mut all: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.object_indices.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total);
+    }
+
+    #[test]
+    fn candidate_groups_are_distinct_venues() {
+        let d = data();
+        let (idx, pts) = sample_candidate_group(&d, 50, 1);
+        assert_eq!(idx.len(), 50);
+        assert_eq!(pts.len(), 50);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "indices must be distinct");
+        for (i, p) in idx.iter().zip(&pts) {
+            assert_eq!(d.venues()[*i].position, *p);
+        }
+    }
+
+    #[test]
+    fn candidate_groups_differ_by_seed_but_not_by_call() {
+        let d = data();
+        let (a, _) = sample_candidate_group(&d, 30, 5);
+        let (b, _) = sample_candidate_group(&d, 30, 5);
+        let (c, _) = sample_candidate_group(&d, 30, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn object_sampling_clones_distinct_objects() {
+        let d = data();
+        let sample = sample_objects(&d, 40, 3);
+        assert_eq!(sample.len(), 40);
+        let mut ids: Vec<u64> = sample.iter().map(|o| o.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
+    }
+
+    #[test]
+    fn position_resampling_respects_k() {
+        let d = data();
+        let k = 10;
+        let resampled = resample_positions(d.objects(), k, 11);
+        assert!(!resampled.is_empty());
+        for o in &resampled {
+            assert_eq!(o.position_count(), k);
+        }
+        // Every resampled object had at least k positions originally.
+        let eligible = d
+            .objects()
+            .iter()
+            .filter(|o| o.position_count() >= k)
+            .count();
+        assert_eq!(resampled.len(), eligible);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_rejected() {
+        let d = data();
+        let _ = sample_candidate_group(&d, d.venues().len() + 1, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dataset statistics (Table 2 and the §4.3 coverage figures).
+
+use crate::dataset::Dataset;
+use crate::object::MovingObject;
+use std::fmt;
+
+/// Summary statistics of a dataset, mirroring the paper's Table 2 plus
+/// the activity-region coverage figures quoted in §4.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users (moving objects) — Table 2 "user count".
+    pub users: usize,
+    /// Number of venues — Table 2 "venue count".
+    pub venues: usize,
+    /// Total check-ins — Table 2 "check-ins".
+    pub checkins: usize,
+    /// Mean check-ins per user — Table 2 "avg. check-ins".
+    pub avg_checkins: f64,
+    /// Minimum check-ins per user — Table 2 "min check-ins".
+    pub min_checkins: usize,
+    /// Maximum check-ins per user — Table 2 "max check-ins".
+    pub max_checkins: usize,
+    /// Frame width (km) — §4.3 "the entire longitude … covers 39.22 km".
+    pub frame_width_km: f64,
+    /// Frame height (km).
+    pub frame_height_km: f64,
+    /// Average object-MBR width (km) — §4.3 "on average each object
+    /// covers 22.51 km".
+    pub avg_object_width_km: f64,
+    /// Average object-MBR height (km).
+    pub avg_object_height_km: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let counts: Vec<usize> = dataset
+            .objects()
+            .iter()
+            .map(MovingObject::position_count)
+            .collect();
+        let checkins: usize = counts.iter().sum();
+        let frame = dataset.frame();
+        let n = dataset.objects().len() as f64;
+        let (mut wsum, mut hsum) = (0.0, 0.0);
+        for o in dataset.objects() {
+            let m = o.mbr();
+            wsum += m.width();
+            hsum += m.height();
+        }
+        DatasetStats {
+            name: dataset.name().to_string(),
+            users: dataset.objects().len(),
+            venues: dataset.venues().len(),
+            checkins,
+            avg_checkins: checkins as f64 / n,
+            min_checkins: counts.iter().copied().min().unwrap_or(0),
+            max_checkins: counts.iter().copied().max().unwrap_or(0),
+            frame_width_km: frame.width(),
+            frame_height_km: frame.height(),
+            avg_object_width_km: wsum / n,
+            avg_object_height_km: hsum / n,
+        }
+    }
+
+    /// Fraction of the frame each object covers on average, per axis —
+    /// the paper's "~55 % of each dimension" overlap measure.
+    pub fn avg_coverage(&self) -> (f64, f64) {
+        (
+            self.avg_object_width_km / self.frame_width_km,
+            self.avg_object_height_km / self.frame_height_km,
+        )
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset         {}", self.name)?;
+        writeln!(f, "user count      {}", self.users)?;
+        writeln!(f, "venue count     {}", self.venues)?;
+        writeln!(f, "check-ins       {}", self.checkins)?;
+        writeln!(f, "avg. check-ins  {:.0}", self.avg_checkins)?;
+        writeln!(f, "min check-ins   {}", self.min_checkins)?;
+        writeln!(f, "max check-ins   {}", self.max_checkins)?;
+        writeln!(
+            f,
+            "frame           {:.2} x {:.2} km",
+            self.frame_width_km, self.frame_height_km
+        )?;
+        let (cx, cy) = self.avg_coverage();
+        write!(
+            f,
+            "avg object MBR  {:.2} x {:.2} km ({:.0}% x {:.0}% of frame)",
+            self.avg_object_width_km,
+            self.avg_object_height_km,
+            cx * 100.0,
+            cy * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, SyntheticGenerator};
+    use crate::Venue;
+    use pinocchio_geo::Point;
+
+    #[test]
+    fn stats_of_toy_dataset() {
+        let d = Dataset::new(
+            "toy",
+            vec![
+                MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(4.0, 3.0)]),
+                MovingObject::new(1, vec![Point::new(2.0, 1.0)]),
+            ],
+            vec![Venue {
+                position: Point::new(0.0, 0.0),
+                checkins: 3,
+                distinct_visitors: 2,
+            }],
+        );
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.venues, 1);
+        assert_eq!(s.checkins, 3);
+        assert_eq!(s.min_checkins, 1);
+        assert_eq!(s.max_checkins, 2);
+        assert!((s.avg_checkins - 1.5).abs() < 1e-12);
+        assert_eq!(s.frame_width_km, 4.0);
+        assert_eq!(s.frame_height_km, 3.0);
+        assert_eq!(s.avg_object_width_km, 2.0);
+        assert_eq!(s.avg_object_height_km, 1.5);
+    }
+
+    #[test]
+    fn generated_stats_match_config() {
+        let cfg = GeneratorConfig::small(80, 3);
+        let d = SyntheticGenerator::new(cfg.clone()).generate();
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.users, cfg.n_users);
+        assert_eq!(s.venues, cfg.n_venues);
+        assert!(s.min_checkins >= cfg.checkins_min);
+        assert!(s.max_checkins <= cfg.checkins_max);
+        let (cx, cy) = s.avg_coverage();
+        assert!(cx > 0.0 && cx <= 1.0);
+        assert!(cy > 0.0 && cy <= 1.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let d = SyntheticGenerator::new(GeneratorConfig::small(30, 1)).generate();
+        let text = DatasetStats::of(&d).to_string();
+        assert!(text.contains("user count"));
+        assert!(text.contains("check-ins"));
+        assert!(text.contains("frame"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Ground-truth rankings from venue popularity.
+//!
+//! The effectiveness experiments treat "the actual check-in logs at
+//! candidate locations, which have been assumed unknown in our
+//! framework, as the ground-truth" (§6.2). Candidates are sampled from
+//! the venue pool, so each candidate's ground truth is its venue's
+//! check-in count.
+
+use pinocchio_data::Dataset;
+
+/// Ranks the candidates of a group (given as venue indices into
+/// `dataset.venues()`) by descending ground-truth check-in count, ties
+/// towards the smaller candidate position.
+///
+/// The returned ranking contains *candidate positions* `0..group.len()`,
+/// directly comparable to solver rankings over the same group.
+///
+/// # Panics
+/// Panics if any venue index is out of bounds.
+pub fn relevant_ranking(dataset: &Dataset, venue_indices: &[usize]) -> Vec<usize> {
+    let counts: Vec<u64> = venue_indices
+        .iter()
+        .map(|&v| dataset.venues()[v].checkins)
+        .collect();
+    let mut ranking: Vec<usize> = (0..venue_indices.len()).collect();
+    ranking.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+    ranking
+}
+
+/// As [`relevant_ranking`] but ranking by *distinct visitors* instead of
+/// raw check-ins — the influence semantics counts objects, so this is
+/// the fairer yardstick for ablation studies.
+pub fn relevant_ranking_by_visitors(dataset: &Dataset, venue_indices: &[usize]) -> Vec<usize> {
+    let counts: Vec<u64> = venue_indices
+        .iter()
+        .map(|&v| dataset.venues()[v].distinct_visitors)
+        .collect();
+    let mut ranking: Vec<usize> = (0..venue_indices.len()).collect();
+    ranking.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+    ranking
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_data::{Dataset, MovingObject, Venue};
+    use pinocchio_geo::Point;
+
+    fn dataset() -> Dataset {
+        let venue = |x: f64, c: u64, v: u64| Venue {
+            position: Point::new(x, 0.0),
+            checkins: c,
+            distinct_visitors: v,
+        };
+        Dataset::new(
+            "toy",
+            vec![MovingObject::new(0, vec![Point::ORIGIN])],
+            vec![
+                venue(0.0, 5, 2),
+                venue(1.0, 50, 1),
+                venue(2.0, 5, 5),
+                venue(3.0, 9, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn ranks_by_checkins_descending() {
+        let d = dataset();
+        // Group over venues [0, 1, 2, 3] → counts [5, 50, 5, 9].
+        let r = relevant_ranking(&d, &[0, 1, 2, 3]);
+        assert_eq!(r, vec![1, 3, 0, 2]); // tie 5 = 5 → smaller position first
+    }
+
+    #[test]
+    fn ranking_is_relative_to_the_group() {
+        let d = dataset();
+        // Group over venues [3, 1] → counts [9, 50] → positions [1, 0].
+        let r = relevant_ranking(&d, &[3, 1]);
+        assert_eq!(r, vec![1, 0]);
+    }
+
+    #[test]
+    fn visitor_ranking_differs_when_popularity_is_concentrated() {
+        let d = dataset();
+        let by_checkins = relevant_ranking(&d, &[0, 1, 2, 3]);
+        let by_visitors = relevant_ranking_by_visitors(&d, &[0, 1, 2, 3]);
+        assert_eq!(by_visitors, vec![2, 3, 0, 1]); // visitors [2,1,5,3]
+        assert_ne!(by_checkins, by_visitors);
+    }
+}

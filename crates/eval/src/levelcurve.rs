@@ -1,0 +1,95 @@
+//! Level-curve construction: tuning `τ` to hit a target influence.
+//!
+//! Fig. 13 builds ⟨n, τ⟩ pairs with equal maximum influence: fixing the
+//! position count `n`, the threshold `τ` is tuned "until their maximum
+//! influences equal the reference". The maximum influence is monotone
+//! non-increasing in `τ` (a higher bar influences no more objects), so a
+//! bisection over `τ` finds the level curve.
+
+/// Finds a `τ ∈ (lo, hi)` whose maximum influence (as reported by
+/// `max_influence_at`) is as close as possible to `target`.
+///
+/// `max_influence_at` is typically a closure running PINOCCHIO-VO at the
+/// given threshold. The influence is integer-valued and step-wise in
+/// `τ`, so an exact hit may not exist; the search returns the best `τ`
+/// seen together with its influence after `iterations` bisection steps.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi < 1` and `iterations > 0`.
+pub fn tune_tau(
+    mut max_influence_at: impl FnMut(f64) -> u32,
+    target: u32,
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+) -> (f64, u32) {
+    assert!(0.0 < lo && lo < hi && hi < 1.0, "need 0 < lo < hi < 1");
+    assert!(iterations > 0, "need at least one iteration");
+
+    let (mut lo, mut hi) = (lo, hi);
+    let mut best: Option<(f64, u32)> = None;
+    let consider = |tau: f64, inf: u32, best: &mut Option<(f64, u32)>| {
+        let dist = inf.abs_diff(target);
+        match best {
+            Some((_, b)) if b.abs_diff(target) <= dist => {}
+            _ => *best = Some((tau, inf)),
+        }
+    };
+
+    for _ in 0..iterations {
+        let mid = (lo + hi) / 2.0;
+        let inf = max_influence_at(mid);
+        consider(mid, inf, &mut best);
+        if inf == target {
+            break;
+        }
+        if inf > target {
+            // influence too high ⇒ raise the bar
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_a_smooth_monotone_function() {
+        // influence(τ) = round(100·(1−τ)) — strictly decreasing.
+        let f = |tau: f64| (100.0 * (1.0 - tau)).round() as u32;
+        let (tau, inf) = tune_tau(f, 30, 0.01, 0.99, 40);
+        assert_eq!(inf, 30);
+        assert!((tau - 0.7).abs() < 0.01, "tau = {tau}");
+    }
+
+    #[test]
+    fn returns_nearest_on_step_functions() {
+        // Step function that skips the exact target value.
+        let f = |tau: f64| if tau < 0.5 { 80 } else { 20 };
+        let (_, inf) = tune_tau(f, 50, 0.01, 0.99, 30);
+        assert!(inf == 80 || inf == 20);
+        // 80 and 20 are equidistant from 50; either answer is acceptable,
+        // but the function must terminate and return one of them.
+    }
+
+    #[test]
+    fn counts_calls_economically() {
+        let mut calls = 0;
+        let f = |tau: f64| {
+            calls += 1;
+            (1000.0 * (1.0 - tau)) as u32
+        };
+        let _ = tune_tau(f, 500, 0.01, 0.99, 25);
+        assert!(calls <= 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi < 1")]
+    fn invalid_bracket_rejected() {
+        let _ = tune_tau(|_| 0, 1, 0.9, 0.1, 5);
+    }
+}

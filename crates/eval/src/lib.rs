@@ -1,0 +1,30 @@
+//! Evaluation toolkit: effectiveness metrics, ground truth handling,
+//! curve fitting and result formatting for the experiment harness.
+//!
+//! * [`metrics`] — `Precision@K` and `AveragePrecision@K` over Top-K
+//!   recommendation lists (Tables 3–4; footnote 6 notes `Recall@K`
+//!   equals `Precision@K` in this setting because the relevant and
+//!   recommended lists share `K`),
+//! * [`ground_truth`] — relevant-location rankings from per-venue
+//!   check-in counts,
+//! * [`polyfit`] — least-squares polynomial fitting (the paper fits the
+//!   ⟨n, τ⟩ level curve with Matlab's `polyfit` in Fig. 13b),
+//! * [`levelcurve`] — tuning `τ` so a configuration hits a target
+//!   maximum influence (the level-curve construction of Fig. 13a),
+//! * [`table`] — fixed-width text tables and CSV emission for the
+//!   experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground_truth;
+pub mod levelcurve;
+pub mod metrics;
+pub mod polyfit;
+pub mod table;
+
+pub use ground_truth::relevant_ranking;
+pub use levelcurve::tune_tau;
+pub use metrics::{average_precision_at_k, precision_at_k};
+pub use polyfit::Polynomial;
+pub use table::Table;

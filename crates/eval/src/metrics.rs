@@ -1,0 +1,114 @@
+//! Top-K effectiveness metrics (Tables 3–4).
+//!
+//! The paper ranks the top `K` of the candidate set by ground-truth
+//! check-in counts as the *relevant* locations and the top `K` returned
+//! by each method as the *recommended* locations, then reports
+//! `Precision@K` and `AveragePrecision@K` averaged over 50 candidate
+//! groups.
+
+use std::collections::HashSet;
+
+/// `Precision@K`: fraction of the first `K` recommendations that appear
+/// among the first `K` relevant items.
+///
+/// Because both lists are cut at the same `K`, `Recall@K` coincides with
+/// `Precision@K` (paper, footnote 6).
+///
+/// # Panics
+/// Panics if `k == 0` or either list is shorter than `k`.
+pub fn precision_at_k(recommended: &[usize], relevant: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "K must be positive");
+    assert!(
+        recommended.len() >= k && relevant.len() >= k,
+        "both rankings must contain at least K = {k} items"
+    );
+    let relevant_set: HashSet<usize> = relevant[..k].iter().copied().collect();
+    let hits = recommended[..k]
+        .iter()
+        .filter(|i| relevant_set.contains(i))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// `AveragePrecision@K`: `(1/K) · Σ_{i=1..K} rel(i) · Precision@i`,
+/// where `rel(i)` is 1 when the i-th recommendation is relevant.
+///
+/// Rewards placing relevant items early; always ≤ `Precision@K`.
+///
+/// # Panics
+/// Panics if `k == 0` or either list is shorter than `k`.
+pub fn average_precision_at_k(recommended: &[usize], relevant: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "K must be positive");
+    assert!(
+        recommended.len() >= k && relevant.len() >= k,
+        "both rankings must contain at least K = {k} items"
+    );
+    let relevant_set: HashSet<usize> = relevant[..k].iter().copied().collect();
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, item) in recommended[..k].iter().enumerate() {
+        if relevant_set.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranking = [4, 2, 7, 1, 9];
+        assert_eq!(precision_at_k(&ranking, &ranking, 5), 1.0);
+        assert_eq!(average_precision_at_k(&ranking, &ranking, 5), 1.0);
+    }
+
+    #[test]
+    fn disjoint_ranking_scores_zero() {
+        let rec = [0, 1, 2];
+        let rel = [3, 4, 5];
+        assert_eq!(precision_at_k(&rec, &rel, 3), 0.0);
+        assert_eq!(average_precision_at_k(&rec, &rel, 3), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_set_overlap_only() {
+        // Order within the top-K does not matter for P@K.
+        let rec = [2, 0, 9];
+        let rel = [0, 1, 2];
+        // overlap {0, 2} of 3.
+        assert!((precision_at_k(&rec, &rel, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        let rel = [0, 1, 2, 3];
+        let early = [0, 9, 8, 7]; // hit at rank 1
+        let late = [9, 8, 7, 0]; // hit at rank 4
+        let ap_early = average_precision_at_k(&early, &rel, 4);
+        let ap_late = average_precision_at_k(&late, &rel, 4);
+        assert!(ap_early > ap_late);
+        assert!((ap_early - 0.25).abs() < 1e-12); // P@1 = 1, /4
+        assert!((ap_late - 0.0625).abs() < 1e-12); // P@4 = 1/4, /4
+    }
+
+    #[test]
+    fn ap_never_exceeds_precision() {
+        let rec = [5, 3, 1, 0, 2, 4];
+        let rel = [0, 1, 2, 3, 4, 5];
+        for k in 1..=6 {
+            let p = precision_at_k(&rec, &rel, k);
+            let ap = average_precision_at_k(&rec, &rel, k);
+            assert!(ap <= p + 1e-12, "k={k}: AP {ap} > P {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least K")]
+    fn short_ranking_rejected() {
+        let _ = precision_at_k(&[1, 2], &[1, 2, 3], 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Least-squares polynomial fitting.
+//!
+//! Fig. 13b fits the ⟨n, τ⟩ level curve "by Matlab's polyfit"; this
+//! module provides the same mathematics: minimise
+//! `Σᵢ (yᵢ − p(xᵢ))²` over polynomials `p` of a given degree, solved via
+//! the normal equations with partial-pivot Gaussian elimination. For the
+//! tiny systems involved (degree ≤ 5, a handful of points) this is
+//! numerically more than adequate.
+
+use std::fmt;
+
+/// A polynomial `c₀ + c₁·x + … + c_d·x^d` fitted by least squares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Fits a polynomial of `degree` to the points `(xs[i], ys[i])`.
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length, contain fewer than
+    /// `degree + 1` points, or the normal equations are singular
+    /// (e.g. duplicated x values with too few distinct abscissae).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must pair up");
+        let n = degree + 1;
+        assert!(
+            xs.len() >= n,
+            "need at least {n} points for degree {degree}, got {}",
+            xs.len()
+        );
+
+        // Normal equations: (VᵀV) c = Vᵀy with V the Vandermonde matrix.
+        let mut ata = vec![vec![0.0f64; n]; n];
+        let mut aty = vec![0.0f64; n];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let mut powers = vec![1.0f64; 2 * n - 1];
+            for k in 1..2 * n - 1 {
+                powers[k] = powers[k - 1] * x;
+            }
+            for (i, row) in ata.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell += powers[i + j];
+                }
+                aty[i] += powers[i] * y;
+            }
+        }
+        let coefficients = solve_linear(ata, aty);
+        Polynomial { coefficients }
+    }
+
+    /// The coefficients, lowest order first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Root-mean-square error of the fit over the given points.
+    pub fn rms_error(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        let sq: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (self.eval(x) - y).powi(2))
+            .sum();
+        (sq / xs.len() as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    /// Writes `c0 + c1·x^1 + c2·x^2 …` with 4 decimal places.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.coefficients.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{c:.4}")?;
+            } else {
+                write!(f, " {} {:.4}·x^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        assert!(
+            a[pivot][col].abs() > 1e-12,
+            "singular normal equations: supply more distinct x values"
+        );
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (cell, &p) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_of_a_quadratic() {
+        // y = 2 − 3x + 0.5x²
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let p = Polynomial::fit(&xs, &ys, 2);
+        let c = p.coefficients();
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] + 3.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+        assert!(p.rms_error(&xs, &ys) < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_of_noisy_line_recovers_slope() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 5.0).collect();
+        // Deterministic "noise" of mean zero.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 1.0 + 4.0 * x + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let p = Polynomial::fit(&xs, &ys, 1);
+        assert!((p.coefficients()[1] - 4.0).abs() < 0.01);
+        assert!(p.rms_error(&xs, &ys) < 0.06);
+    }
+
+    #[test]
+    fn eval_uses_horner_correctly() {
+        let p = Polynomial {
+            coefficients: vec![1.0, 0.0, -2.0], // 1 − 2x²
+        };
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(2.0), -7.0);
+    }
+
+    #[test]
+    fn higher_degree_never_fits_worse() {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 / 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 1.3).sin()).collect();
+        let mut last = f64::INFINITY;
+        for degree in 1..=5 {
+            let err = Polynomial::fit(&xs, &ys, degree).rms_error(&xs, &ys);
+            assert!(err <= last + 1e-9, "degree {degree}: {err} > {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn underdetermined_fit_rejected() {
+        let _ = Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn duplicate_xs_rejected() {
+        let _ = Polynomial::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Polynomial {
+            coefficients: vec![0.5, -1.25],
+        };
+        let s = p.to_string();
+        assert!(s.contains("0.5000"), "{s}");
+        assert!(s.contains("1.2500·x^1"), "{s}");
+    }
+}

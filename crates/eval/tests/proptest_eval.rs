@@ -1,0 +1,105 @@
+//! Property-based tests of the evaluation toolkit.
+
+use pinocchio_eval::{average_precision_at_k, precision_at_k, tune_tau, Polynomial};
+use proptest::prelude::*;
+
+/// A random permutation of `0..n`, derived from a seed vector.
+fn arb_permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(any::<u64>(), n).prop_map(move |keys| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        idx
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// P@K and AP@K live in [0, 1] with AP ≤ P, and a ranking scored
+    /// against itself is perfect.
+    #[test]
+    fn metric_bounds(
+        (rec, rel) in (10usize..40).prop_flat_map(|n| (arb_permutation(n), arb_permutation(n))),
+        k_frac in 0.1f64..1.0,
+    ) {
+        let k = ((rec.len() as f64 * k_frac) as usize).max(1);
+        let p = precision_at_k(&rec, &rel, k);
+        let ap = average_precision_at_k(&rec, &rel, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&ap));
+        prop_assert!(ap <= p + 1e-12);
+        prop_assert_eq!(precision_at_k(&rec, &rec, k), 1.0);
+        prop_assert_eq!(average_precision_at_k(&rec, &rec, k), 1.0);
+    }
+
+    /// Precision@K only depends on the top-K *sets*: permuting the order
+    /// inside each top-K prefix leaves it unchanged.
+    #[test]
+    fn precision_is_set_based(
+        (rec, rel) in (10usize..30).prop_flat_map(|n| (arb_permutation(n), arb_permutation(n))),
+        k_frac in 0.2f64..1.0,
+        swap in any::<bool>(),
+    ) {
+        let k = ((rec.len() as f64 * k_frac) as usize).max(2);
+        let base = precision_at_k(&rec, &rel, k);
+        let mut shuffled = rec.clone();
+        if swap {
+            shuffled.swap(0, k - 1); // stays within the top-K prefix
+        } else {
+            shuffled[..k].reverse();
+        }
+        prop_assert_eq!(precision_at_k(&shuffled, &rel, k), base);
+    }
+
+    /// Exact polynomial data is recovered to machine precision.
+    #[test]
+    fn polyfit_recovers_exact_polynomials(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 1..5),
+        n_extra in 0usize..10,
+    ) {
+        let degree = coeffs.len() - 1;
+        let truth = |x: f64| coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+        let xs: Vec<f64> = (0..coeffs.len() + n_extra).map(|i| i as f64 * 0.7 + 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let fit = Polynomial::fit(&xs, &ys, degree);
+        prop_assert!(fit.rms_error(&xs, &ys) < 1e-6, "rms {}", fit.rms_error(&xs, &ys));
+        // Interpolates at an unseen point too.
+        let x = 0.37;
+        prop_assert!((fit.eval(x) - truth(x)).abs() < 1e-6);
+    }
+
+    /// tune_tau on any monotone non-increasing step function terminates
+    /// and never returns something farther from the target than the best
+    /// value it probed.
+    #[test]
+    fn tune_tau_returns_best_probed(
+        plateaus in prop::collection::vec(0u32..1000, 2..8),
+        target in 0u32..1000,
+    ) {
+        // Build a non-increasing step function over (0, 1).
+        let mut sorted = plateaus.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let f = |tau: f64| {
+            let idx = ((tau * sorted.len() as f64) as usize).min(sorted.len() - 1);
+            sorted[idx]
+        };
+        let mut probed: Vec<u32> = Vec::new();
+        let (_, inf) = tune_tau(
+            |tau| {
+                let v = f(tau);
+                probed.push(v);
+                v
+            },
+            target,
+            0.01,
+            0.99,
+            20,
+        );
+        let best_probed = probed
+            .iter()
+            .map(|v| v.abs_diff(target))
+            .min()
+            .expect("probed at least once");
+        prop_assert_eq!(inf.abs_diff(target), best_probed);
+    }
+}

@@ -1,0 +1,35 @@
+//! Geometry kernel for the PINOCCHIO location-selection framework.
+//!
+//! This crate provides the spatial primitives that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Point`] — a position in a two-dimensional plane (projected
+//!   kilometres) or on the sphere (degrees of longitude/latitude),
+//! * [`Mbr`] — minimum bounding rectangles with the `minDist`/`maxDist`
+//!   metrics of Roussopoulos et al. that the paper's pruning rules are
+//!   built on,
+//! * [`metric`] — pluggable distance metrics (planar Euclidean and
+//!   great-circle haversine),
+//! * [`region`] — membership tests and areas for the paper's two pruning
+//!   regions: the *influence-arcs* region (Lemma 2) and the
+//!   *non-influence boundary* (Lemma 3),
+//! * [`projection`] — an equirectangular projection for turning raw
+//!   longitude/latitude check-ins into a local planar frame measured in
+//!   kilometres.
+//!
+//! The crate is dependency-free and forbids `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mbr;
+pub mod metric;
+pub mod point;
+pub mod projection;
+pub mod region;
+
+pub use mbr::Mbr;
+pub use metric::{DistanceMetric, Euclidean, Haversine};
+pub use point::Point;
+pub use projection::EquirectangularProjection;
+pub use region::{InfluenceRegions, RegionVerdict};

@@ -1,0 +1,322 @@
+//! Minimum bounding rectangles and the `minDist`/`maxDist` metrics.
+//!
+//! The paper models every moving object `O` by the MBR of its positions
+//! (§3.1) and bases both pruning rules on two classic point↔rectangle
+//! metrics from Roussopoulos et al. (§4.2):
+//!
+//! * `minDist(p, R)` — the smallest possible distance from `p` to any
+//!   point of `R` (zero when `p` lies inside `R`), and
+//! * `maxDist(p, R)` — the largest possible distance from `p` to any point
+//!   of `R`, realised at the corner of `R` farthest from `p`.
+
+use crate::point::Point;
+
+/// An axis-aligned minimum bounding rectangle.
+///
+/// Invariant: `lo.x <= hi.x && lo.y <= hi.y`. Degenerate rectangles
+/// (zero width and/or height) are valid and arise naturally for moving
+/// objects with a single position, in which case PRIME-LS degenerates to
+/// classical location selection (Remark, §4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    lo: Point,
+    hi: Point,
+}
+
+impl Mbr {
+    /// Creates an MBR from two opposite corners given in any order.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Mbr {
+            lo: a.min(&b),
+            hi: a.max(&b),
+        }
+    }
+
+    /// The MBR of a single point (a degenerate rectangle).
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Mbr { lo: p, hi: p }
+    }
+
+    /// The tightest MBR enclosing all `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_points(points: &[Point]) -> Option<Self> {
+        let (first, rest) = points.split_first()?;
+        let mut mbr = Mbr::from_point(*first);
+        for p in rest {
+            mbr.expand_to(p);
+        }
+        Some(mbr)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width (extent along x), in the same units as the coordinates.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (extent along y).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area (`width × height`).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter (`width + height`), the classic R-tree "margin".
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(&self.hi)
+    }
+
+    /// The four corners in counter-clockwise order starting at `lo`.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.lo,
+            Point::new(self.hi.x, self.lo.y),
+            self.hi,
+            Point::new(self.lo.x, self.hi.y),
+        ]
+    }
+
+    /// Grows the MBR in place so it encloses `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: &Point) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// The smallest MBR enclosing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// Area increase required for `self` to enclose `other`
+    /// (the R-tree insertion heuristic).
+    #[inline]
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether `p` lies inside or on the boundary of the rectangle.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside `self` (boundaries included).
+    #[inline]
+    pub fn contains_mbr(&self, other: &Mbr) -> bool {
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// Whether the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Squared `minDist` from `p` to the rectangle.
+    ///
+    /// Zero when `p` is inside. Keeping the squared form avoids `sqrt` in
+    /// pruning comparisons (`minDist > μ` ⇔ `minDistSq > μ²`).
+    #[inline]
+    pub fn min_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        dx * dx + dy * dy
+    }
+
+    /// `minDist` from `p` to the rectangle (Roussopoulos et al.).
+    #[inline]
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        self.min_dist_sq(p).sqrt()
+    }
+
+    /// Squared `maxDist` from `p` to the rectangle.
+    ///
+    /// Realised at the corner farthest from `p`: independently per axis,
+    /// the farther of the two rectangle extents.
+    #[inline]
+    pub fn max_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
+        let dy = (p.y - self.lo.y).abs().max((p.y - self.hi.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// `maxDist` from `p` to the rectangle.
+    #[inline]
+    pub fn max_dist(&self, p: &Point) -> f64 {
+        self.max_dist_sq(p).sqrt()
+    }
+
+    /// The MBR inflated by `r` on every side (the Minkowski sum with an
+    /// axis-aligned square of half-width `r`). This is the rectangular
+    /// over-approximation of the non-influence boundary that Algorithm 1
+    /// stores per object ("we use the MBR of NIB to prune candidates in a
+    /// more efficient way", §4.3).
+    #[inline]
+    pub fn inflate(&self, r: f64) -> Mbr {
+        debug_assert!(r >= 0.0);
+        Mbr {
+            lo: Point::new(self.lo.x - r, self.lo.y - r),
+            hi: Point::new(self.hi.x + r, self.hi.y + r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Mbr {
+        Mbr::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0))
+    }
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let m = Mbr::new(Point::new(4.0, 0.0), Point::new(0.0, 2.0));
+        assert_eq!(m.lo(), Point::new(0.0, 0.0));
+        assert_eq!(m.hi(), Point::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(3.0, 2.0),
+        ];
+        let m = Mbr::from_points(&pts).unwrap();
+        assert_eq!(m.lo(), Point::new(-2.0, 0.5));
+        assert_eq!(m.hi(), Point::new(3.0, 5.0));
+        assert!(Mbr::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = rect();
+        assert_eq!(m.width(), 4.0);
+        assert_eq!(m.height(), 2.0);
+        assert_eq!(m.area(), 8.0);
+        assert_eq!(m.margin(), 6.0);
+        assert_eq!(m.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let m = rect();
+        assert!(m.contains_point(&Point::new(2.0, 1.0)));
+        assert!(m.contains_point(&Point::new(0.0, 0.0))); // boundary
+        assert!(!m.contains_point(&Point::new(4.1, 1.0)));
+
+        let inner = Mbr::new(Point::new(1.0, 0.5), Point::new(2.0, 1.5));
+        assert!(m.contains_mbr(&inner));
+        assert!(!inner.contains_mbr(&m));
+        assert!(m.intersects(&inner));
+
+        let disjoint = Mbr::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(!m.intersects(&disjoint));
+
+        let touching = Mbr::new(Point::new(4.0, 0.0), Point::new(5.0, 1.0));
+        assert!(m.intersects(&touching)); // shared edge counts
+    }
+
+    #[test]
+    fn min_dist_zero_inside_positive_outside() {
+        let m = rect();
+        assert_eq!(m.min_dist(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(m.min_dist(&Point::new(7.0, 1.0)), 3.0); // beyond right edge
+        assert_eq!(m.min_dist(&Point::new(2.0, -2.0)), 2.0); // below
+        // diagonal: closest point is the corner (4,2)
+        let d = m.min_dist(&Point::new(7.0, 6.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_is_to_farthest_corner() {
+        let m = rect();
+        // from the centre, the farthest corner is any corner: dist = sqrt(4+1)
+        let d = m.max_dist(&Point::new(2.0, 1.0));
+        assert!((d - 5.0f64.sqrt()).abs() < 1e-12);
+        // from outside near lo, farthest corner is hi
+        let d = m.max_dist(&Point::new(-1.0, -1.0));
+        assert!((d - ((5.0f64).powi(2) + (3.0f64).powi(2)).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_upper_bounds_all_corner_distances() {
+        let m = rect();
+        let p = Point::new(3.5, 9.0);
+        let want = m
+            .corners()
+            .iter()
+            .map(|c| c.euclidean(&p))
+            .fold(0.0_f64, f64::max);
+        assert!((m.max_dist(&p) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = rect();
+        let b = Mbr::new(Point::new(3.0, 1.0), Point::new(6.0, 5.0));
+        let u = a.union(&b);
+        assert_eq!(u.lo(), Point::new(0.0, 0.0));
+        assert_eq!(u.hi(), Point::new(6.0, 5.0));
+        assert_eq!(a.enlargement(&b), u.area() - a.area());
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let m = rect().inflate(1.5);
+        assert_eq!(m.lo(), Point::new(-1.5, -1.5));
+        assert_eq!(m.hi(), Point::new(5.5, 3.5));
+    }
+
+    #[test]
+    fn degenerate_point_mbr() {
+        let p = Point::new(2.0, 3.0);
+        let m = Mbr::from_point(p);
+        assert_eq!(m.area(), 0.0);
+        assert_eq!(m.min_dist(&Point::new(2.0, 5.0)), 2.0);
+        assert_eq!(m.max_dist(&Point::new(2.0, 5.0)), 2.0);
+        // For a degenerate MBR, minDist == maxDist == point distance
+        // (the paper's remark that PRIME-LS degenerates to classical LS).
+    }
+}

@@ -1,0 +1,148 @@
+//! Distance metrics.
+//!
+//! The paper computes influence probabilities from the *geographic
+//! spherical distance* between a candidate and a position (§3.1,
+//! footnote 5), while all of its geometric pruning machinery
+//! (`minDist`/`maxDist`, MBRs) is planar. This crate therefore offers both:
+//!
+//! * [`Euclidean`] — planar distance over points expressed in kilometres in
+//!   a local projection; this is the metric the solvers run with after the
+//!   dataset has been projected (see [`crate::projection`]), and
+//! * [`Haversine`] — great-circle distance over points expressed as
+//!   `(longitude, latitude)` degrees, used when working directly with raw
+//!   check-in coordinates.
+//!
+//! Both metrics report kilometres so probability functions can be shared.
+
+use crate::point::Point;
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A distance metric over [`Point`]s, reporting kilometres.
+///
+/// Implementations must satisfy the metric axioms on their advertised
+/// domain (identity, symmetry, triangle inequality); the pruning rules in
+/// `pinocchio-core` rely on them.
+pub trait DistanceMetric: Send + Sync {
+    /// Distance between `a` and `b` in kilometres.
+    fn distance(&self, a: &Point, b: &Point) -> f64;
+
+    /// A human-readable name for diagnostics and experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Planar Euclidean distance (kilometres in a local projected frame).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl DistanceMetric for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        a.euclidean(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Great-circle (haversine) distance over `(longitude, latitude)` degrees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Haversine;
+
+impl Haversine {
+    /// Haversine distance in kilometres between two lon/lat points.
+    ///
+    /// Numerically stable for both antipodal and very close points: the
+    /// formula is based on `sin²` of half-angles and a clamped `asin`.
+    pub fn distance_km(a: &Point, b: &Point) -> f64 {
+        let (lon1, lat1) = (a.x.to_radians(), a.y.to_radians());
+        let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let h = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * h.sqrt().clamp(0.0, 1.0).asin()
+    }
+}
+
+impl DistanceMetric for Haversine {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        Haversine::distance_km(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "haversine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        let m = Euclidean;
+        assert_eq!(m.distance(&Point::new(0.0, 0.0), &Point::new(0.0, 2.0)), 2.0);
+        assert_eq!(m.name(), "euclidean");
+    }
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = Point::new(103.8, 1.35); // Singapore
+        assert_eq!(Haversine::distance_km(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude_is_about_111km() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let d = Haversine::distance_km(&a, &b);
+        assert!(close(d, 111.195, 0.05), "got {d}");
+    }
+
+    #[test]
+    fn haversine_longitude_shrinks_with_latitude() {
+        let eq = Haversine::distance_km(&Point::new(0.0, 0.0), &Point::new(1.0, 0.0));
+        let at60 = Haversine::distance_km(&Point::new(0.0, 60.0), &Point::new(1.0, 60.0));
+        // cos(60°) = 0.5
+        assert!(close(at60 / eq, 0.5, 1e-3), "ratio {}", at60 / eq);
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = Point::new(103.85, 1.29);
+        let b = Point::new(-122.42, 37.77);
+        assert!(close(
+            Haversine::distance_km(&a, &b),
+            Haversine::distance_km(&b, &a),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(180.0, 0.0);
+        let d = Haversine::distance_km(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!(close(d, half, 1e-6), "got {d}, want {half}");
+    }
+
+    #[test]
+    fn haversine_triangle_inequality_spot_check() {
+        let a = Point::new(103.8, 1.3);
+        let b = Point::new(104.0, 1.4);
+        let c = Point::new(103.9, 1.5);
+        let ab = Haversine::distance_km(&a, &b);
+        let bc = Haversine::distance_km(&b, &c);
+        let ac = Haversine::distance_km(&a, &c);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Two-dimensional points.
+
+use std::fmt;
+
+/// A position in two-dimensional space.
+///
+/// Throughout the workspace a `Point` is interpreted in one of two frames:
+///
+/// * a **planar frame** where `x`/`y` are kilometres in a local projection
+///   (the frame all algorithms run in), or
+/// * a **geodetic frame** where `x` is longitude and `y` is latitude in
+///   degrees (the frame raw check-in data arrives in; see
+///   [`crate::projection`]).
+///
+/// The struct is deliberately a plain `Copy` pair of `f64`s so that
+/// position arrays (`A_1D` in the paper) are flat, cache-friendly buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (kilometres east, or degrees of longitude).
+    pub x: f64,
+    /// Vertical coordinate (kilometres north, or degrees of latitude).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Squared planar Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::euclidean`] in comparisons: it avoids the
+    /// square root on the hot path.
+    #[inline]
+    pub fn euclidean_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Planar Euclidean distance to `other`.
+    #[inline]
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        self.euclidean_sq(other).sqrt()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite numbers.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.euclidean(&b), 5.0);
+        assert_eq!(a.euclidean_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn euclidean_is_symmetric() {
+        let a = Point::new(-1.5, 2.25);
+        let b = Point::new(7.0, -3.0);
+        assert_eq!(a.euclidean(&b), b.euclidean(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(12.0, -9.5);
+        assert_eq!(p.euclidean(&p), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 9.0);
+        let b = Point::new(4.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(4.0, 9.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn tuple_conversions_round_trip() {
+        let p: Point = (2.5, -1.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.5, -1.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,441 @@
+//! The paper's two pruning regions (§4.2).
+//!
+//! Given a moving object `O` with MBR `R` and its `minMaxRadius` `μ`
+//! (computed in `pinocchio-prob` from `τ`, `n` and the probability
+//! function), the paper defines:
+//!
+//! * the **influence-arcs region** (Definition 6, Lemma 2) — the set of
+//!   points `c` with `maxDist(c, R) ≤ μ`, i.e. the intersection of the
+//!   four discs of radius `μ` centred at the corners of `R`. Every
+//!   candidate inside it is guaranteed to influence `O`;
+//! * the **non-influence boundary** (Definition 7, Lemma 3) — the set of
+//!   points `c` with `minDist(c, R) ≤ μ`, i.e. the Minkowski sum of `R`
+//!   with a disc of radius `μ` (a rounded rectangle). Every candidate
+//!   outside it is guaranteed *not* to influence `O`.
+//!
+//! Candidates between the two boundaries are *undecided* and must be
+//! validated by evaluating the cumulative influence probability.
+//!
+//! [`InfluenceRegions`] packages both tests plus the closed-form /
+//! numerically-integrated areas `S_N` and `S_I` used in the analytical
+//! remark at the end of §4.3 to estimate the fraction of candidates that
+//! survives pruning.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// Classification of a candidate location against one moving object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionVerdict {
+    /// Inside the influence-arcs region: definitely influences the object.
+    Influences,
+    /// Outside the non-influence boundary: definitely does not influence.
+    CannotInfluence,
+    /// Between the boundaries: must be validated exactly.
+    Undecided,
+}
+
+/// Precomputed pruning geometry for one moving object.
+///
+/// Stores the object's MBR, its `minMaxRadius` `μ`, and the inflated
+/// rectangle `MBR(NIB)` that Algorithm 1 keeps as a cheap first-stage
+/// filter. All classification tests are O(1) and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfluenceRegions {
+    mbr: Mbr,
+    radius: f64,
+    radius_sq: f64,
+    /// Rectangular over-approximation of the non-influence boundary.
+    nib_mbr: Mbr,
+}
+
+impl InfluenceRegions {
+    /// Builds the regions for an object with bounding box `mbr` and
+    /// `minMaxRadius` `radius` (must be non-negative and finite).
+    pub fn new(mbr: Mbr, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "minMaxRadius must be finite and non-negative, got {radius}"
+        );
+        InfluenceRegions {
+            mbr,
+            radius,
+            radius_sq: radius * radius,
+            nib_mbr: mbr.inflate(radius),
+        }
+    }
+
+    /// The object's MBR.
+    #[inline]
+    pub fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+
+    /// The `minMaxRadius` `μ` the regions were built with.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The rectangular over-approximation of the non-influence boundary
+    /// (`MBR(O)` inflated by `μ` on each side).
+    #[inline]
+    pub fn nib_mbr(&self) -> Mbr {
+        self.nib_mbr
+    }
+
+    /// Lemma 2 test: is `c` inside the closed influence-arcs region?
+    ///
+    /// Equivalent to `maxDist(c, MBR) ≤ μ`, i.e. `c` is within `μ` of all
+    /// four corners, hence within `μ` of every position of the object.
+    #[inline]
+    pub fn in_influence_arcs(&self, c: &Point) -> bool {
+        self.mbr.max_dist_sq(c) <= self.radius_sq
+    }
+
+    /// Lemma 3 test: is `c` inside the non-influence boundary region?
+    ///
+    /// Equivalent to `minDist(c, MBR) ≤ μ`. A candidate *outside* (test
+    /// returns `false`) can be discarded outright.
+    #[inline]
+    pub fn in_non_influence_boundary(&self, c: &Point) -> bool {
+        self.mbr.min_dist_sq(c) <= self.radius_sq
+    }
+
+    /// Full three-way classification of a candidate.
+    #[inline]
+    pub fn classify(&self, c: &Point) -> RegionVerdict {
+        // Cheap rectangular reject first (the paper's MBR-of-NIB filter).
+        if !self.nib_mbr.contains_point(c) || !self.in_non_influence_boundary(c) {
+            RegionVerdict::CannotInfluence
+        } else if self.in_influence_arcs(c) {
+            RegionVerdict::Influences
+        } else {
+            RegionVerdict::Undecided
+        }
+    }
+
+    /// Exact area `S_N` of the non-influence boundary region:
+    /// `w·h + 2(w+h)·μ + π·μ²` (rounded rectangle, §4.3 Remark).
+    pub fn nib_area(&self) -> f64 {
+        let (w, h, mu) = (self.mbr.width(), self.mbr.height(), self.radius);
+        w * h + 2.0 * (w + h) * mu + std::f64::consts::PI * mu * mu
+    }
+
+    /// Area `S_I` of the influence-arcs region (intersection of the four
+    /// corner discs of radius `μ`).
+    ///
+    /// Empty unless `μ` is at least the half-diagonal of the MBR. The area
+    /// is evaluated by numerically integrating the per-`x` admissible `y`
+    /// interval over the four disc constraints (Simpson-free fine midpoint
+    /// rule; the region boundary is smooth so midpoint converges at
+    /// O(steps⁻²), and `steps = 4096` gives far more accuracy than the
+    /// analytical remark needs).
+    pub fn ia_area(&self) -> f64 {
+        self.ia_area_with_steps(4096)
+    }
+
+    /// As [`InfluenceRegions::ia_area`] with a caller-chosen resolution.
+    pub fn ia_area_with_steps(&self, steps: usize) -> f64 {
+        assert!(steps > 0);
+        let (w, h) = (self.mbr.width(), self.mbr.height());
+        let half_diag_sq = (w * w + h * h) / 4.0;
+        if self.radius_sq < half_diag_sq {
+            return 0.0; // even the centre is farther than μ from a corner
+        }
+        // Work in the MBR-centred frame: corners at (±w/2, ±h/2).
+        let (cx, cy) = (w / 2.0, h / 2.0);
+        // x-extent of the region: constrained by the two corners on the
+        // opposite side: (x ± cx)² + cy² ≤ μ² for the worse of the two.
+        let x_max = (self.radius_sq - cy * cy).max(0.0).sqrt() - cx;
+        if x_max <= 0.0 {
+            return 0.0;
+        }
+        let dx = 2.0 * x_max / steps as f64;
+        let mut area = 0.0;
+        for i in 0..steps {
+            let x = -x_max + (i as f64 + 0.5) * dx;
+            // For corner (sx·cx, sy·cy) the constraint is
+            // (x − sx·cx)² + (y − sy·cy)² ≤ μ².
+            let mut y_lo = f64::NEG_INFINITY;
+            let mut y_hi = f64::INFINITY;
+            for (sx, sy) in [(1.0, 1.0), (1.0, -1.0), (-1.0, 1.0), (-1.0, -1.0)] {
+                let rem = self.radius_sq - (x - sx * cx) * (x - sx * cx);
+                if rem < 0.0 {
+                    y_lo = 0.0;
+                    y_hi = 0.0;
+                    break;
+                }
+                let half = rem.sqrt();
+                y_lo = y_lo.max(sy * cy - half);
+                y_hi = y_hi.min(sy * cy + half);
+            }
+            if y_hi > y_lo {
+                area += (y_hi - y_lo) * dx;
+            }
+        }
+        area
+    }
+
+    /// Expected fraction of uniformly-distributed candidates that survive
+    /// pruning and must be validated: `(S_N − S_I) / S_C`, where `S_C` is
+    /// the area of the candidate frame (§4.3 Remark, `m' = m·(S_N−S_I)/S_C`).
+    ///
+    /// The Remark assumes the candidate frame is much larger than both
+    /// regions (`δ ≫ 1`); when the regions spill past the frame, prefer
+    /// [`InfluenceRegions::expected_survivor_fraction_in_frame`], which
+    /// clips both areas to the frame.
+    pub fn expected_survivor_fraction(&self, candidate_frame_area: f64) -> f64 {
+        assert!(candidate_frame_area > 0.0);
+        ((self.nib_area() - self.ia_area()) / candidate_frame_area).clamp(0.0, 1.0)
+    }
+
+    /// Area of `{c ∈ frame : minDist(c, MBR) ≤ μ}` — the non-influence
+    /// boundary region clipped to a candidate frame (midpoint
+    /// quadrature over the frame's x-extent).
+    pub fn nib_area_in_frame(&self, frame: &Mbr, steps: usize) -> f64 {
+        assert!(steps > 0);
+        let dx = frame.width() / steps as f64;
+        if dx <= 0.0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for i in 0..steps {
+            let x = frame.lo().x + (i as f64 + 0.5) * dx;
+            // For this x, the NIB constraint minDist ≤ μ defines a y
+            // interval: |y − clamp_y| bounded via the residual radius.
+            let dxr = (self.mbr.lo().x - x).max(0.0).max(x - self.mbr.hi().x);
+            let rem = self.radius_sq - dxr * dxr;
+            if rem < 0.0 {
+                continue;
+            }
+            let half = rem.sqrt();
+            let y_lo = (self.mbr.lo().y - half).max(frame.lo().y);
+            let y_hi = (self.mbr.hi().y + half).min(frame.hi().y);
+            if y_hi > y_lo {
+                area += (y_hi - y_lo) * dx;
+            }
+        }
+        area
+    }
+
+    /// Area of the influence-arcs region clipped to a candidate frame.
+    pub fn ia_area_in_frame(&self, frame: &Mbr, steps: usize) -> f64 {
+        assert!(steps > 0);
+        let (w, h) = (self.mbr.width(), self.mbr.height());
+        let half_diag_sq = (w * w + h * h) / 4.0;
+        if self.radius_sq < half_diag_sq {
+            return 0.0;
+        }
+        let center = self.mbr.center();
+        let (cx, cy) = (w / 2.0, h / 2.0);
+        let dx = frame.width() / steps as f64;
+        if dx <= 0.0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for i in 0..steps {
+            // x in the MBR-centred frame.
+            let x = frame.lo().x + (i as f64 + 0.5) * dx - center.x;
+            let mut y_lo = f64::NEG_INFINITY;
+            let mut y_hi = f64::INFINITY;
+            for (sx, sy) in [(1.0, 1.0), (1.0, -1.0), (-1.0, 1.0), (-1.0, -1.0)] {
+                let rem = self.radius_sq - (x - sx * cx) * (x - sx * cx);
+                if rem < 0.0 {
+                    y_lo = 0.0;
+                    y_hi = 0.0;
+                    break;
+                }
+                let half = rem.sqrt();
+                y_lo = y_lo.max(sy * cy - half);
+                y_hi = y_hi.min(sy * cy + half);
+            }
+            let y_lo = (y_lo + center.y).max(frame.lo().y);
+            let y_hi = (y_hi + center.y).min(frame.hi().y);
+            if y_hi > y_lo {
+                area += (y_hi - y_lo) * dx;
+            }
+        }
+        area
+    }
+
+    /// The §4.3 Remark estimate with both regions clipped to the
+    /// candidate frame: expected fraction of uniformly-distributed
+    /// candidates *inside the frame* that survive pruning.
+    pub fn expected_survivor_fraction_in_frame(&self, frame: &Mbr, steps: usize) -> f64 {
+        let frame_area = frame.area();
+        assert!(frame_area > 0.0, "frame must have positive area");
+        ((self.nib_area_in_frame(frame, steps) - self.ia_area_in_frame(frame, steps))
+            / frame_area)
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn regions(w: f64, h: f64, mu: f64) -> InfluenceRegions {
+        InfluenceRegions::new(Mbr::new(Point::new(0.0, 0.0), Point::new(w, h)), mu)
+    }
+
+    #[test]
+    fn classify_three_zones() {
+        // 2×2 box, μ = 3: centre is within 3 of all corners (half-diag ≈ 1.41).
+        let r = regions(2.0, 2.0, 3.0);
+        assert_eq!(r.classify(&Point::new(1.0, 1.0)), RegionVerdict::Influences);
+        // Far away: minDist > 3.
+        assert_eq!(
+            r.classify(&Point::new(10.0, 1.0)),
+            RegionVerdict::CannotInfluence
+        );
+        // Just outside the box: minDist small but maxDist > 3.
+        assert_eq!(
+            r.classify(&Point::new(4.5, 1.0)),
+            RegionVerdict::Undecided
+        );
+    }
+
+    #[test]
+    fn ia_empty_when_radius_below_half_diagonal() {
+        let r = regions(6.0, 8.0, 4.9); // half-diag = 5
+        assert!(!r.in_influence_arcs(&r.mbr().center()));
+        assert_eq!(r.ia_area(), 0.0);
+    }
+
+    #[test]
+    fn ia_membership_matches_corner_distance_definition() {
+        let r = regions(3.0, 1.0, 2.5);
+        let corners = r.mbr().corners();
+        for (px, py) in [(1.5, 0.5), (0.2, 0.9), (2.9, 0.1), (1.5, -0.6), (4.0, 0.5)] {
+            let p = Point::new(px, py);
+            let by_corners = corners.iter().all(|c| c.euclidean(&p) <= 2.5);
+            assert_eq!(r.in_influence_arcs(&p), by_corners, "at {p}");
+        }
+    }
+
+    #[test]
+    fn nib_area_closed_form() {
+        let r = regions(4.0, 2.0, 1.0);
+        let want = 4.0 * 2.0 + 2.0 * 6.0 * 1.0 + PI;
+        assert!((r.nib_area() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ia_area_degenerate_mbr_is_disc() {
+        // A point object: intersection of four coincident discs = one disc.
+        let r = regions(0.0, 0.0, 2.0);
+        let want = PI * 4.0;
+        assert!(
+            (r.ia_area() - want).abs() / want < 1e-4,
+            "got {} want {}",
+            r.ia_area(),
+            want
+        );
+    }
+
+    #[test]
+    fn ia_area_monte_carlo_agreement() {
+        // Deterministic lattice "Monte Carlo" against the integrator.
+        let r = regions(2.0, 1.0, 3.0);
+        let frame = r.mbr().inflate(3.0);
+        let (n, mut hit) = (600, 0u64);
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(
+                    frame.lo().x + frame.width() * (i as f64 + 0.5) / n as f64,
+                    frame.lo().y + frame.height() * (j as f64 + 0.5) / n as f64,
+                );
+                if r.in_influence_arcs(&p) {
+                    hit += 1;
+                }
+            }
+        }
+        let mc = hit as f64 / (n * n) as f64 * frame.area();
+        let ia = r.ia_area();
+        assert!((mc - ia).abs() / ia < 0.01, "mc {mc} vs integral {ia}");
+    }
+
+    #[test]
+    fn nib_area_exceeds_ia_area() {
+        for mu in [1.5, 2.0, 5.0, 10.0] {
+            let r = regions(2.0, 2.0, mu);
+            assert!(r.nib_area() > r.ia_area(), "μ = {mu}");
+        }
+    }
+
+    #[test]
+    fn survivor_fraction_clamped_and_sane() {
+        let r = regions(2.0, 2.0, 2.0);
+        let f = r.expected_survivor_fraction(1000.0);
+        assert!(f > 0.0 && f < 1.0);
+        // Tiny frame: clamps to 1.
+        assert_eq!(r.expected_survivor_fraction(1e-9), 1.0);
+    }
+
+    #[test]
+    fn clipped_areas_match_unclipped_when_frame_is_large() {
+        let r = regions(2.0, 1.0, 3.0);
+        let huge = Mbr::new(Point::new(-50.0, -50.0), Point::new(52.0, 51.0));
+        let nib = r.nib_area_in_frame(&huge, 8192);
+        assert!((nib - r.nib_area()).abs() / r.nib_area() < 1e-3, "{nib}");
+        let ia = r.ia_area_in_frame(&huge, 8192);
+        assert!((ia - r.ia_area()).abs() / r.ia_area() < 1e-2, "{ia}");
+    }
+
+    #[test]
+    fn clipped_areas_respect_the_frame() {
+        // Regions far larger than the frame: clipped NIB covers the whole
+        // frame, and the survivor fraction reflects frame-local geometry.
+        let r = regions(2.0, 2.0, 100.0);
+        let frame = Mbr::new(Point::new(-5.0, -5.0), Point::new(7.0, 7.0));
+        let nib = r.nib_area_in_frame(&frame, 2048);
+        assert!((nib - frame.area()).abs() / frame.area() < 1e-6);
+        // IA (all four corners within 100) also covers the frame.
+        let ia = r.ia_area_in_frame(&frame, 2048);
+        assert!((ia - frame.area()).abs() / frame.area() < 1e-6);
+        assert_eq!(r.expected_survivor_fraction_in_frame(&frame, 2048), 0.0);
+    }
+
+    #[test]
+    fn clipped_fraction_matches_lattice_classification() {
+        let r = regions(3.0, 2.0, 4.0);
+        let frame = Mbr::new(Point::new(-4.0, -4.0), Point::new(8.0, 7.0));
+        let predicted = r.expected_survivor_fraction_in_frame(&frame, 4096);
+        // Lattice measurement of the undecided fraction.
+        let n = 500;
+        let mut undecided = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(
+                    frame.lo().x + frame.width() * (i as f64 + 0.5) / n as f64,
+                    frame.lo().y + frame.height() * (j as f64 + 0.5) / n as f64,
+                );
+                if r.classify(&p) == RegionVerdict::Undecided {
+                    undecided += 1;
+                }
+            }
+        }
+        let measured = undecided as f64 / (n * n) as f64;
+        assert!(
+            (predicted - measured).abs() < 0.01,
+            "predicted {predicted} vs lattice {measured}"
+        );
+    }
+
+    #[test]
+    fn zero_radius_regions() {
+        let r = regions(2.0, 2.0, 0.0);
+        // IA empty (except for degenerate MBRs), NIB = the MBR itself.
+        assert!(!r.in_influence_arcs(&Point::new(1.0, 1.0)));
+        assert!(r.in_non_influence_boundary(&Point::new(1.0, 1.0)));
+        assert!(!r.in_non_influence_boundary(&Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "minMaxRadius")]
+    fn negative_radius_rejected() {
+        let _ = regions(1.0, 1.0, -0.5);
+    }
+}

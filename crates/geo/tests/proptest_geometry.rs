@@ -1,0 +1,127 @@
+//! Property-based tests of the geometry kernel against brute force.
+
+use pinocchio_geo::{EquirectangularProjection, Haversine, Mbr, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_mbr() -> impl Strategy<Value = Mbr> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Mbr::new(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// minDist lower-bounds and maxDist upper-bounds the distance from a
+    /// query point to *every* point inside the rectangle.
+    #[test]
+    fn min_max_dist_bound_all_interior_points(
+        mbr in arb_mbr(),
+        q in arb_point(),
+        fx in 0.0f64..=1.0,
+        fy in 0.0f64..=1.0,
+    ) {
+        let interior = Point::new(
+            mbr.lo().x + fx * mbr.width(),
+            mbr.lo().y + fy * mbr.height(),
+        );
+        let d = q.euclidean(&interior);
+        prop_assert!(mbr.min_dist(&q) <= d + 1e-9);
+        prop_assert!(mbr.max_dist(&q) >= d - 1e-9);
+    }
+
+    /// maxDist is attained at one of the four corners.
+    #[test]
+    fn max_dist_attained_at_a_corner(mbr in arb_mbr(), q in arb_point()) {
+        let best = mbr
+            .corners()
+            .iter()
+            .map(|c| c.euclidean(&q))
+            .fold(0.0f64, f64::max);
+        prop_assert!((mbr.max_dist(&q) - best).abs() < 1e-9);
+    }
+
+    /// minDist is zero exactly for points inside (or on) the rectangle.
+    #[test]
+    fn min_dist_zero_iff_contained(mbr in arb_mbr(), q in arb_point()) {
+        prop_assert_eq!(mbr.min_dist(&q) == 0.0, mbr.contains_point(&q));
+    }
+
+    /// Union contains both inputs; enlargement is non-negative.
+    #[test]
+    fn union_contains_inputs(a in arb_mbr(), b in arb_mbr()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_mbr(&a));
+        prop_assert!(u.contains_mbr(&b));
+        prop_assert!(a.enlargement(&b) >= -1e-12);
+    }
+
+    /// Intersection test is symmetric and consistent with containment.
+    #[test]
+    fn intersection_symmetry(a in arb_mbr(), b in arb_mbr()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if a.contains_mbr(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    /// from_points builds the tightest box: containing all points, with
+    /// extremes on the boundary.
+    #[test]
+    fn from_points_is_tight(points in prop::collection::vec(arb_point(), 1..40)) {
+        let mbr = Mbr::from_points(&points).unwrap();
+        for p in &points {
+            prop_assert!(mbr.contains_point(p));
+        }
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        prop_assert_eq!(mbr.lo().x, xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(mbr.hi().y, ys.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Projection round-trips and preserves short distances to ~0.2 %.
+    #[test]
+    fn projection_round_trip_and_fidelity(
+        lon0 in -170.0f64..170.0,
+        lat0 in -60.0f64..60.0,
+        dlon in -0.15f64..0.15,
+        dlat in -0.15f64..0.15,
+    ) {
+        let proj = EquirectangularProjection::new(lon0, lat0);
+        let geo = Point::new(lon0 + dlon, lat0 + dlat);
+        let back = proj.inverse(&proj.forward(&geo));
+        prop_assert!((back.x - geo.x).abs() < 1e-9);
+        prop_assert!((back.y - geo.y).abs() < 1e-9);
+
+        let a = Point::new(lon0, lat0);
+        let planar = proj.forward(&a).euclidean(&proj.forward(&geo));
+        let sphere = Haversine::distance_km(&a, &geo);
+        if sphere > 0.5 {
+            prop_assert!(
+                (planar - sphere).abs() / sphere < 2e-3,
+                "planar {planar} vs sphere {sphere}"
+            );
+        }
+    }
+
+    /// Haversine satisfies the metric axioms on sampled triples.
+    #[test]
+    fn haversine_metric_axioms(
+        lon1 in -179.0f64..179.0, lat1 in -80.0f64..80.0,
+        lon2 in -179.0f64..179.0, lat2 in -80.0f64..80.0,
+        lon3 in -179.0f64..179.0, lat3 in -80.0f64..80.0,
+    ) {
+        let a = Point::new(lon1, lat1);
+        let b = Point::new(lon2, lat2);
+        let c = Point::new(lon3, lat3);
+        let ab = Haversine::distance_km(&a, &b);
+        let ba = Haversine::distance_km(&b, &a);
+        let bc = Haversine::distance_km(&b, &c);
+        let ac = Haversine::distance_km(&a, &c);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ac <= ab + bc + 1e-6, "triangle violated: {ac} > {ab} + {bc}");
+    }
+}

@@ -1,0 +1,242 @@
+//! A uniform grid index.
+//!
+//! Used by the `ablation_index` benchmark as the comparison structure for
+//! the R-tree (the paper's footnote 2 notes "other hierarchical spatial
+//! data structures can also be applied"; the grid quantifies what the
+//! hierarchy buys). Points are hashed into fixed-size square cells; range
+//! queries enumerate the cells overlapping the query region.
+
+use crate::stats::QueryStats;
+use pinocchio_geo::{Mbr, Point};
+
+/// A uniform grid over a fixed frame, storing `(Point, T)` pairs.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    frame: Mbr,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Creates an empty grid covering `frame` with square cells of side
+    /// `cell_size` kilometres.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not positive or the frame is degenerate
+    /// in both axes.
+    pub fn new(frame: Mbr, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        assert!(
+            frame.width() > 0.0 || frame.height() > 0.0,
+            "grid frame must have positive extent"
+        );
+        let cols = (frame.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (frame.height() / cell_size).ceil().max(1.0) as usize;
+        GridIndex {
+            frame,
+            cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Builds a grid sized so the average cell holds ~`target_per_cell`
+    /// points, then inserts all items.
+    pub fn build(items: Vec<(Point, T)>, target_per_cell: usize) -> Option<Self> {
+        let frame = Mbr::from_points(&items.iter().map(|(p, _)| *p).collect::<Vec<_>>())?;
+        let area = frame.area().max(1e-9);
+        let cell = (area * target_per_cell.max(1) as f64 / items.len().max(1) as f64).sqrt();
+        let mut grid = Self::new(frame, cell.max(1e-6));
+        for (p, t) in items {
+            grid.insert(p, t);
+        }
+        Some(grid)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &Point) -> usize {
+        let cx = (((p.x - self.frame.lo().x) / self.cell_size) as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let cy = (((p.y - self.frame.lo().y) / self.cell_size) as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        cy * self.cols + cx
+    }
+
+    /// Inserts a point. Points outside the frame are clamped into the
+    /// boundary cells (still retrievable, slightly less efficient).
+    pub fn insert(&mut self, p: Point, t: T) {
+        assert!(p.is_finite(), "cannot index a non-finite point");
+        let cell = self.cell_of(&p);
+        self.cells[cell].push((p, t));
+        self.len += 1;
+    }
+
+    /// Visits every entry whose point lies inside `rect`.
+    pub fn query_rect(&self, rect: &Mbr, mut visit: impl FnMut(&Point, &T)) -> QueryStats {
+        let mut stats = QueryStats::default();
+        let lo_col = (((rect.lo().x - self.frame.lo().x) / self.cell_size).floor() as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let hi_col = (((rect.hi().x - self.frame.lo().x) / self.cell_size).floor() as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let lo_row = (((rect.lo().y - self.frame.lo().y) / self.cell_size).floor() as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        let hi_row = (((rect.hi().y - self.frame.lo().y) / self.cell_size).floor() as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        for row in lo_row..=hi_row {
+            for col in lo_col..=hi_col {
+                stats.nodes_visited += 1;
+                for (p, t) in &self.cells[row * self.cols + col] {
+                    stats.entries_tested += 1;
+                    if rect.contains_point(p) {
+                        stats.matches += 1;
+                        visit(p, t);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Visits every entry within `radius` of `center` (closed disc).
+    pub fn query_circle(
+        &self,
+        center: &Point,
+        radius: f64,
+        mut visit: impl FnMut(&Point, &T),
+    ) -> QueryStats {
+        let r_sq = radius * radius;
+        let bbox = Mbr::new(
+            Point::new(center.x - radius, center.y - radius),
+            Point::new(center.x + radius, center.y + radius),
+        );
+        let mut stats = QueryStats::default();
+        let inner = self.query_rect(&bbox, |p, t| {
+            if p.euclidean_sq(center) <= r_sq {
+                visit(p, t);
+            }
+        });
+        stats.nodes_visited = inner.nodes_visited;
+        stats.entries_tested = inner.entries_tested;
+        // `matches` from query_rect counts bbox hits; recount disc hits.
+        let mut matches = 0;
+        self.query_rect(&bbox, |p, _| {
+            if p.euclidean_sq(center) <= r_sq {
+                matches += 1;
+            }
+        });
+        stats.matches = matches;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| (Point::new(next() * 100.0, next() * 60.0), i))
+            .collect()
+    }
+
+    #[test]
+    fn rect_query_matches_linear_scan() {
+        let items = pseudo_points(700, 17);
+        let grid = GridIndex::build(items.clone(), 8).unwrap();
+        assert_eq!(grid.len(), 700);
+        let rect = Mbr::new(Point::new(25.0, 10.0), Point::new(60.0, 40.0));
+        let mut got = Vec::new();
+        grid.query_rect(&rect, |_, i| got.push(*i));
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn circle_query_matches_linear_scan() {
+        let items = pseudo_points(500, 29);
+        let grid = GridIndex::build(items.clone(), 8).unwrap();
+        let center = Point::new(55.0, 33.0);
+        for radius in [0.5, 5.0, 22.0] {
+            let mut got = Vec::new();
+            grid.query_circle(&center, radius, |_, i| got.push(*i));
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| p.euclidean(&center) <= radius)
+                .map(|(_, i)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn out_of_frame_points_are_clamped_not_lost() {
+        let frame = Mbr::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let mut grid = GridIndex::new(frame, 1.0);
+        grid.insert(Point::new(-5.0, -5.0), 1usize);
+        grid.insert(Point::new(15.0, 15.0), 2usize);
+        let mut got = Vec::new();
+        grid.query_rect(
+            &Mbr::new(Point::new(-10.0, -10.0), Point::new(20.0, 20.0)),
+            |_, i| got.push(*i),
+        );
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn build_empty_returns_none() {
+        assert!(GridIndex::<usize>::build(Vec::new(), 8).is_none());
+    }
+
+    #[test]
+    fn query_stats_count_cells() {
+        let items = pseudo_points(900, 31);
+        let grid = GridIndex::build(items, 4).unwrap();
+        let stats = grid.query_rect(
+            &Mbr::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+            |_, _| {},
+        );
+        assert!(stats.nodes_visited >= 1);
+        assert!(stats.entries_tested >= stats.matches);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_rejected() {
+        let frame = Mbr::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        let _: GridIndex<usize> = GridIndex::new(frame, 0.0);
+    }
+}

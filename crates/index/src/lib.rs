@@ -1,0 +1,29 @@
+//! Spatial indexes for the PINOCCHIO framework.
+//!
+//! The paper indexes the candidate locations with an R-tree (Guttman,
+//! SIGMOD 1984) whose leaves carry the per-candidate influence counters
+//! (§4.3, "an R-tree is created to manage candidate locations"), with at
+//! most 8 elements per node (§6.1). This crate provides:
+//!
+//! * [`RTree`] — a from-scratch point R-tree with Guttman insertion,
+//!   quadratic node splitting, STR bulk loading, rectangle / circle /
+//!   generic-region range queries, and best-first (k-)nearest-neighbour
+//!   search (needed by the BRNN* baseline),
+//! * [`GridIndex`] — a uniform grid used by the `ablation_index`
+//!   benchmark to quantify the R-tree's contribution,
+//! * query [`stats`] counters so experiments can report how many nodes a
+//!   query touched.
+//!
+//! Both indexes store `(Point, T)` pairs; `T` is typically a candidate
+//! identifier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod rtree;
+pub mod stats;
+
+pub use grid::GridIndex;
+pub use rtree::{RTree, DEFAULT_MAX_ENTRIES};
+pub use stats::QueryStats;

@@ -1,0 +1,938 @@
+//! A point R-tree built from scratch.
+//!
+//! Follows Guttman's original design (SIGMOD 1984) restricted to point
+//! data, which is all PINOCCHIO needs: candidates are points, and the
+//! moving-object side deliberately does *not* use a hierarchical index
+//! (§4.3 explains why — activity MBRs overlap so heavily that R-tree
+//! pruning degenerates there).
+//!
+//! * **Storage** — nodes live in a flat arena (`Vec<Node>`), children are
+//!   referenced by index; leaf entries are `(Point, T)` pairs stored
+//!   inline in the leaf.
+//! * **Insertion** — `ChooseLeaf` descends by least area enlargement
+//!   (ties: smaller area), splits with Guttman's *quadratic* algorithm,
+//!   and adjusts MBRs upward, growing the root as needed.
+//! * **Bulk load** — Sort-Tile-Recursive (Leutenegger et al.), yielding a
+//!   packed tree; used by the solvers which build the candidate index
+//!   once per run.
+//! * **Queries** — rectangle, circle, and generic two-predicate region
+//!   queries (a node-level admission test plus an exact point test),
+//!   which is how the influence-arcs and non-influence-boundary range
+//!   queries of Algorithm 2 are executed. Best-first nearest-neighbour /
+//!   k-NN supports the BRNN* baseline.
+
+use crate::stats::QueryStats;
+use pinocchio_geo::{Mbr, Point};
+
+/// Default maximum entries per node — the paper's setting (§6.1: "The
+/// maximum number of elements in each R-tree node is 8").
+pub const DEFAULT_MAX_ENTRIES: usize = 8;
+
+/// Arena identifier of a node.
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum NodeKind<T> {
+    Internal { children: Vec<NodeId> },
+    Leaf { items: Vec<(Point, T)> },
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    mbr: Option<Mbr>, // None only for an empty root leaf
+    kind: NodeKind<T>,
+}
+
+impl<T> Node<T> {
+    fn empty_leaf() -> Self {
+        Node {
+            mbr: None,
+            kind: NodeKind::Leaf { items: Vec::new() },
+        }
+    }
+}
+
+/// A dynamic point R-tree storing `(Point, T)` pairs.
+///
+/// `T` is the per-entry payload — in the solvers, a dense candidate
+/// identifier indexing side arrays of influence counters, exactly like the
+/// paper's leaf-resident `inf(c)` counters but kept out of the tree so the
+/// tree itself is immutable during a solve.
+///
+/// ```
+/// use pinocchio_geo::Point;
+/// use pinocchio_index::RTree;
+///
+/// let tree = RTree::bulk_load(vec![
+///     (Point::new(0.0, 0.0), "library"),
+///     (Point::new(3.0, 4.0), "cafe"),
+///     (Point::new(9.0, 9.0), "gym"),
+/// ]);
+/// let (_, nearest, dist) = tree.nearest_neighbor(&Point::new(2.5, 4.0)).unwrap();
+/// assert_eq!(*nearest, "cafe");
+/// assert!(dist < 1.0);
+///
+/// let mut in_range = Vec::new();
+/// tree.query_circle(&Point::new(0.0, 0.0), 5.0, |_, name| in_range.push(*name));
+/// in_range.sort();
+/// assert_eq!(in_range, ["cafe", "library"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    nodes: Vec<Node<T>>,
+    root: NodeId,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Creates an empty tree with the paper's default node capacity (8).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty tree with a custom maximum node fan-out
+    /// (`min` fan-out is `max/2`, Guttman's recommendation).
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 2`.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree fan-out must be at least 2");
+        RTree {
+            nodes: vec![Node::empty_leaf()],
+            root: 0,
+            max_entries,
+            min_entries: (max_entries / 2).max(1),
+            len: 0,
+        }
+    }
+
+    /// Bulk loads a packed tree with Sort-Tile-Recursive.
+    ///
+    /// Equivalent contents to inserting one by one, but with near-minimal
+    /// overlap and ~100 % leaf fill. This is what the solvers use: the
+    /// candidate set is known up front.
+    pub fn bulk_load(items: Vec<(Point, T)>) -> Self {
+        Self::bulk_load_with_capacity(items, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// STR bulk load with a custom node capacity.
+    pub fn bulk_load_with_capacity(mut items: Vec<(Point, T)>, max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree fan-out must be at least 2");
+        let mut tree = Self::with_capacity(max_entries);
+        if items.is_empty() {
+            return tree;
+        }
+        tree.len = items.len();
+        tree.nodes.clear();
+
+        // --- STR leaf packing -------------------------------------------
+        // Number of leaves needed, arranged in ~√ slices by x, each slice
+        // sorted by y and chopped into runs of `max_entries`.
+        let n = items.len();
+        let cap = max_entries as f64;
+        let leaf_count = (n as f64 / cap).ceil();
+        let slice_count = leaf_count.sqrt().ceil() as usize;
+        let slice_size = (n as f64 / slice_count as f64).ceil() as usize; // points per x-slice
+        // Points per slice must be a multiple of max_entries worth of leaves.
+        let per_slice = ((slice_size as f64 / cap).ceil() * cap) as usize;
+
+        items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+        let mut leaf_ids: Vec<NodeId> = Vec::new();
+        for slice in items.chunks_mut(per_slice.max(max_entries)) {
+            slice.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
+            for run in slice.chunks(max_entries) {
+                let mbr = Mbr::from_points(
+                    &run.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                );
+                let id = tree.nodes.len();
+                tree.nodes.push(Node {
+                    mbr,
+                    kind: NodeKind::Leaf {
+                        items: run.to_vec(),
+                    },
+                });
+                leaf_ids.push(id);
+            }
+        }
+
+        // --- pack upper levels ------------------------------------------
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next: Vec<NodeId> = Vec::new();
+            for group in level.chunks(max_entries) {
+                let mbr = group
+                    .iter()
+                    .filter_map(|&id| tree.nodes[id].mbr)
+                    .reduce(|a, b| a.union(&b));
+                let id = tree.nodes.len();
+                tree.nodes.push(Node {
+                    mbr,
+                    kind: NodeKind::Internal {
+                        children: group.to_vec(),
+                    },
+                });
+                next.push(id);
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The MBR of all stored points, or `None` when empty.
+    pub fn bounds(&self) -> Option<Mbr> {
+        self.nodes[self.root].mbr
+    }
+
+    /// Height of the tree (a lone leaf has height 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id].kind {
+                NodeKind::Leaf { .. } => return h,
+                NodeKind::Internal { children } => {
+                    h += 1;
+                    id = children[0];
+                }
+            }
+        }
+    }
+
+    /// Inserts one `(point, payload)` pair (Guttman insertion with
+    /// quadratic split).
+    pub fn insert(&mut self, point: Point, payload: T) {
+        assert!(point.is_finite(), "cannot index a non-finite point");
+        self.len += 1;
+        let leaf = self.choose_leaf(point);
+        match &mut self.nodes[leaf].kind {
+            NodeKind::Leaf { items } => items.push((point, payload)),
+            NodeKind::Internal { .. } => unreachable!("choose_leaf returns a leaf"),
+        }
+        self.recompute_mbr(leaf);
+        self.split_upwards(leaf);
+    }
+
+    /// Descends from the root picking the child needing least enlargement.
+    /// Returns the leaf's id; also records the path for upward adjustment.
+    fn choose_leaf(&mut self, point: Point) -> NodeId {
+        let target = Mbr::from_point(point);
+        let mut id = self.root;
+        let mut path: Vec<NodeId> = Vec::new();
+        loop {
+            match &self.nodes[id].kind {
+                NodeKind::Leaf { .. } => {
+                    // Expand MBRs along the recorded path.
+                    for &anc in &path {
+                        let m: Option<Mbr> = self.nodes[anc].mbr;
+                        self.nodes[anc].mbr =
+                            Some(m.map_or(target, |m| m.union(&target)));
+                    }
+                    return id;
+                }
+                NodeKind::Internal { children } => {
+                    path.push(id);
+                    let mut best = children[0];
+                    let mut best_enl = f64::INFINITY;
+                    let mut best_area = f64::INFINITY;
+                    for &ch in children {
+                        let m = self.nodes[ch].mbr.expect("non-root nodes have MBRs");
+                        let enl = m.enlargement(&target);
+                        let area = m.area();
+                        if enl < best_enl || (enl == best_enl && area < best_area) {
+                            best = ch;
+                            best_enl = enl;
+                            best_area = area;
+                        }
+                    }
+                    id = best;
+                }
+            }
+        }
+    }
+
+    fn recompute_mbr(&mut self, id: NodeId) {
+        let mbr = match &self.nodes[id].kind {
+            NodeKind::Leaf { items } => {
+                Mbr::from_points(&items.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+            }
+            NodeKind::Internal { children } => children
+                .iter()
+                .filter_map(|&c| self.nodes[c].mbr)
+                .reduce(|a, b| a.union(&b)),
+        };
+        self.nodes[id].mbr = mbr;
+    }
+
+    /// Splits `id` if overfull, then walks up re-splitting ancestors.
+    ///
+    /// A parent map is rebuilt lazily: the tree is shallow (fan-out ≥ 2)
+    /// and insertion is not on any hot path of the solvers (they bulk
+    /// load), so clarity wins over bookkeeping.
+    fn split_upwards(&mut self, mut id: NodeId) {
+        loop {
+            let overfull = match &self.nodes[id].kind {
+                NodeKind::Leaf { items } => items.len() > self.max_entries,
+                NodeKind::Internal { children } => children.len() > self.max_entries,
+            };
+            if !overfull {
+                return;
+            }
+            let sibling = self.split_node(id);
+            match self.parent_of(id) {
+                Some(parent) => {
+                    if let NodeKind::Internal { children } = &mut self.nodes[parent].kind {
+                        children.push(sibling);
+                    }
+                    self.recompute_mbr(parent);
+                    id = parent;
+                }
+                None => {
+                    // Root split: grow a new root above both halves.
+                    let new_root = self.nodes.len();
+                    self.nodes.push(Node {
+                        mbr: None,
+                        kind: NodeKind::Internal {
+                            children: vec![id, sibling],
+                        },
+                    });
+                    self.recompute_mbr(new_root);
+                    self.root = new_root;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        if id == self.root {
+            return None;
+        }
+        // Linear arena scan; see `split_upwards` for why this is fine.
+        (0..self.nodes.len()).find(|&i| match &self.nodes[i].kind {
+            NodeKind::Internal { children } => children.contains(&id),
+            NodeKind::Leaf { .. } => false,
+        })
+    }
+
+    /// Guttman quadratic split. Returns the id of the new sibling.
+    fn split_node(&mut self, id: NodeId) -> NodeId {
+        enum Items<T> {
+            Leaf(Vec<(Point, T)>),
+            Internal(Vec<NodeId>),
+        }
+        let items = match &mut self.nodes[id].kind {
+            NodeKind::Leaf { items } => Items::Leaf(std::mem::take(items)),
+            NodeKind::Internal { children } => Items::Internal(std::mem::take(children)),
+        };
+        match items {
+            Items::Leaf(items) => {
+                let mbrs: Vec<Mbr> = items.iter().map(|(p, _)| Mbr::from_point(*p)).collect();
+                let (a_idx, b_idx) = quadratic_partition(&mbrs, self.min_entries);
+                let take = |idx: &[usize]| idx.iter().map(|&i| items[i].clone()).collect();
+                let (a_items, b_items): (Vec<_>, Vec<_>) = (take(&a_idx), take(&b_idx));
+                self.nodes[id].kind = NodeKind::Leaf { items: a_items };
+                self.recompute_mbr(id);
+                let sib = self.nodes.len();
+                self.nodes.push(Node {
+                    mbr: None,
+                    kind: NodeKind::Leaf { items: b_items },
+                });
+                self.recompute_mbr(sib);
+                sib
+            }
+            Items::Internal(children) => {
+                let mbrs: Vec<Mbr> = children
+                    .iter()
+                    .map(|&c| self.nodes[c].mbr.expect("child has MBR"))
+                    .collect();
+                let (a_idx, b_idx) = quadratic_partition(&mbrs, self.min_entries);
+                let take = |idx: &[usize]| idx.iter().map(|&i| children[i]).collect();
+                let (a_ch, b_ch): (Vec<_>, Vec<_>) = (take(&a_idx), take(&b_idx));
+                self.nodes[id].kind = NodeKind::Internal { children: a_ch };
+                self.recompute_mbr(id);
+                let sib = self.nodes.len();
+                self.nodes.push(Node {
+                    mbr: None,
+                    kind: NodeKind::Internal { children: b_ch },
+                });
+                self.recompute_mbr(sib);
+                sib
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Visits every entry whose point lies inside `rect` (boundaries
+    /// included). Returns instrumentation counters.
+    pub fn query_rect(&self, rect: &Mbr, mut visit: impl FnMut(&Point, &T)) -> QueryStats {
+        self.query_region(
+            |node_mbr| node_mbr.intersects(rect),
+            |p| rect.contains_point(p),
+            &mut visit,
+        )
+    }
+
+    /// Visits every entry within `radius` of `center` (closed disc).
+    pub fn query_circle(
+        &self,
+        center: &Point,
+        radius: f64,
+        mut visit: impl FnMut(&Point, &T),
+    ) -> QueryStats {
+        let r_sq = radius * radius;
+        self.query_region(
+            |node_mbr| node_mbr.min_dist_sq(center) <= r_sq,
+            |p| p.euclidean_sq(center) <= r_sq,
+            &mut visit,
+        )
+    }
+
+    /// Generic region query.
+    ///
+    /// * `admit_node(mbr)` must return `true` whenever the node's MBR
+    ///   *could* contain a matching point (false positives allowed, false
+    ///   negatives not — they would lose results).
+    /// * `matches(point)` is the exact predicate.
+    ///
+    /// This is how Algorithm 2's influence-arcs and non-influence-boundary
+    /// range queries run against the candidate R-tree: the region shapes
+    /// (disc intersections, rounded rectangles) are not rectangles, so the
+    /// tree exposes predicate-based traversal rather than materialised
+    /// geometry.
+    pub fn query_region(
+        &self,
+        mut admit_node: impl FnMut(&Mbr) -> bool,
+        mut matches: impl FnMut(&Point) -> bool,
+        visit: &mut impl FnMut(&Point, &T),
+    ) -> QueryStats {
+        let mut stats = QueryStats::default();
+        if self.len == 0 {
+            return stats;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            let Some(mbr) = node.mbr else { continue };
+            if !admit_node(&mbr) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match &node.kind {
+                NodeKind::Internal { children } => stack.extend_from_slice(children),
+                NodeKind::Leaf { items } => {
+                    for (p, t) in items {
+                        stats.entries_tested += 1;
+                        if matches(p) {
+                            stats.matches += 1;
+                            visit(p, t);
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Nearest entry to `query`, or `None` when empty. Best-first search
+    /// over node `minDist`s — the classic Hjaltason–Samet traversal.
+    pub fn nearest_neighbor(&self, query: &Point) -> Option<(Point, &T, f64)> {
+        self.k_nearest_neighbors(query, 1).pop()
+    }
+
+    /// The `k` entries nearest to `query`, ascending by distance.
+    /// Ties are broken arbitrarily; fewer than `k` are returned when the
+    /// tree is smaller than `k`.
+    pub fn k_nearest_neighbors(&self, query: &Point, k: usize) -> Vec<(Point, &T, f64)> {
+        use std::collections::BinaryHeap;
+
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+
+        enum Item<'a, T> {
+            Node(NodeId),
+            Entry(Point, &'a T),
+        }
+
+        /// Min-heap entry ordered by squared distance only; `Item` does
+        /// not participate in the ordering.
+        struct HeapEntry<'a, T> {
+            d_sq: f64,
+            item: Item<'a, T>,
+        }
+        impl<T> PartialEq for HeapEntry<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.d_sq == other.d_sq
+            }
+        }
+        impl<T> Eq for HeapEntry<'_, T> {}
+        impl<T> PartialOrd for HeapEntry<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for HeapEntry<'_, T> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: BinaryHeap is a max-heap, we want nearest first.
+                other.d_sq.total_cmp(&self.d_sq)
+            }
+        }
+
+        let mut heap: BinaryHeap<HeapEntry<T>> = BinaryHeap::new();
+        if let Some(mbr) = self.nodes[self.root].mbr {
+            heap.push(HeapEntry {
+                d_sq: mbr.min_dist_sq(query),
+                item: Item::Node(self.root),
+            });
+        }
+        let mut out = Vec::with_capacity(k);
+        while let Some(HeapEntry { d_sq, item }) = heap.pop() {
+            match item {
+                Item::Node(id) => match &self.nodes[id].kind {
+                    NodeKind::Internal { children } => {
+                        for &c in children {
+                            if let Some(m) = self.nodes[c].mbr {
+                                heap.push(HeapEntry {
+                                    d_sq: m.min_dist_sq(query),
+                                    item: Item::Node(c),
+                                });
+                            }
+                        }
+                    }
+                    NodeKind::Leaf { items } => {
+                        for (p, t) in items {
+                            heap.push(HeapEntry {
+                                d_sq: p.euclidean_sq(query),
+                                item: Item::Entry(*p, t),
+                            });
+                        }
+                    }
+                },
+                Item::Entry(p, t) => {
+                    out.push((p, t, d_sq.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all stored entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Point, &T)> {
+        self.nodes.iter().flat_map(|n| match &n.kind {
+            NodeKind::Leaf { items } => items.iter().map(|(p, t)| (p, t)).collect::<Vec<_>>(),
+            NodeKind::Internal { .. } => Vec::new(),
+        })
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// Verifies that every node's MBR tightly bounds its contents, every
+    /// non-root node respects fan-out limits, and all leaves sit at the
+    /// same depth. Returns the number of entries reachable from the root.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<T>(
+            tree: &RTree<T>,
+            id: NodeId,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> usize
+        where
+            T: Clone,
+        {
+            let node = &tree.nodes[id];
+            match &node.kind {
+                NodeKind::Leaf { items } => {
+                    if let Some(ld) = *leaf_depth {
+                        assert_eq!(ld, depth, "leaves at different depths");
+                    } else {
+                        *leaf_depth = Some(depth);
+                    }
+                    if !items.is_empty() {
+                        let want =
+                            Mbr::from_points(&items.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+                                .unwrap();
+                        assert_eq!(node.mbr, Some(want), "leaf MBR not tight");
+                    }
+                    if id != tree.root {
+                        assert!(items.len() <= tree.max_entries, "overfull leaf");
+                        assert!(!items.is_empty(), "empty non-root leaf");
+                    }
+                    items.len()
+                }
+                NodeKind::Internal { children } => {
+                    assert!(!children.is_empty(), "internal node with no children");
+                    assert!(children.len() <= tree.max_entries, "overfull internal node");
+                    let mut count = 0;
+                    let mut mbr: Option<Mbr> = None;
+                    for &c in children {
+                        count += walk(tree, c, depth + 1, leaf_depth);
+                        let child_mbr = tree.nodes[c].mbr.expect("child MBR");
+                        mbr = Some(mbr.map_or(child_mbr, |m| m.union(&child_mbr)));
+                    }
+                    assert_eq!(node.mbr, mbr, "internal MBR not tight");
+                    count
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let count = walk(self, self.root, 0, &mut leaf_depth);
+        assert_eq!(count, self.len, "len out of sync with contents");
+        count
+    }
+}
+
+impl<T: Clone> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> FromIterator<(Point, T)> for RTree<T> {
+    fn from_iter<I: IntoIterator<Item = (Point, T)>>(iter: I) -> Self {
+        Self::bulk_load(iter.into_iter().collect())
+    }
+}
+
+/// Guttman's quadratic split: pick the pair of seeds wasting the most
+/// area if grouped together, then greedily assign the remaining entries
+/// to the group whose MBR grows least, while guaranteeing both groups
+/// reach `min_entries`. Returns the two index sets.
+fn quadratic_partition(mbrs: &[Mbr], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = mbrs.len();
+    debug_assert!(n >= 2);
+
+    // PickSeeds: maximise union area − area_a − area_b.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = mbrs[seed_a];
+    let mut mbr_b = mbrs[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while let Some(pos) = {
+        if remaining.is_empty() {
+            None
+        } else if group_a.len() + remaining.len() == min_entries {
+            // Must dump everything into A to satisfy the minimum.
+            group_a.extend(remaining.drain(..).inspect(|&i| {
+                mbr_a = mbr_a.union(&mbrs[i]);
+            }));
+            None
+        } else if group_b.len() + remaining.len() == min_entries {
+            group_b.extend(remaining.drain(..).inspect(|&i| {
+                mbr_b = mbr_b.union(&mbrs[i]);
+            }));
+            None
+        } else {
+            // PickNext: the entry with the greatest preference difference.
+            let (mut best_pos, mut best_diff) = (0, f64::NEG_INFINITY);
+            for (pos, &i) in remaining.iter().enumerate() {
+                let d_a = mbr_a.enlargement(&mbrs[i]);
+                let d_b = mbr_b.enlargement(&mbrs[i]);
+                let diff = (d_a - d_b).abs();
+                if diff > best_diff {
+                    best_diff = diff;
+                    best_pos = pos;
+                }
+            }
+            Some(best_pos)
+        }
+    } {
+        let i = remaining.swap_remove(pos);
+        let d_a = mbr_a.enlargement(&mbrs[i]);
+        let d_b = mbr_b.enlargement(&mbrs[i]);
+        let to_a = match d_a.partial_cmp(&d_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => mbr_a.area() <= mbr_b.area(),
+        };
+        if to_a {
+            group_a.push(i);
+            mbr_a = mbr_a.union(&mbrs[i]);
+        } else {
+            group_b.push(i);
+            mbr_b = mbr_b.union(&mbrs[i]);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random points (splitmix-style) so tests need
+    /// no external RNG crate in this dependency-light substrate.
+    fn pseudo_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| (Point::new(next() * 100.0, next() * 60.0), i))
+            .collect()
+    }
+
+    fn linear_rect(items: &[(Point, usize)], rect: &Mbr) -> Vec<usize> {
+        let mut v: Vec<usize> = items
+            .iter()
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(_, i)| *i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn collect_rect<T: Clone + Copy + Ord>(tree: &RTree<T>, rect: &Mbr) -> Vec<T> {
+        let mut v = Vec::new();
+        tree.query_rect(rect, |_, t| v.push(*t));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree: RTree<usize> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.bounds(), None);
+        assert_eq!(tree.nearest_neighbor(&Point::ORIGIN), None);
+        let stats = tree.query_rect(&Mbr::new(Point::ORIGIN, Point::new(1.0, 1.0)), |_, _| {
+            panic!("no entries to visit")
+        });
+        assert_eq!(stats.matches, 0);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insert_then_query_small() {
+        let mut tree = RTree::new();
+        for (i, (x, y)) in [(0.0, 0.0), (1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+            tree.insert(Point::new(*x, *y), i);
+        }
+        assert_eq!(tree.len(), 4);
+        let rect = Mbr::new(Point::new(-0.5, -0.5), Point::new(2.0, 2.0));
+        assert_eq!(collect_rect(&tree, &rect), vec![0, 1]);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insertion_matches_linear_scan() {
+        let items = pseudo_points(500, 7);
+        let mut tree = RTree::new();
+        for (p, i) in &items {
+            tree.insert(*p, *i);
+        }
+        tree.check_invariants();
+        for rect in [
+            Mbr::new(Point::new(10.0, 10.0), Point::new(30.0, 30.0)),
+            Mbr::new(Point::new(0.0, 0.0), Point::new(100.0, 60.0)),
+            Mbr::new(Point::new(99.0, 59.0), Point::new(99.9, 59.9)),
+        ] {
+            assert_eq!(collect_rect(&tree, &rect), linear_rect(&items, &rect));
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        let items = pseudo_points(1000, 42);
+        let tree = RTree::bulk_load(items.clone());
+        assert_eq!(tree.len(), 1000);
+        tree.check_invariants();
+        for rect in [
+            Mbr::new(Point::new(20.0, 5.0), Point::new(45.0, 25.0)),
+            Mbr::new(Point::new(-10.0, -10.0), Point::new(0.0, 0.0)),
+        ] {
+            assert_eq!(collect_rect(&tree, &rect), linear_rect(&items, &rect));
+        }
+    }
+
+    #[test]
+    fn bulk_load_single_item_and_exact_capacity() {
+        let tree = RTree::bulk_load(vec![(Point::new(1.0, 2.0), 9usize)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        tree.check_invariants();
+
+        let items = pseudo_points(DEFAULT_MAX_ENTRIES, 3);
+        let tree = RTree::bulk_load(items);
+        assert_eq!(tree.height(), 1, "exactly one full leaf");
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn circle_query_matches_linear_scan() {
+        let items = pseudo_points(800, 11);
+        let tree = RTree::bulk_load(items.clone());
+        let center = Point::new(50.0, 30.0);
+        for radius in [0.0, 1.0, 7.5, 40.0] {
+            let mut got = Vec::new();
+            tree.query_circle(&center, radius, |_, i| got.push(*i));
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| p.euclidean(&center) <= radius)
+                .map(|(_, i)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_linear_scan() {
+        let items = pseudo_points(600, 5);
+        let tree = RTree::bulk_load(items.clone());
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 30.0),
+            Point::new(120.0, -5.0),
+        ] {
+            let (_, &got, d) = tree.nearest_neighbor(&q).unwrap();
+            let (want_i, want_d) = items
+                .iter()
+                .map(|(p, i)| (*i, p.euclidean(&q)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(got, want_i, "query {q}");
+            assert!((d - want_d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_and_complete() {
+        let items = pseudo_points(300, 13);
+        let tree = RTree::bulk_load(items.clone());
+        let q = Point::new(42.0, 17.0);
+        let got = tree.k_nearest_neighbors(&q, 10);
+        assert_eq!(got.len(), 10);
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2, "distances ascending");
+        }
+        // Compare the distance multiset with a linear scan.
+        let mut all: Vec<f64> = items.iter().map(|(p, _)| p.euclidean(&q)).collect();
+        all.sort_by(f64::total_cmp);
+        for (i, (_, _, d)) in got.iter().enumerate() {
+            assert!((d - all[i]).abs() < 1e-12, "k={i}");
+        }
+        // k larger than the tree truncates gracefully.
+        assert_eq!(tree.k_nearest_neighbors(&q, 1000).len(), 300);
+        assert!(tree.k_nearest_neighbors(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn region_query_with_custom_predicates() {
+        // Emulate the influence-arcs query: points within `mu` of all four
+        // corners of an object MBR.
+        let items = pseudo_points(500, 21);
+        let tree = RTree::bulk_load(items.clone());
+        let obj = Mbr::new(Point::new(40.0, 20.0), Point::new(44.0, 24.0));
+        let mu = 9.0;
+        let mut got = Vec::new();
+        tree.query_region(
+            |node| node.min_dist_sq(&obj.center()) <= (mu + obj.margin()) * (mu + obj.margin()),
+            |p| obj.max_dist_sq(p) <= mu * mu,
+            &mut |_, i| got.push(*i),
+        );
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(p, _)| obj.max_dist_sq(p) <= mu * mu)
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn query_stats_reflect_pruning() {
+        let items = pseudo_points(2000, 99);
+        let tree = RTree::bulk_load(items);
+        // A tiny query rectangle should touch far fewer entries than the
+        // whole tree.
+        let stats = tree.query_rect(
+            &Mbr::new(Point::new(10.0, 10.0), Point::new(12.0, 12.0)),
+            |_, _| {},
+        );
+        assert!(
+            stats.entries_tested < 400,
+            "pruning ineffective: {stats:?}"
+        );
+        assert!(stats.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let mut tree = RTree::new();
+        let p = Point::new(1.0, 1.0);
+        for i in 0..20 {
+            tree.insert(p, i);
+        }
+        assert_eq!(tree.len(), 20);
+        let mut got = Vec::new();
+        tree.query_circle(&p, 0.0, |_, i| got.push(*i));
+        assert_eq!(got.len(), 20);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn heavy_insertion_keeps_invariants() {
+        let items = pseudo_points(3000, 1);
+        let mut tree = RTree::with_capacity(4);
+        for (p, i) in &items {
+            tree.insert(*p, *i);
+        }
+        assert_eq!(tree.check_invariants(), 3000);
+        assert!(tree.height() >= 4, "tree should be multiple levels deep");
+    }
+
+    #[test]
+    fn from_iterator_bulk_loads() {
+        let tree: RTree<usize> = pseudo_points(100, 2).into_iter().collect();
+        assert_eq!(tree.len(), 100);
+        tree.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_point_rejected() {
+        let mut tree = RTree::new();
+        tree.insert(Point::new(f64::NAN, 0.0), 0usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn degenerate_capacity_rejected() {
+        let _: RTree<usize> = RTree::with_capacity(1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Query instrumentation counters.
+
+/// Counters describing the work one index query performed.
+///
+/// Used by the ablation benchmarks to compare index structures on equal
+/// footing (nodes visited ≈ cache lines touched, entries tested ≈ distance
+/// computations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Tree nodes (or grid cells) whose contents were examined.
+    pub nodes_visited: usize,
+    /// Leaf entries against which the query predicate was evaluated.
+    pub entries_tested: usize,
+    /// Entries that satisfied the predicate.
+    pub matches: usize,
+}
+
+impl QueryStats {
+    /// Accumulates another stats record into this one.
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.entries_tested += other.entries_tested;
+        self.matches += other.matches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = QueryStats {
+            nodes_visited: 1,
+            entries_tested: 2,
+            matches: 3,
+        };
+        a.absorb(QueryStats {
+            nodes_visited: 10,
+            entries_tested: 20,
+            matches: 30,
+        });
+        assert_eq!(
+            a,
+            QueryStats {
+                nodes_visited: 11,
+                entries_tested: 22,
+                matches: 33,
+            }
+        );
+    }
+}

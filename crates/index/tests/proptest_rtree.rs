@@ -1,0 +1,95 @@
+//! Property-based tests: the R-tree agrees with linear scans under
+//! arbitrary interleavings of bulk loads and insertions.
+
+use pinocchio_geo::{Mbr, Point};
+use pinocchio_index::{GridIndex, RTree};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rectangle queries return exactly the linear-scan result whether
+    /// the tree was bulk loaded or built by insertion.
+    #[test]
+    fn rect_query_exactness(
+        bulk in prop::collection::vec(arb_point(), 0..120),
+        inserted in prop::collection::vec(arb_point(), 0..60),
+        q1 in arb_point(),
+        q2 in arb_point(),
+    ) {
+        let mut items: Vec<(Point, usize)> =
+            bulk.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut tree = RTree::bulk_load(items.clone());
+        for (k, &p) in inserted.iter().enumerate() {
+            tree.insert(p, bulk.len() + k);
+            items.push((p, bulk.len() + k));
+        }
+        tree.check_invariants();
+
+        let rect = Mbr::new(q1, q2);
+        let mut got = Vec::new();
+        tree.query_rect(&rect, |_, &i| got.push(i));
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// k-NN distances match the sorted linear-scan distances.
+    #[test]
+    fn knn_exactness(
+        points in prop::collection::vec(arb_point(), 1..150),
+        q in arb_point(),
+        k in 1usize..20,
+    ) {
+        let tree: RTree<usize> = points.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let got = tree.k_nearest_neighbors(&q, k);
+        let mut dists: Vec<f64> = points.iter().map(|p| p.euclidean(&q)).collect();
+        dists.sort_by(f64::total_cmp);
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for (i, (_, _, d)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9, "rank {i}: {d} vs {}", dists[i]);
+        }
+    }
+
+    /// Grid and R-tree agree on circle queries.
+    #[test]
+    fn grid_and_rtree_agree(
+        points in prop::collection::vec(arb_point(), 2..150),
+        center in arb_point(),
+        radius in 0.0f64..60.0,
+    ) {
+        let items: Vec<(Point, usize)> =
+            points.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        let grid = GridIndex::build(items, 4).unwrap();
+        let mut a = Vec::new();
+        tree.query_circle(&center, radius, |_, &i| a.push(i));
+        let mut b = Vec::new();
+        grid.query_circle(&center, radius, |_, &i| b.push(i));
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Custom node capacities keep all invariants.
+    #[test]
+    fn arbitrary_capacity_invariants(
+        points in prop::collection::vec(arb_point(), 1..200),
+        capacity in 2usize..16,
+    ) {
+        let mut tree = RTree::with_capacity(capacity);
+        for (i, &p) in points.iter().enumerate() {
+            tree.insert(p, i);
+        }
+        prop_assert_eq!(tree.check_invariants(), points.len());
+    }
+}

@@ -1,0 +1,308 @@
+//! Alternative probability functions (Fig. 16).
+//!
+//! §6.2 ("Effect of Different PFs") demonstrates that PINOCCHIO is
+//! agnostic to the shape of `PF` by swapping in four commonly used decay
+//! functions: a log-sigmoid and its convex and concave parts, and a
+//! linear ramp. The paper normalises all four to the same scale; we do
+//! the same by parameterising each with
+//!
+//! * `rho` — the probability at distance zero, and
+//! * `scale` — the support radius `D` beyond which (for the bounded
+//!   functions) the probability is treated as zero.
+//!
+//! As the paper notes (footnote 7), these are *shapes*, not calibrated
+//! models; they exist to show the framework handles any monotone
+//! decreasing `PF` unmodified.
+
+use crate::pf::ProbabilityFunction;
+
+fn validate(rho: f64, scale: f64) {
+    assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+    assert!(scale > 0.0, "scale must be positive, got {scale}");
+}
+
+/// Log-sigmoid decay: `PF(d) = ρ · σ(k·(D/2 − d)) / σ(k·D/2)` with
+/// `σ(x) = 1/(1+e^(−x))` and steepness `k = 8/D`.
+///
+/// The normalisation makes `PF(0) = ρ` exactly; the curve is concave on
+/// `[0, D/2)` and convex beyond (the classic S-shape of the paper's
+/// `Logsig`), decaying smoothly towards zero without ever reaching it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogsigPf {
+    rho: f64,
+    scale: f64,
+    k: f64,
+    norm: f64,
+}
+
+impl LogsigPf {
+    /// Creates a log-sigmoid PF with maximum probability `rho` and
+    /// characteristic scale `scale` (kilometres).
+    pub fn new(rho: f64, scale: f64) -> Self {
+        validate(rho, scale);
+        let k = 8.0 / scale;
+        let norm = sigmoid(k * scale / 2.0);
+        LogsigPf { rho, scale, k, norm }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl ProbabilityFunction for LogsigPf {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        self.rho * sigmoid(self.k * (self.scale / 2.0 - d)) / self.norm
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p.is_nan() || p <= 0.0 || p > self.rho {
+            return None;
+        }
+        // p = ρ·σ(k(D/2 − d))/σ(kD/2)  ⇒  d = D/2 − σ⁻¹(p·σ(kD/2)/ρ)/k,
+        // with σ⁻¹(y) = ln(y / (1 − y)).
+        let y = p * self.norm / self.rho;
+        if y >= 1.0 {
+            return Some(0.0);
+        }
+        let d = self.scale / 2.0 - (y / (1.0 - y)).ln() / self.k;
+        Some(d.max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "logsig"
+    }
+}
+
+/// Convex decay: `PF(d) = ρ · (1 − d/D)²` on `[0, D]`, zero beyond.
+///
+/// Mirrors the convex branch of the log-sigmoid: steep near the facility,
+/// flattening towards the support edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvexPf {
+    rho: f64,
+    scale: f64,
+}
+
+impl ConvexPf {
+    /// Creates a convex PF with maximum probability `rho` and support
+    /// radius `scale`.
+    pub fn new(rho: f64, scale: f64) -> Self {
+        validate(rho, scale);
+        ConvexPf { rho, scale }
+    }
+}
+
+impl ProbabilityFunction for ConvexPf {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        if d >= self.scale {
+            0.0
+        } else {
+            let t = 1.0 - d / self.scale;
+            self.rho * t * t
+        }
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p.is_nan() || p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some(self.scale * (1.0 - (p / self.rho).sqrt()))
+    }
+
+    fn name(&self) -> &'static str {
+        "convex"
+    }
+}
+
+/// Concave decay: `PF(d) = ρ · (1 − (d/D)²)` on `[0, D]`, zero beyond.
+///
+/// Mirrors the concave branch of the log-sigmoid: a flat plateau near the
+/// facility followed by an accelerating drop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcavePf {
+    rho: f64,
+    scale: f64,
+}
+
+impl ConcavePf {
+    /// Creates a concave PF with maximum probability `rho` and support
+    /// radius `scale`.
+    pub fn new(rho: f64, scale: f64) -> Self {
+        validate(rho, scale);
+        ConcavePf { rho, scale }
+    }
+}
+
+impl ProbabilityFunction for ConcavePf {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        if d >= self.scale {
+            0.0
+        } else {
+            let t = d / self.scale;
+            self.rho * (1.0 - t * t)
+        }
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p.is_nan() || p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some(self.scale * (1.0 - p / self.rho).sqrt())
+    }
+
+    fn name(&self) -> &'static str {
+        "concave"
+    }
+}
+
+/// Linear decay: `PF(d) = ρ · (1 − d/D)` on `[0, D]`, zero beyond.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearPf {
+    rho: f64,
+    scale: f64,
+}
+
+impl LinearPf {
+    /// Creates a linear PF with maximum probability `rho` and support
+    /// radius `scale`.
+    pub fn new(rho: f64, scale: f64) -> Self {
+        validate(rho, scale);
+        LinearPf { rho, scale }
+    }
+}
+
+impl ProbabilityFunction for LinearPf {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        if d >= self.scale {
+            0.0
+        } else {
+            self.rho * (1.0 - d / self.scale)
+        }
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p.is_nan() || p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some(self.scale * (1.0 - p / self.rho))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_pfs() -> Vec<Box<dyn ProbabilityFunction>> {
+        vec![
+            Box::new(LogsigPf::new(0.5, 10.0)),
+            Box::new(ConvexPf::new(0.5, 10.0)),
+            Box::new(ConcavePf::new(0.5, 10.0)),
+            Box::new(LinearPf::new(0.5, 10.0)),
+        ]
+    }
+
+    #[test]
+    fn all_start_at_rho() {
+        for pf in all_pfs() {
+            assert!(
+                (pf.prob(0.0) - 0.5).abs() < 1e-12,
+                "{}: PF(0) = {}",
+                pf.name(),
+                pf.prob(0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn all_monotone_decreasing_and_bounded() {
+        for pf in all_pfs() {
+            let mut last = pf.prob(0.0);
+            for i in 1..=200 {
+                let d = i as f64 * 0.1;
+                let p = pf.prob(d);
+                assert!(p <= last + 1e-12, "{} not monotone at d={d}", pf.name());
+                assert!((0.0..=1.0).contains(&p));
+                last = p;
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips_on_range() {
+        for pf in all_pfs() {
+            for d in [0.0, 0.5, 2.0, 5.0, 9.0] {
+                let p = pf.prob(d);
+                if p <= 0.0 {
+                    continue;
+                }
+                let d2 = pf.inverse(p).unwrap();
+                assert!(
+                    (d - d2).abs() < 1e-9,
+                    "{}: d={d} p={p} inverse={d2}",
+                    pf.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_unattainable() {
+        for pf in all_pfs() {
+            assert_eq!(pf.inverse(0.6), None, "{}", pf.name());
+            assert_eq!(pf.inverse(0.0), None, "{}", pf.name());
+        }
+    }
+
+    #[test]
+    fn bounded_support_is_zero_beyond_scale() {
+        for pf in [
+            Box::new(ConvexPf::new(0.5, 10.0)) as Box<dyn ProbabilityFunction>,
+            Box::new(ConcavePf::new(0.5, 10.0)),
+            Box::new(LinearPf::new(0.5, 10.0)),
+        ] {
+            assert_eq!(pf.prob(10.0), 0.0);
+            assert_eq!(pf.prob(25.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn shape_ordering_convex_below_linear_below_concave() {
+        // At mid-range the convex curve lies under the chord (linear) and
+        // the concave curve above it.
+        let (cx, li, cc) = (
+            ConvexPf::new(0.5, 10.0),
+            LinearPf::new(0.5, 10.0),
+            ConcavePf::new(0.5, 10.0),
+        );
+        for d in [2.0, 5.0, 8.0] {
+            assert!(cx.prob(d) <= li.prob(d) && li.prob(d) <= cc.prob(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn logsig_is_s_shaped_around_midpoint() {
+        let pf = LogsigPf::new(0.5, 10.0);
+        // Value at the midpoint is half the maximum (σ symmetric).
+        let mid = pf.prob(5.0);
+        assert!((mid - 0.25 / sigmoid(4.0)).abs() < 1e-12);
+        // Concave before the midpoint, convex after: finite-difference
+        // second derivative changes sign.
+        let dd = |d: f64| pf.prob(d - 0.01) - 2.0 * pf.prob(d) + pf.prob(d + 0.01);
+        assert!(dd(2.0) < 0.0, "concave early");
+        assert!(dd(8.0) > 0.0, "convex late");
+    }
+}

@@ -1,0 +1,282 @@
+//! Cumulative influence probability and the early-stopping rule.
+//!
+//! Definition 1: `Pr_c(O) = 1 − ∏_{i=1..n} (1 − Pr_c(p_i))` — the
+//! probability that object `O` is influenced by candidate `c` at *at
+//! least one* of its positions, positions being independent.
+//!
+//! Definition 4 introduces the *partial non-influence probability*
+//! `Pr_c^{n−n'}(O) = ∏_{i=n'+1..n} (1 − Pr_c(p_i))`; Lemma 4 turns it
+//! into an early-stopping rule (Strategy 2 of PINOCCHIO-VO): while
+//! scanning positions, as soon as the running product of `(1 − Pr_c(p_i))`
+//! drops to `≤ 1 − τ`, the object is certainly influenced and the
+//! remaining positions need not be evaluated.
+
+use crate::pf::ProbabilityFunction;
+use pinocchio_geo::{DistanceMetric, Point};
+
+/// Outcome of an early-stopping influence evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopOutcome {
+    /// Whether the candidate influences the object (`Pr_c(O) ≥ τ`).
+    pub influenced: bool,
+    /// Number of positions whose probability was actually evaluated
+    /// (`n'` of Strategy 2; equals `n` when no early exit fired).
+    pub positions_evaluated: usize,
+    /// The non-influence product after the last evaluated position. When
+    /// the scan ran to completion this equals `∏(1 − Pr_c(p_i))`, so the
+    /// exact cumulative probability is `1 −` this value; after an early
+    /// exit it is only an upper bound on the full product.
+    pub non_influence_product: f64,
+}
+
+/// Stateless evaluator for cumulative influence probabilities.
+///
+/// Bundles a probability function and a distance metric; all methods are
+/// allocation-free scans over a position slice, in keeping with the flat
+/// `A_1D` layout of Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct CumulativeProbability<P, M> {
+    pf: P,
+    metric: M,
+}
+
+impl<P: ProbabilityFunction, M: DistanceMetric> CumulativeProbability<P, M> {
+    /// Creates an evaluator from a probability function and a metric.
+    pub fn new(pf: P, metric: M) -> Self {
+        CumulativeProbability { pf, metric }
+    }
+
+    /// The underlying probability function.
+    pub fn pf(&self) -> &P {
+        &self.pf
+    }
+
+    /// The underlying distance metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Independent influence probability of a single position
+    /// (`Pr_c(p) = PF(dist(c, p))`).
+    #[inline]
+    pub fn position_probability(&self, candidate: &Point, position: &Point) -> f64 {
+        self.pf.prob(self.metric.distance(candidate, position))
+    }
+
+    /// Exact cumulative influence probability `Pr_c(O)` (Definition 1).
+    ///
+    /// An empty position slice yields probability `0` (nothing to
+    /// influence). The product is accumulated in linear space: factors lie
+    /// in `[0, 1]`, so the only underflow mode is the product reaching
+    /// subnormal zero, which correctly saturates the probability at 1.
+    pub fn cumulative(&self, candidate: &Point, positions: &[Point]) -> f64 {
+        let mut non_influence = 1.0_f64;
+        for p in positions {
+            non_influence *= 1.0 - self.position_probability(candidate, p);
+        }
+        1.0 - non_influence
+    }
+
+    /// Whether `Pr_c(O) ≥ τ`, computed exhaustively (used by the NA
+    /// baseline and by PINOCCHIO's plain validation phase).
+    #[inline]
+    pub fn influences(&self, candidate: &Point, positions: &[Point], tau: f64) -> bool {
+        self.cumulative(candidate, positions) >= tau
+    }
+
+    /// Influence test with the Lemma 4 early exit (Strategy 2).
+    ///
+    /// Scans positions in storage order, maintaining the running
+    /// non-influence product; returns as soon as the product reaches
+    /// `≤ 1 − τ` (object certainly influenced regardless of the remaining
+    /// positions, since the omitted factors can only shrink the product).
+    ///
+    /// The verdict is always identical to [`Self::influences`]; only the
+    /// number of evaluated positions differs. This invariant is enforced
+    /// by tests and by the `pinocchio-core` instrumentation.
+    pub fn influences_early_stop(
+        &self,
+        candidate: &Point,
+        positions: &[Point],
+        tau: f64,
+    ) -> EarlyStopOutcome {
+        let threshold = 1.0 - tau;
+        let mut non_influence = 1.0_f64;
+        for (i, p) in positions.iter().enumerate() {
+            non_influence *= 1.0 - self.position_probability(candidate, p);
+            if non_influence <= threshold {
+                return EarlyStopOutcome {
+                    influenced: true,
+                    positions_evaluated: i + 1,
+                    non_influence_product: non_influence,
+                };
+            }
+        }
+        EarlyStopOutcome {
+            influenced: 1.0 - non_influence >= tau,
+            positions_evaluated: positions.len(),
+            non_influence_product: non_influence,
+        }
+    }
+
+    /// Partial non-influence probability `Pr_c^{n−n'}(O)` of the positions
+    /// with indices `n'..n` (Definition 4). `Pr_c^{n−n}(O) = 1` by
+    /// convention (empty product).
+    pub fn partial_non_influence(
+        &self,
+        candidate: &Point,
+        positions: &[Point],
+        n_prime: usize,
+    ) -> f64 {
+        assert!(n_prime <= positions.len(), "n' must not exceed n");
+        positions[n_prime..]
+            .iter()
+            .map(|p| 1.0 - self.position_probability(candidate, p))
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pf::PowerLawPf;
+    use pinocchio_geo::Euclidean;
+
+    /// A probability function that returns the scripted probability for
+    /// call `i`, regardless of distance — handy for replaying the paper's
+    /// Example 1 verbatim.
+    #[derive(Debug)]
+    struct Scripted {
+        probs: Vec<f64>,
+        next: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Scripted {
+        fn new(probs: Vec<f64>) -> Self {
+            Scripted {
+                probs,
+                next: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl ProbabilityFunction for Scripted {
+        fn prob(&self, _d: f64) -> f64 {
+            let i = self
+                .next
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.probs[i]
+        }
+        fn inverse(&self, _p: f64) -> Option<f64> {
+            unimplemented!("not needed")
+        }
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn example1_from_the_paper() {
+        // Pr_{c1}(O1) with p = 0.5, 0.1, 0.2, 0.15, 0.12 → 0.73 (2 d.p.).
+        let eval = CumulativeProbability::new(
+            Scripted::new(vec![0.5, 0.1, 0.2, 0.15, 0.12]),
+            Euclidean,
+        );
+        let c = Point::ORIGIN;
+        let pr = eval.cumulative(&c, &pts(5));
+        assert!((pr - 0.73).abs() < 0.005, "got {pr}");
+
+        // Pr_{c1}(O2) with p = 0.25, 0.35, 0.33, 0.3, 0.38 → 0.86 (2 d.p.).
+        let eval = CumulativeProbability::new(
+            Scripted::new(vec![0.25, 0.35, 0.33, 0.3, 0.38]),
+            Euclidean,
+        );
+        let pr = eval.cumulative(&c, &pts(5));
+        assert!((pr - 0.86).abs() < 0.005, "got {pr}");
+    }
+
+    #[test]
+    fn empty_object_has_zero_probability() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        assert_eq!(eval.cumulative(&Point::ORIGIN, &[]), 0.0);
+        assert!(!eval.influences(&Point::ORIGIN, &[], 0.1));
+    }
+
+    #[test]
+    fn single_position_equals_pf() {
+        let pf = PowerLawPf::paper_default();
+        let eval = CumulativeProbability::new(pf, Euclidean);
+        let c = Point::ORIGIN;
+        let p = Point::new(3.0, 4.0); // distance 5
+        assert!((eval.cumulative(&c, &[p]) - pf.prob(5.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_positions_never_decrease_probability() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let c = Point::ORIGIN;
+        let all = pts(20);
+        let mut last = 0.0;
+        for k in 1..=all.len() {
+            let pr = eval.cumulative(&c, &all[..k]);
+            assert!(pr >= last - 1e-15, "k={k}: {pr} < {last}");
+            last = pr;
+        }
+    }
+
+    #[test]
+    fn early_stop_matches_exhaustive_verdict() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let positions = pts(50);
+        for tau in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            for cx in [0.0, 5.0, 25.0, 100.0] {
+                let c = Point::new(cx, 2.0);
+                let exact = eval.influences(&c, &positions, tau);
+                let es = eval.influences_early_stop(&c, &positions, tau);
+                assert_eq!(es.influenced, exact, "tau={tau} cx={cx}");
+                assert!(es.positions_evaluated <= positions.len());
+                if es.positions_evaluated < positions.len() {
+                    assert!(es.influenced, "early exit only fires on influence");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_saves_work_near_positions() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        // Candidate sitting on top of the first position: PF(0) = 0.9,
+        // so with τ = 0.7 a single position suffices.
+        let positions = pts(100);
+        let es = eval.influences_early_stop(&Point::ORIGIN, &positions, 0.7);
+        assert!(es.influenced);
+        assert_eq!(es.positions_evaluated, 1);
+    }
+
+    #[test]
+    fn partial_non_influence_conventions() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let positions = pts(4);
+        let c = Point::ORIGIN;
+        // n' = n ⇒ empty product = 1 (Definition 4 note).
+        assert_eq!(eval.partial_non_influence(&c, &positions, 4), 1.0);
+        // n' = 0 ⇒ the full non-influence product.
+        let full = eval.partial_non_influence(&c, &positions, 0);
+        assert!((1.0 - full - eval.cumulative(&c, &positions)).abs() < 1e-15);
+        // Product decomposes: full = head × tail.
+        let head = eval.partial_non_influence(&c, &positions[..2], 0);
+        let tail = eval.partial_non_influence(&c, &positions, 2);
+        assert!((full - head * tail).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "n' must not exceed n")]
+    fn partial_non_influence_bounds_checked() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let _ = eval.partial_non_influence(&Point::ORIGIN, &pts(2), 3);
+    }
+}

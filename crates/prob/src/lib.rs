@@ -1,0 +1,31 @@
+//! Distance-based influence probability models for PRIME-LS.
+//!
+//! The paper models the probability that a facility at candidate location
+//! `c` influences an object at position `p` as `Pr_c(p) = PF(dist(c, p))`
+//! for a monotonically decreasing *probability function* `PF` (§3.1). This
+//! crate provides:
+//!
+//! * the [`ProbabilityFunction`] trait with an analytic inverse — the
+//!   inverse is what turns a probability bound into the `minMaxRadius`
+//!   distance bound (Definition 5),
+//! * the paper's default power-law model `ρ·(d₀ + d)^(−λ)` from Liu et
+//!   al.'s check-in study ([`PowerLawPf`]),
+//! * the four alternative functions of Fig. 16 — log-sigmoid, convex,
+//!   concave and linear ([`alt`]),
+//! * cumulative / partial non-influence probability computation with the
+//!   early-stopping rule of Lemma 4 ([`cumulative`]),
+//! * `minMaxRadius` itself plus the per-`n` memo cache (the HashMap `HM`
+//!   of Algorithm 1) in [`radius`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alt;
+pub mod cumulative;
+pub mod pf;
+pub mod radius;
+
+pub use alt::{ConcavePf, ConvexPf, LinearPf, LogsigPf};
+pub use cumulative::{CumulativeProbability, EarlyStopOutcome};
+pub use pf::{PowerLawPf, ProbabilityFunction};
+pub use radius::{min_max_radius, required_single_position_probability, MinMaxRadiusCache};

@@ -1,0 +1,210 @@
+//! The probability-function trait and the paper's power-law default.
+
+/// A monotonically decreasing, distance-based influence probability
+/// function (§3.1).
+///
+/// Implementations map a non-negative distance in kilometres to an
+/// influence probability in `[0, 1]` and must satisfy, for all
+/// `0 ≤ d₁ ≤ d₂`:
+///
+/// * `prob(d₁) ≥ prob(d₂)` (monotone non-increasing),
+/// * `prob(d) ∈ [0, 1]`,
+/// * `inverse(p)` returns the smallest distance `d` with `prob(d) ≤ p`
+///   whenever some distance attains probability `≤ p`, i.e. it inverts
+///   the function on its range; `inverse(p) = None` when `p` exceeds the
+///   maximum attainable probability `prob(0)`.
+///
+/// The inverse is the workhorse of Definition 5: `minMaxRadius(τ, n) =
+/// PF⁻¹(1 − (1 − τ)^{1/n})`, and `None` certifies that the associated
+/// object can never be influenced — even a facility at distance zero from
+/// every position fails to reach the threshold (see
+/// [`crate::radius::min_max_radius`]).
+pub trait ProbabilityFunction: Send + Sync + std::fmt::Debug {
+    /// Influence probability at distance `d ≥ 0` kilometres.
+    fn prob(&self, d: f64) -> f64;
+
+    /// The distance at which the function attains probability `p`, or
+    /// `None` when `p > prob(0)` (unattainable).
+    ///
+    /// For functions with bounded support, probabilities at or below the
+    /// infimum map to the support radius.
+    fn inverse(&self, p: f64) -> Option<f64>;
+
+    /// Maximum attainable probability, `prob(0)`.
+    fn prob_at_zero(&self) -> f64 {
+        self.prob(0.0)
+    }
+
+    /// Human-readable name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default probability function (§6.1):
+/// `PF(d) = ρ · (d₀ + d)^(−λ)`, the power-law check-in model of Liu et
+/// al. (KDD 2013).
+///
+/// * `ρ` — *behaviour-pattern* factor, the probability at distance zero
+///   when `d₀ = 1` (paper default `0.9`; also swept over `{0.5, 0.7, 0.9}`
+///   in Fig. 15),
+/// * `d₀` — distance offset keeping the function finite at `d = 0`
+///   (paper default `1.0`),
+/// * `λ` — power-law decay exponent (paper default `1.0`; swept over
+///   `{0.75, 1.0, 1.25}` in Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawPf {
+    rho: f64,
+    d0: f64,
+    lambda: f64,
+}
+
+impl PowerLawPf {
+    /// Creates a power-law probability function.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ρ ≤ 1`, `d₀ > 0`, `λ > 0`, and `ρ·d₀^(−λ) ≤ 1`
+    /// (probabilities must stay within `[0, 1]`).
+    pub fn new(rho: f64, d0: f64, lambda: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        assert!(d0 > 0.0, "d0 must be positive, got {d0}");
+        assert!(lambda > 0.0, "lambda must be positive, got {lambda}");
+        let at_zero = rho * d0.powf(-lambda);
+        assert!(
+            at_zero <= 1.0 + 1e-12,
+            "PF(0) = {at_zero} exceeds 1; choose a larger d0 or smaller rho"
+        );
+        PowerLawPf { rho, d0, lambda }
+    }
+
+    /// The paper's default parameters: `ρ = 0.9`, `d₀ = 1.0`, `λ = 1.0`.
+    pub fn paper_default() -> Self {
+        PowerLawPf::new(0.9, 1.0, 1.0)
+    }
+
+    /// Same `ρ`/`d₀`, different decay exponent (the Fig. 14 sweep).
+    pub fn with_lambda(lambda: f64) -> Self {
+        PowerLawPf::new(0.9, 1.0, lambda)
+    }
+
+    /// Same `d₀`/`λ`, different behaviour factor (the Fig. 15 sweep).
+    pub fn with_rho(rho: f64) -> Self {
+        PowerLawPf::new(rho, 1.0, 1.0)
+    }
+
+    /// Behaviour-pattern factor `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Distance offset `d₀`.
+    pub fn d0(&self) -> f64 {
+        self.d0
+    }
+
+    /// Decay exponent `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ProbabilityFunction for PowerLawPf {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "negative distance {d}");
+        self.rho * (self.d0 + d).powf(-self.lambda)
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p.is_nan() || p <= 0.0 {
+            // p ≤ 0 (or NaN): the power law never reaches 0, so there is
+            // no finite distance with prob(d) ≤ 0 — but every probability
+            // target below the range is satisfied in the limit; callers
+            // only ask for p in (0, 1], so reject degenerate input.
+            return None;
+        }
+        let d = (self.rho / p).powf(1.0 / self.lambda) - self.d0;
+        if d < 0.0 {
+            None // p > PF(0): unattainable even at distance zero
+        } else {
+            Some(d)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "power-law"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let pf = PowerLawPf::paper_default();
+        assert_eq!(pf.prob(0.0), 0.9); // ρ with d0 = 1, λ = 1
+        assert!((pf.prob(1.0) - 0.45).abs() < 1e-12); // 0.9 / 2
+        assert!((pf.prob(8.0) - 0.1).abs() < 1e-12); // 0.9 / 9
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let pf = PowerLawPf::paper_default();
+        let mut last = pf.prob(0.0);
+        for i in 1..=100 {
+            let p = pf.prob(i as f64 * 0.37);
+            assert!(p <= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for (rho, d0, lambda) in [(0.9, 1.0, 1.0), (0.5, 1.0, 0.75), (0.7, 2.0, 1.25)] {
+            let pf = PowerLawPf::new(rho, d0, lambda);
+            for d in [0.0, 0.1, 1.0, 5.0, 42.0] {
+                let p = pf.prob(d);
+                let d2 = pf.inverse(p).unwrap();
+                assert!((d - d2).abs() < 1e-9, "d={d} p={p} d2={d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_unattainable_probability_is_none() {
+        let pf = PowerLawPf::paper_default(); // PF(0) = 0.9
+        assert_eq!(pf.inverse(0.95), None);
+        assert_eq!(pf.inverse(0.0), None);
+        assert_eq!(pf.inverse(-0.1), None);
+        assert!(pf.inverse(0.9).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_controls_decay_speed() {
+        let slow = PowerLawPf::with_lambda(0.75);
+        let fast = PowerLawPf::with_lambda(1.25);
+        assert_eq!(slow.prob(0.0), fast.prob(0.0)); // same at zero (d0 = 1)
+        assert!(slow.prob(5.0) > fast.prob(5.0));
+    }
+
+    #[test]
+    fn rho_scales_uniformly() {
+        let lo = PowerLawPf::with_rho(0.5);
+        let hi = PowerLawPf::with_rho(0.9);
+        for d in [0.0, 1.0, 3.0] {
+            assert!((hi.prob(d) / lo.prob(d) - 1.8).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn invalid_rho_rejected() {
+        let _ = PowerLawPf::new(1.5, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1")]
+    fn probability_above_one_rejected() {
+        // ρ = 0.9 but d0 = 0.5, λ = 1 gives PF(0) = 1.8.
+        let _ = PowerLawPf::new(0.9, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! `minMaxRadius` (Definition 5) and its per-`n` memo cache.
+//!
+//! `minMaxRadius(τ, n) = PF⁻¹(1 − (1 − τ)^{1/n})` is the pivotal distance
+//! of the paper: by Theorem 1, a candidate within `minMaxRadius` of *all*
+//! `n` positions of an object certainly influences it; by Theorem 2, a
+//! candidate farther than `minMaxRadius` from all positions certainly
+//! does not.
+//!
+//! Because objects share position counts, Algorithm 1 memoises the radius
+//! in a HashMap keyed by `n` — reproduced here as [`MinMaxRadiusCache`].
+
+use crate::pf::ProbabilityFunction;
+use std::collections::HashMap;
+
+/// The single-position probability bound `1 − (1 − τ)^{1/n}` that each of
+/// `n` independent positions must individually attain for the cumulative
+/// probability to reach `τ`.
+///
+/// Evaluated via `ln_1p`/`exp_m1` so it stays accurate for large `n`
+/// (where the naive `1 − (1−τ)^{1/n}` loses all significant digits) —
+/// the paper's datasets contain objects with up to 780 positions.
+///
+/// # Panics
+/// Panics unless `τ ∈ (0, 1)` and `n ≥ 1`.
+pub fn required_single_position_probability(tau: f64, n: usize) -> f64 {
+    assert!(tau > 0.0 && tau < 1.0, "tau must be in (0, 1), got {tau}");
+    assert!(n >= 1, "an object must have at least one position");
+    // 1 − (1−τ)^{1/n} = −expm1(ln1p(−τ) / n)
+    -((-tau).ln_1p() / n as f64).exp_m1()
+}
+
+/// `minMaxRadius(τ, n)` for probability function `pf` (Definition 5).
+///
+/// Returns `None` when even a facility at distance zero cannot attain the
+/// required per-position probability — in that case
+/// `Pr_c(O) ≤ 1 − (1 − PF(0))^n < τ` for every candidate, so the object
+/// can never be influenced and should be skipped outright.
+pub fn min_max_radius<P: ProbabilityFunction + ?Sized>(
+    pf: &P,
+    tau: f64,
+    n: usize,
+) -> Option<f64> {
+    pf.inverse(required_single_position_probability(tau, n))
+}
+
+/// Memo cache for `minMaxRadius`, keyed by position count `n` — the
+/// HashMap `HM` of Algorithm 1 (lines 3–7).
+///
+/// The cache is bound to one `(PF, τ)` configuration; constructing the
+/// solver state afresh per parameter setting mirrors the paper's
+/// experimental procedure.
+#[derive(Debug)]
+pub struct MinMaxRadiusCache {
+    tau: f64,
+    by_n: HashMap<usize, Option<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MinMaxRadiusCache {
+    /// Creates an empty cache for threshold `τ`.
+    ///
+    /// # Panics
+    /// Panics unless `τ ∈ (0, 1)`.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau < 1.0, "tau must be in (0, 1), got {tau}");
+        MinMaxRadiusCache {
+            tau,
+            by_n: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The threshold the cache was built for.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// `minMaxRadius(τ, n)` under `pf`, memoised per `n`.
+    pub fn get<P: ProbabilityFunction + ?Sized>(&mut self, pf: &P, n: usize) -> Option<f64> {
+        if let Some(&cached) = self.by_n.get(&n) {
+            self.hits += 1;
+            return cached;
+        }
+        self.misses += 1;
+        let value = min_max_radius(pf, self.tau, n);
+        self.by_n.insert(n, value);
+        value
+    }
+
+    /// `(hits, misses)` counters, for the instrumentation experiments.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct position counts seen so far (the paper's `N`).
+    pub fn distinct_counts(&self) -> usize {
+        self.by_n.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pf::PowerLawPf;
+
+    #[test]
+    fn single_position_required_probability_is_tau() {
+        for tau in [0.1, 0.5, 0.9] {
+            assert!((required_single_position_probability(tau, 1) - tau).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn required_probability_decreases_with_n() {
+        let tau = 0.7;
+        let mut last = 1.0;
+        for n in [1, 2, 5, 10, 50, 200, 780] {
+            let q = required_single_position_probability(tau, n);
+            assert!(q < last, "n={n}");
+            assert!(q > 0.0 && q < 1.0);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn accurate_for_large_n() {
+        // For large n, q ≈ −ln(1−τ)/n; check against the series expansion.
+        let tau = 0.7;
+        let n = 1_000_000;
+        let q = required_single_position_probability(tau, n);
+        let approx = -(1.0f64 - tau).ln() / n as f64;
+        assert!((q - approx).abs() / approx < 1e-5, "q={q} approx={approx}");
+    }
+
+    #[test]
+    fn radius_grows_with_n_and_shrinks_with_tau() {
+        // Definition 5 remark: μ ↑ in n (fixed τ), μ ↑ as τ ↓ (fixed n).
+        let pf = PowerLawPf::paper_default();
+        let mut last = -1.0;
+        for n in [1, 2, 4, 8, 16, 64, 256] {
+            let mu = min_max_radius(&pf, 0.7, n).unwrap();
+            assert!(mu > last, "n={n}");
+            last = mu;
+        }
+        let mut last = f64::INFINITY;
+        for tau in [0.1, 0.3, 0.5, 0.7, 0.89] {
+            let mu = min_max_radius(&pf, tau, 10).unwrap();
+            assert!(mu < last, "tau={tau}");
+            last = mu;
+        }
+    }
+
+    #[test]
+    fn theorem1_boundary_is_exact() {
+        // At distance exactly μ, a single position attains exactly the
+        // required probability, so n positions at radius μ give Pr = τ.
+        let pf = PowerLawPf::paper_default();
+        for (tau, n) in [(0.5, 3), (0.7, 10), (0.9, 40)] {
+            let mu = min_max_radius(&pf, tau, n).unwrap();
+            let p = pf.prob(mu);
+            let cumulative = 1.0 - (1.0 - p).powi(n as i32);
+            assert!((cumulative - tau).abs() < 1e-9, "tau={tau} n={n}");
+        }
+    }
+
+    #[test]
+    fn unattainable_threshold_yields_none() {
+        // PF(0) = 0.9; a single position cannot reach q = 0.95.
+        let pf = PowerLawPf::paper_default();
+        assert_eq!(min_max_radius(&pf, 0.95, 1), None);
+        // ... but two positions can (q = 1 − √0.05 ≈ 0.776 < 0.9).
+        assert!(min_max_radius(&pf, 0.95, 2).is_some());
+    }
+
+    #[test]
+    fn cache_memoises_per_n() {
+        let pf = PowerLawPf::paper_default();
+        let mut cache = MinMaxRadiusCache::new(0.7);
+        let a = cache.get(&pf, 10);
+        let b = cache.get(&pf, 10);
+        let c = cache.get(&pf, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.distinct_counts(), 2);
+        assert_eq!(cache.tau(), 0.7);
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_computation() {
+        let pf = PowerLawPf::paper_default();
+        let mut cache = MinMaxRadiusCache::new(0.3);
+        for n in 1..100 {
+            assert_eq!(cache.get(&pf, n), min_max_radius(&pf, 0.3, n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn tau_one_rejected() {
+        let _ = required_single_position_probability(1.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one position")]
+    fn zero_positions_rejected() {
+        let _ = required_single_position_probability(0.5, 0);
+    }
+}

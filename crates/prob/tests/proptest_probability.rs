@@ -1,0 +1,132 @@
+//! Property-based tests of the probability substrate.
+
+use pinocchio_geo::{Euclidean, Point};
+use pinocchio_prob::{
+    min_max_radius, required_single_position_probability, ConcavePf, ConvexPf,
+    CumulativeProbability, LinearPf, LogsigPf, PowerLawPf, ProbabilityFunction,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-30.0f64..30.0, -30.0f64..30.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// One of the five PF families with random (valid) parameters.
+fn arb_pf() -> impl Strategy<Value = Box<dyn ProbabilityFunction>> {
+    let rho = 0.1f64..1.0;
+    let scale = 1.0f64..30.0;
+    prop_oneof![
+        (rho.clone(), 0.3f64..2.0)
+            .prop_map(|(r, l)| Box::new(PowerLawPf::new(r, 1.0, l)) as Box<dyn ProbabilityFunction>),
+        (rho.clone(), scale.clone())
+            .prop_map(|(r, s)| Box::new(LogsigPf::new(r, s)) as Box<dyn ProbabilityFunction>),
+        (rho.clone(), scale.clone())
+            .prop_map(|(r, s)| Box::new(ConvexPf::new(r, s)) as Box<dyn ProbabilityFunction>),
+        (rho.clone(), scale.clone())
+            .prop_map(|(r, s)| Box::new(ConcavePf::new(r, s)) as Box<dyn ProbabilityFunction>),
+        (rho, scale)
+            .prop_map(|(r, s)| Box::new(LinearPf::new(r, s)) as Box<dyn ProbabilityFunction>),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every PF family is monotone non-increasing and bounded in [0, 1].
+    #[test]
+    fn pf_families_are_monotone_and_bounded(pf in arb_pf(), d1 in 0.0f64..50.0, d2 in 0.0f64..50.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (p_lo, p_hi) = (pf.prob(lo), pf.prob(hi));
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo >= p_hi - 1e-12, "{}: PF({lo}) = {p_lo} < PF({hi}) = {p_hi}", pf.name());
+    }
+
+    /// inverse() inverts prob() wherever the probability is attainable.
+    #[test]
+    fn pf_inverse_round_trips(pf in arb_pf(), d in 0.0f64..40.0) {
+        let p = pf.prob(d);
+        if p > 1e-12 {
+            let d2 = pf.inverse(p).expect("attainable probability");
+            prop_assert!(
+                (pf.prob(d2) - p).abs() < 1e-9,
+                "{}: PF(inverse({p})) = {} != {p}",
+                pf.name(),
+                pf.prob(d2)
+            );
+        }
+    }
+
+    /// Theorem 1's sandwich: with distances sorted, the cumulative
+    /// probability lies between the all-farthest and all-nearest bounds.
+    #[test]
+    fn cumulative_probability_sandwich(
+        positions in prop::collection::vec(arb_point(), 1..25),
+        candidate in arb_point(),
+    ) {
+        let pf = PowerLawPf::paper_default();
+        let eval = CumulativeProbability::new(pf, Euclidean);
+        let pr = eval.cumulative(&candidate, &positions);
+        let n = positions.len() as i32;
+        let dists: Vec<f64> = positions.iter().map(|p| p.euclidean(&candidate)).collect();
+        let p_near = pf.prob(dists.iter().copied().fold(f64::INFINITY, f64::min));
+        let p_far = pf.prob(dists.iter().copied().fold(0.0, f64::max));
+        let upper = 1.0 - (1.0 - p_near).powi(n);
+        let lower = 1.0 - (1.0 - p_far).powi(n);
+        prop_assert!(pr <= upper + 1e-12);
+        prop_assert!(pr >= lower - 1e-12);
+    }
+
+    /// The required per-position probability and minMaxRadius are
+    /// consistent: n positions exactly at the radius reach exactly τ.
+    #[test]
+    fn radius_consistency(tau in 0.05f64..0.9, n in 1usize..200) {
+        let pf = PowerLawPf::paper_default();
+        let q = required_single_position_probability(tau, n);
+        prop_assert!((0.0..1.0).contains(&q));
+        if let Some(mu) = min_max_radius(&pf, tau, n) {
+            let cumulative = 1.0 - (1.0 - pf.prob(mu)).powi(n as i32);
+            prop_assert!((cumulative - tau).abs() < 1e-6, "Pr = {cumulative} at radius {mu}");
+        } else {
+            // Unattainable: even at distance zero the bound fails.
+            prop_assert!(pf.prob(0.0) < q);
+        }
+    }
+
+    /// Order independence: cumulative probability is invariant under
+    /// position permutation (it is a product).
+    #[test]
+    fn cumulative_is_order_free(
+        positions in prop::collection::vec(arb_point(), 2..20),
+        candidate in arb_point(),
+        rotate_by in 0usize..19,
+    ) {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let a = eval.cumulative(&candidate, &positions);
+        let mut rotated = positions.clone();
+        rotated.rotate_left(rotate_by % positions.len());
+        let b = eval.cumulative(&candidate, &rotated);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// Early stopping under every PF family: same verdict as exhaustive.
+    #[test]
+    fn early_stop_across_families(
+        pf in arb_pf(),
+        positions in prop::collection::vec(arb_point(), 1..25),
+        candidate in arb_point(),
+        tau in 0.05f64..0.95,
+    ) {
+        #[derive(Debug)]
+        struct Wrap<'a>(&'a dyn ProbabilityFunction);
+        impl ProbabilityFunction for Wrap<'_> {
+            fn prob(&self, d: f64) -> f64 { self.0.prob(d) }
+            fn inverse(&self, p: f64) -> Option<f64> { self.0.inverse(p) }
+            fn name(&self) -> &'static str { "wrap" }
+        }
+        let eval = CumulativeProbability::new(Wrap(pf.as_ref()), Euclidean);
+        let exact = eval.influences(&candidate, &positions, tau);
+        let es = eval.influences_early_stop(&candidate, &positions, tau);
+        prop_assert_eq!(es.influenced, exact);
+    }
+}

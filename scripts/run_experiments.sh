@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs every experiment binary in sequence, printing each exhibit and
+# writing JSON records to target/experiments/.
+#
+# Usage:
+#   ./scripts/run_experiments.sh            # full (paper) scale
+#   PINOCCHIO_SCALE=small ./scripts/run_experiments.sh   # fast CI scale
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  table2_datasets
+  table34_precision
+  table5_groups
+  fig06_geo
+  fig07_pf
+  fig08_scal_candidates
+  fig09_scal_objects
+  fig10_pruning
+  fig11_effect_n
+  fig12_effect_tau
+  fig13_level_curve
+  fig14_effect_lambda
+  fig15_effect_rho
+  fig16_alt_pfs
+)
+
+cargo build --release -p pinocchio-bench
+
+for bin in "${BINS[@]}"; do
+  echo
+  echo "================================================================"
+  echo "== $bin"
+  echo "================================================================"
+  cargo run --release -q -p pinocchio-bench --bin "$bin"
+done

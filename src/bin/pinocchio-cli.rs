@@ -1,0 +1,233 @@
+//! Command-line interface for the PINOCCHIO framework.
+//!
+//! ```text
+//! pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]
+//! pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*]
+//!                        [--tau T] [--candidates M] [--seed N] [--top K]
+//! pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M]
+//!                        [--epsilon E] [--delta D] [--seed N]
+//! pinocchio-cli generate --out DIR [--dataset ...] [--seed N]
+//! ```
+//!
+//! `--dataset small` (the default) builds a fast 300-user world;
+//! `foursquare` / `gowalla` build the full paper-calibrated datasets.
+
+use pinocchio::data::{
+    io, sample_candidate_group, DatasetStats, GeneratorConfig, SyntheticGenerator,
+};
+use pinocchio::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]\n  \
+         pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*] [--tau T] [--candidates M] [--seed N] [--top K]\n  \
+         pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M] [--epsilon E] [--delta D] [--seed N]\n  \
+         pinocchio-cli generate --out DIR [--dataset ...] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Some(flags)
+}
+
+fn build_dataset(flags: &HashMap<String, String>) -> Result<pinocchio::data::Dataset, String> {
+    let seed: Option<u64> = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?;
+    let mut config = match flags.get("dataset").map(String::as_str).unwrap_or("small") {
+        "foursquare" => GeneratorConfig::foursquare_like(),
+        "gowalla" => GeneratorConfig::gowalla_like(),
+        "small" => GeneratorConfig::small(300, 1),
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    if let Some(seed) = seed {
+        config = config.with_seed(seed);
+    }
+    Ok(SyntheticGenerator::new(config).generate())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+
+    let dataset = match build_dataset(&flags) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match command.as_str() {
+        "stats" => {
+            println!("{}", DatasetStats::of(&dataset));
+            ExitCode::SUCCESS
+        }
+        "solve" => {
+            let tau: f64 = match flags.get("tau").map(|s| s.parse()).unwrap_or(Ok(0.7)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: bad --tau: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let m: usize = match flags
+                .get("candidates")
+                .map(|s| s.parse())
+                .unwrap_or(Ok(200))
+            {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: bad --candidates: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let algorithm = match flags.get("algo").map(String::as_str).unwrap_or("pin-vo") {
+                "na" => Algorithm::Naive,
+                "pin" => Algorithm::Pinocchio,
+                "pin-vo" => Algorithm::PinocchioVo,
+                "pin-vo*" => Algorithm::PinocchioVoStar,
+                other => {
+                    eprintln!("error: unknown algorithm '{other}'");
+                    return ExitCode::from(2);
+                }
+            };
+            let (_, candidates) = sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
+            let problem = match PrimeLs::builder()
+                .objects(dataset.objects().to_vec())
+                .candidates(candidates)
+                .probability_function(PowerLawPf::paper_default())
+                .tau(tau)
+                .build()
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(top) = flags.get("top") {
+                let k: usize = match top.parse() {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: bad --top: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                for (rank, entry) in pinocchio::core::solve_top_k(&problem, k)
+                    .iter()
+                    .enumerate()
+                {
+                    println!(
+                        "{:3}. candidate #{} at {} influence {}",
+                        rank + 1,
+                        entry.candidate,
+                        entry.location,
+                        entry.influence
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            let r = problem.solve(algorithm);
+            println!("algorithm        {}", r.algorithm);
+            println!("best candidate   #{} at {}", r.best_candidate, r.best_location);
+            println!("max influence    {}", r.max_influence);
+            println!("pairs validated  {}", r.stats.validated_pairs);
+            println!("pairs pruned     {}", r.stats.pruned_pairs());
+            println!("positions probed {}", r.stats.positions_evaluated);
+            println!("elapsed          {:.3?}", r.elapsed);
+            ExitCode::SUCCESS
+        }
+        "approx" => {
+            let get = |key: &str, default: f64| -> Result<f64, String> {
+                flags
+                    .get(key)
+                    .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+                    .unwrap_or(Ok(default))
+            };
+            let (tau, epsilon, delta) = match (get("tau", 0.7), get("epsilon", 0.05), get("delta", 0.01)) {
+                (Ok(t), Ok(e), Ok(d)) => (t, e, d),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let m: usize = match flags.get("candidates").map(|s| s.parse()).unwrap_or(Ok(200)) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: bad --candidates: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (_, candidates) =
+                sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
+            let problem = match PrimeLs::builder()
+                .objects(dataset.objects().to_vec())
+                .candidates(candidates)
+                .probability_function(PowerLawPf::paper_default())
+                .tau(tau)
+                .build()
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let r = pinocchio::core::solve_approx(
+                &problem,
+                pinocchio::core::ApproxConfig::new(epsilon, delta, 1),
+            );
+            println!("best candidate    #{} at {}", r.best_candidate, r.best_location);
+            println!("est. influence    {}", r.estimated_influence);
+            println!("sample size       {} of {}", r.sample_size, dataset.objects().len());
+            println!("exact             {}", r.exact);
+            ExitCode::SUCCESS
+        }
+        "generate" => {
+            let Some(out) = flags.get("out") else {
+                eprintln!("error: generate needs --out DIR");
+                return ExitCode::from(2);
+            };
+            let dir = PathBuf::from(out);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let checkins = dir.join("checkins.csv");
+            let venues = dir.join("venues.csv");
+            if let Err(e) = io::save_checkins(&dataset, &checkins)
+                .and_then(|_| io::save_venues(&dataset, &venues))
+            {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} check-ins to {} and {} venues to {}",
+                dataset.total_checkins(),
+                checkins.display(),
+                dataset.venues().len(),
+                venues.display()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,59 @@
+//! # PINOCCHIO — Probabilistic Influence-Based Location Selection over Moving Objects
+//!
+//! A from-scratch Rust implementation of the PRIME-LS problem and the
+//! PINOCCHIO / PINOCCHIO-VO algorithms of Wang et al. (IEEE TKDE 2016 /
+//! ICDE 2017), together with every substrate the paper depends on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`geo`] — geometry kernel (points, MBRs, metrics, pruning regions),
+//! * [`prob`] — distance-based influence probability functions,
+//! * [`index`] — the R-tree and grid spatial indexes,
+//! * [`data`] — moving-object datasets, generators and ground truth,
+//! * [`core`] — the PRIME-LS solvers (NA, PINOCCHIO, PINOCCHIO-VO),
+//! * [`baselines`] — the BRNN* and RANGE baselines from the evaluation,
+//! * [`eval`] — Precision@K / AP@K metrics and experiment utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pinocchio::prelude::*;
+//!
+//! // A tiny synthetic world: 3 moving objects, 2 candidate locations.
+//! let objects = vec![
+//!     MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(1.0, 0.5)]),
+//!     MovingObject::new(1, vec![Point::new(0.2, 0.1)]),
+//!     MovingObject::new(2, vec![Point::new(9.0, 9.0), Point::new(8.5, 9.5)]),
+//! ];
+//! let candidates = vec![Point::new(0.5, 0.2), Point::new(9.0, 9.2)];
+//!
+//! let problem = PrimeLs::builder()
+//!     .objects(objects)
+//!     .candidates(candidates)
+//!     .probability_function(PowerLawPf::paper_default())
+//!     .tau(0.7)
+//!     .build()
+//!     .expect("valid problem");
+//!
+//! let result = problem.solve(Algorithm::PinocchioVo);
+//! println!("best candidate: {} influencing {} objects",
+//!          result.best_candidate, result.max_influence);
+//! ```
+
+pub use pinocchio_baselines as baselines;
+pub use pinocchio_core as core;
+pub use pinocchio_data as data;
+pub use pinocchio_eval as eval;
+pub use pinocchio_geo as geo;
+pub use pinocchio_index as index;
+pub use pinocchio_prob as prob;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use pinocchio_core::{Algorithm, PrimeLs, PrimeLsBuilder, SolveResult};
+    pub use pinocchio_data::{Dataset, MovingObject};
+    pub use pinocchio_geo::{Mbr, Point};
+    pub use pinocchio_prob::{
+        CumulativeProbability, PowerLawPf, ProbabilityFunction,
+    };
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: all four solvers agree with the exhaustive
+//! oracle on realistic generated worlds, across thresholds and
+//! probability functions.
+
+use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio::prelude::*;
+use pinocchio::prob::{ConcavePf, ConvexPf, LinearPf, LogsigPf, ProbabilityFunction};
+
+fn world(users: usize, candidates: usize, seed: u64) -> (Vec<MovingObject>, Vec<Point>) {
+    let d = SyntheticGenerator::new(GeneratorConfig::small(users, seed)).generate();
+    let (_, cands) = sample_candidate_group(&d, candidates, seed ^ 0xABCD);
+    (d.objects().to_vec(), cands)
+}
+
+fn assert_all_agree<P: ProbabilityFunction + Clone>(
+    objects: Vec<MovingObject>,
+    candidates: Vec<Point>,
+    pf: P,
+    tau: f64,
+    context: &str,
+) {
+    let problem = PrimeLs::builder()
+        .objects(objects)
+        .candidates(candidates)
+        .probability_function(pf)
+        .tau(tau)
+        .build()
+        .unwrap();
+    let oracle = problem.solve(Algorithm::Naive);
+    for algorithm in [
+        Algorithm::Pinocchio,
+        Algorithm::PinocchioVo,
+        Algorithm::PinocchioVoStar,
+    ] {
+        let r = problem.solve(algorithm);
+        assert_eq!(
+            (r.best_candidate, r.max_influence),
+            (oracle.best_candidate, oracle.max_influence),
+            "{algorithm} disagrees with NA ({context})"
+        );
+    }
+}
+
+#[test]
+fn agreement_across_thresholds() {
+    let (objects, candidates) = world(120, 60, 42);
+    for tau in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        assert_all_agree(
+            objects.clone(),
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            tau,
+            &format!("tau={tau}"),
+        );
+    }
+}
+
+#[test]
+fn agreement_across_power_law_parameters() {
+    let (objects, candidates) = world(100, 50, 7);
+    for lambda in [0.75, 1.0, 1.25] {
+        assert_all_agree(
+            objects.clone(),
+            candidates.clone(),
+            PowerLawPf::with_lambda(lambda),
+            0.7,
+            &format!("lambda={lambda}"),
+        );
+    }
+    for rho in [0.5, 0.7, 0.9] {
+        assert_all_agree(
+            objects.clone(),
+            candidates.clone(),
+            PowerLawPf::with_rho(rho),
+            0.7,
+            &format!("rho={rho}"),
+        );
+    }
+}
+
+#[test]
+fn agreement_across_alternative_pfs() {
+    // The Fig. 16 sweep: PINOCCHIO is PF-agnostic, including PFs with
+    // bounded support (where minMaxRadius can be undefined for most
+    // objects).
+    let (objects, candidates) = world(90, 40, 13);
+    assert_all_agree(
+        objects.clone(),
+        candidates.clone(),
+        LogsigPf::new(0.5, 10.0),
+        0.4,
+        "logsig",
+    );
+    assert_all_agree(
+        objects.clone(),
+        candidates.clone(),
+        ConvexPf::new(0.5, 10.0),
+        0.4,
+        "convex",
+    );
+    assert_all_agree(
+        objects.clone(),
+        candidates.clone(),
+        ConcavePf::new(0.5, 10.0),
+        0.4,
+        "concave",
+    );
+    assert_all_agree(objects, candidates, LinearPf::new(0.5, 10.0), 0.4, "linear");
+}
+
+#[test]
+fn influence_vectors_match_between_na_and_pin() {
+    let (objects, candidates) = world(150, 80, 99);
+    let problem = PrimeLs::builder()
+        .objects(objects)
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.7)
+        .build()
+        .unwrap();
+    let na = problem.solve(Algorithm::Naive);
+    let pin = problem.solve(Algorithm::Pinocchio);
+    assert_eq!(na.influences, pin.influences);
+    assert_eq!(na.ranking(), pin.ranking());
+}
+
+#[test]
+fn max_influence_is_monotone_decreasing_in_tau() {
+    // Fig. 12's right-hand panel: the maximum influence drops as τ grows.
+    let (objects, candidates) = world(120, 50, 21);
+    let mut last = u32::MAX;
+    for tau in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let problem = PrimeLs::builder()
+            .objects(objects.clone())
+            .candidates(candidates.clone())
+            .probability_function(PowerLawPf::paper_default())
+            .tau(tau)
+            .build()
+            .unwrap();
+        let inf = problem.solve(Algorithm::PinocchioVo).max_influence;
+        assert!(inf <= last, "influence rose from {last} to {inf} at tau={tau}");
+        last = inf;
+    }
+}
+
+#[test]
+fn parallel_solvers_agree_with_sequential() {
+    let (objects, candidates) = world(100, 40, 31);
+    let problem = PrimeLs::builder()
+        .objects(objects)
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.7)
+        .build()
+        .unwrap();
+    let seq = problem.solve(Algorithm::Naive);
+    let par = pinocchio::core::parallel::solve_naive(&problem, 4);
+    assert_eq!(par.influences, seq.influences);
+    let par = pinocchio::core::parallel::solve_pinocchio(&problem, 4);
+    assert_eq!(par.influences, seq.influences);
+}

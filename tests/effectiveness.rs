@@ -1,0 +1,112 @@
+//! Effectiveness integration test — the Table 3/4 *shape*: under the
+//! probabilistic mobility model, PRIME-LS rankings track ground-truth
+//! popularity at least as well as the classical semantics.
+
+use pinocchio::baselines::{brnn_star, range_baseline, rank_descending, RangeConfig};
+use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio::eval::{average_precision_at_k, precision_at_k, relevant_ranking};
+use pinocchio::prelude::*;
+
+#[test]
+fn precision_protocol_is_sound_and_methods_are_comparable() {
+    // The Table 3/4 protocol at test scale. Small synthetic worlds carry
+    // only weak ranking signal (the paper's own margins at K >= 20 are
+    // within a percentage point: P@20 = 0.113 / 0.112 / 0.112), so this
+    // test asserts the robust properties: the metric machinery is
+    // self-consistent, every method clears a noise floor, and PRIME-LS
+    // stays within a constant factor of the strongest baseline. Exact
+    // full-scale margins live in EXPERIMENTS.md via `table34_precision`.
+    let dataset = SyntheticGenerator::new(GeneratorConfig::small(250, 77)).generate();
+    let k = 30;
+    let groups = 10;
+    let m = 100;
+    let random_baseline = k as f64 / m as f64;
+    let (mut p_prime, mut p_brnn, mut ap_prime) = (0.0, 0.0, 0.0);
+
+    for g in 0..groups {
+        let (venue_indices, candidates) = sample_candidate_group(&dataset, m, 1000 + g);
+        let relevant = relevant_ranking(&dataset, &venue_indices);
+
+        let problem = PrimeLs::builder()
+            .objects(dataset.objects().to_vec())
+            .candidates(candidates.clone())
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap();
+        let prime_rank = problem
+            .solve(Algorithm::Pinocchio)
+            .ranking()
+            .expect("PIN reports all influences");
+        let brnn_rank = rank_descending(&brnn_star(dataset.objects(), &candidates));
+
+        // Self-consistency: a ranking scored against itself is perfect.
+        assert_eq!(precision_at_k(&prime_rank, &prime_rank, k), 1.0);
+        assert_eq!(average_precision_at_k(&prime_rank, &prime_rank, k), 1.0);
+
+        p_prime += precision_at_k(&prime_rank, &relevant, k);
+        p_brnn += precision_at_k(&brnn_rank, &relevant, k);
+        ap_prime += average_precision_at_k(&prime_rank, &relevant, k);
+    }
+
+    let n = groups as f64;
+    let (p_prime, p_brnn, ap_prime) = (p_prime / n, p_brnn / n, ap_prime / n);
+    assert!(
+        p_prime >= random_baseline * 0.6,
+        "PRIME-LS P@{k} {p_prime:.3} degenerate vs random {random_baseline:.3}"
+    );
+    assert!(
+        p_brnn >= random_baseline * 0.6,
+        "BRNN* P@{k} {p_brnn:.3} degenerate vs random {random_baseline:.3}"
+    );
+    assert!(
+        p_prime >= p_brnn * 0.6,
+        "P@{k}: PRIME-LS {p_prime:.3} collapsed relative to BRNN* {p_brnn:.3}"
+    );
+    assert!(
+        ap_prime <= p_prime + 1e-9,
+        "AP must not exceed P ({ap_prime:.3} > {p_prime:.3})"
+    );
+}
+
+#[test]
+fn range_baseline_produces_sane_rankings() {
+    let dataset = SyntheticGenerator::new(GeneratorConfig::small(150, 31)).generate();
+    let (venue_indices, candidates) = sample_candidate_group(&dataset, 80, 3);
+    let relevant = relevant_ranking(&dataset, &venue_indices);
+    let scale = dataset.frame().width().max(dataset.frame().height());
+
+    let mut precisions = Vec::new();
+    for cfg in RangeConfig::paper_combinations(scale) {
+        let ranking = rank_descending(&range_baseline(dataset.objects(), &candidates, cfg));
+        precisions.push(precision_at_k(&ranking, &relevant, 20));
+    }
+    assert_eq!(precisions.len(), 9);
+    // Averaged over the nine combos (the paper's procedure) the signal
+    // must be non-trivial.
+    let avg: f64 = precisions.iter().sum::<f64>() / 9.0;
+    assert!(avg > 0.02, "avg RANGE precision {avg} looks like noise");
+}
+
+#[test]
+fn prime_ls_winner_is_popular_in_ground_truth() {
+    // The selected optimum should sit in the upper half of the
+    // ground-truth popularity ranking — the whole point of LS.
+    let dataset = SyntheticGenerator::new(GeneratorConfig::small(200, 55)).generate();
+    let (venue_indices, candidates) = sample_candidate_group(&dataset, 100, 5);
+    let problem = PrimeLs::builder()
+        .objects(dataset.objects().to_vec())
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.7)
+        .build()
+        .unwrap();
+    let winner = problem.solve(Algorithm::PinocchioVo).best_candidate;
+    let relevant = relevant_ranking(&dataset, &venue_indices);
+    let rank = relevant.iter().position(|&i| i == winner).unwrap();
+    assert!(
+        rank < relevant.len() / 2,
+        "winner ranked {rank} of {} in ground truth",
+        relevant.len()
+    );
+}

@@ -1,0 +1,114 @@
+//! End-to-end pipeline: generate → persist → reload → solve, plus the
+//! geodetic path (raw lon/lat → projection → solve).
+
+use pinocchio::data::{io, sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio::geo::{EquirectangularProjection, Haversine};
+use pinocchio::prelude::*;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pinocchio-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn csv_round_trip_preserves_solve_results() {
+    let dataset = SyntheticGenerator::new(GeneratorConfig::small(80, 5)).generate();
+    let dir = tempdir("roundtrip");
+    let checkins = dir.join("checkins.csv");
+    let venues = dir.join("venues.csv");
+    io::save_checkins(&dataset, &checkins).unwrap();
+    io::save_venues(&dataset, &venues).unwrap();
+    let reloaded = io::load_dataset("reloaded", &checkins, Some(&venues)).unwrap();
+
+    let (_, candidates) = sample_candidate_group(&dataset, 30, 17);
+    let solve = |objects: Vec<MovingObject>| {
+        PrimeLs::builder()
+            .objects(objects)
+            .candidates(candidates.clone())
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .unwrap()
+            .solve(Algorithm::PinocchioVo)
+    };
+    let original = solve(dataset.objects().to_vec());
+    let roundtrip = solve(reloaded.objects().to_vec());
+    assert_eq!(original.best_candidate, roundtrip.best_candidate);
+    assert_eq!(original.max_influence, roundtrip.max_influence);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn geodetic_data_projects_and_solves() {
+    // Raw check-ins in lon/lat degrees around Singapore.
+    let geo_positions = [
+        (103.80, 1.30),
+        (103.82, 1.31),
+        (103.95, 1.35),
+        (103.96, 1.36),
+        (103.81, 1.29),
+    ];
+    let geo_points: Vec<Point> = geo_positions
+        .iter()
+        .map(|&(lon, lat)| Point::new(lon, lat))
+        .collect();
+    let proj = EquirectangularProjection::centered_on(&geo_points).unwrap();
+
+    // Two objects: west pair + anchor, east pair.
+    let west = MovingObject::new(
+        0,
+        vec![
+            proj.forward(&geo_points[0]),
+            proj.forward(&geo_points[1]),
+            proj.forward(&geo_points[4]),
+        ],
+    );
+    let east = MovingObject::new(
+        1,
+        vec![proj.forward(&geo_points[2]), proj.forward(&geo_points[3])],
+    );
+    // Candidates: one in each cluster (projected from geodetic too).
+    let candidates = vec![
+        proj.forward(&Point::new(103.81, 1.30)),
+        proj.forward(&Point::new(103.955, 1.355)),
+    ];
+
+    let problem = PrimeLs::builder()
+        .objects(vec![west, east])
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.6)
+        .build()
+        .unwrap();
+    let r = problem.solve(Algorithm::PinocchioVo);
+    // The west candidate has 3 nearby positions (~1-2 km): wins.
+    assert_eq!(r.best_candidate, 0);
+    assert_eq!(r.max_influence, 1);
+
+    // Projection fidelity: planar distances match haversine within 0.1 %.
+    let planar = problem.candidates()[0].euclidean(&problem.candidates()[1]);
+    let sphere = Haversine::distance_km(
+        &Point::new(103.81, 1.30),
+        &Point::new(103.955, 1.355),
+    );
+    assert!((planar - sphere).abs() / sphere < 1e-3);
+}
+
+#[test]
+fn dataset_statistics_survive_reload() {
+    use pinocchio::data::DatasetStats;
+    let dataset = SyntheticGenerator::new(GeneratorConfig::small(60, 23)).generate();
+    let dir = tempdir("stats");
+    let checkins = dir.join("c.csv");
+    io::save_checkins(&dataset, &checkins).unwrap();
+    let reloaded = io::load_dataset("r", &checkins, None).unwrap();
+    let a = DatasetStats::of(&dataset);
+    let b = DatasetStats::of(&reloaded);
+    assert_eq!(a.users, b.users);
+    assert_eq!(a.checkins, b.checkins);
+    assert_eq!(a.min_checkins, b.min_checkins);
+    assert_eq!(a.max_checkins, b.max_checkins);
+    assert!((a.frame_width_km - b.frame_width_km).abs() < 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}

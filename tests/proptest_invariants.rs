@@ -1,0 +1,200 @@
+//! Property-based tests of the paper's theorems and the solver
+//! invariants, driven by proptest over random configurations.
+
+use pinocchio::core::A2d;
+use pinocchio::geo::{InfluenceRegions, Mbr, RegionVerdict};
+use pinocchio::prelude::*;
+use pinocchio::prob::{min_max_radius, ProbabilityFunction};
+use proptest::prelude::*;
+
+fn arb_point(extent: f64) -> impl Strategy<Value = Point> {
+    (-extent..extent, -extent..extent).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_object(max_positions: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(20.0), 1..=max_positions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1 / Lemma 2: a candidate inside the influence-arcs region
+    /// really does influence the object (checked against the exact
+    /// cumulative probability).
+    #[test]
+    fn influence_arcs_rule_is_safe(
+        positions in arb_object(12),
+        candidate in arb_point(30.0),
+        tau in 0.05f64..0.95,
+    ) {
+        let pf = PowerLawPf::paper_default();
+        let Some(mu) = min_max_radius(&pf, tau, positions.len()) else {
+            // Object can never be influenced: verify that directly.
+            let eval = pinocchio::prob::CumulativeProbability::new(pf, pinocchio::geo::Euclidean);
+            prop_assert!(eval.cumulative(&candidate, &positions) < tau);
+            return Ok(());
+        };
+        let mbr = Mbr::from_points(&positions).unwrap();
+        let regions = InfluenceRegions::new(mbr, mu);
+        let eval = pinocchio::prob::CumulativeProbability::new(pf, pinocchio::geo::Euclidean);
+        let pr = eval.cumulative(&candidate, &positions);
+        match regions.classify(&candidate) {
+            RegionVerdict::Influences => prop_assert!(
+                pr >= tau - 1e-9,
+                "IA claimed influence but Pr = {pr} < tau = {tau}"
+            ),
+            RegionVerdict::CannotInfluence => prop_assert!(
+                pr < tau + 1e-9,
+                "NIB claimed no influence but Pr = {pr} >= tau = {tau}"
+            ),
+            RegionVerdict::Undecided => {} // anything goes
+        }
+    }
+
+    /// Definition 1 monotonicity: adding a position never lowers the
+    /// cumulative probability.
+    #[test]
+    fn cumulative_probability_is_monotone_in_positions(
+        positions in arb_object(15),
+        extra in arb_point(20.0),
+        candidate in arb_point(30.0),
+    ) {
+        let eval = pinocchio::prob::CumulativeProbability::new(
+            PowerLawPf::paper_default(),
+            pinocchio::geo::Euclidean,
+        );
+        let before = eval.cumulative(&candidate, &positions);
+        let mut more = positions.clone();
+        more.push(extra);
+        let after = eval.cumulative(&candidate, &more);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    /// Lemma 4 / Strategy 2: early stopping never changes the verdict.
+    #[test]
+    fn early_stop_verdict_equals_exhaustive(
+        positions in arb_object(20),
+        candidate in arb_point(30.0),
+        tau in 0.05f64..0.95,
+    ) {
+        let eval = pinocchio::prob::CumulativeProbability::new(
+            PowerLawPf::paper_default(),
+            pinocchio::geo::Euclidean,
+        );
+        let exact = eval.influences(&candidate, &positions, tau);
+        let es = eval.influences_early_stop(&candidate, &positions, tau);
+        prop_assert_eq!(es.influenced, exact);
+        prop_assert!(es.positions_evaluated <= positions.len());
+    }
+
+    /// All four solvers return the same optimum on random instances.
+    #[test]
+    fn solvers_agree_on_random_instances(
+        raw_objects in prop::collection::vec(arb_object(8), 1..12),
+        candidates in prop::collection::vec(arb_point(25.0), 1..10),
+        tau in 0.1f64..0.9,
+    ) {
+        let objects: Vec<MovingObject> = raw_objects
+            .into_iter()
+            .enumerate()
+            .map(|(i, ps)| MovingObject::new(i as u64, ps))
+            .collect();
+        let problem = PrimeLs::builder()
+            .objects(objects)
+            .candidates(candidates)
+            .probability_function(PowerLawPf::paper_default())
+            .tau(tau)
+            .build()
+            .unwrap();
+        let na = problem.solve(Algorithm::Naive);
+        for algorithm in [Algorithm::Pinocchio, Algorithm::PinocchioVo, Algorithm::PinocchioVoStar] {
+            let r = problem.solve(algorithm);
+            prop_assert_eq!(r.best_candidate, na.best_candidate, "{} best", algorithm);
+            prop_assert_eq!(r.max_influence, na.max_influence, "{} influence", algorithm);
+        }
+    }
+
+    /// `minMaxRadius` monotonicity (Definition 5 remark): grows with n,
+    /// shrinks as τ grows.
+    #[test]
+    fn min_max_radius_monotonicity(
+        n in 1usize..100,
+        tau_lo in 0.05f64..0.5,
+        delta in 0.01f64..0.4,
+    ) {
+        let pf = PowerLawPf::paper_default();
+        let tau_hi = tau_lo + delta;
+        if let (Some(lo), Some(hi)) = (
+            min_max_radius(&pf, tau_lo, n),
+            min_max_radius(&pf, tau_hi, n),
+        ) {
+            prop_assert!(hi <= lo + 1e-12, "radius must shrink as tau grows");
+        }
+        if let (Some(small_n), Some(big_n)) = (
+            min_max_radius(&pf, tau_lo, n),
+            min_max_radius(&pf, tau_lo, n + 1),
+        ) {
+            prop_assert!(big_n >= small_n - 1e-12, "radius must grow with n");
+        }
+    }
+
+    /// A2d marks exactly the objects whose required per-position
+    /// probability is unattainable.
+    #[test]
+    fn a2d_influenceability_matches_definition(
+        raw_objects in prop::collection::vec(arb_object(6), 1..10),
+        tau in 0.05f64..0.99,
+    ) {
+        let pf = PowerLawPf::paper_default();
+        let objects: Vec<MovingObject> = raw_objects
+            .into_iter()
+            .enumerate()
+            .map(|(i, ps)| MovingObject::new(i as u64, ps))
+            .collect();
+        let a2d = A2d::build(&objects, &pf, tau);
+        for (o, e) in objects.iter().zip(a2d.entries()) {
+            let expected = min_max_radius(&pf, tau, o.position_count()).is_some();
+            prop_assert_eq!(e.regions.is_some(), expected);
+        }
+    }
+
+    /// The R-tree returns exactly the linear-scan answer for circle
+    /// queries over random point sets.
+    #[test]
+    fn rtree_circle_query_matches_linear_scan(
+        points in prop::collection::vec(arb_point(50.0), 1..200),
+        center in arb_point(50.0),
+        radius in 0.0f64..40.0,
+    ) {
+        let tree: pinocchio::index::RTree<usize> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut got = Vec::new();
+        tree.query_circle(&center, radius, |_, &i| got.push(i));
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.euclidean(&center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// PF inverses really invert across the whole family (power law with
+    /// random parameters).
+    #[test]
+    fn power_law_inverse_round_trips(
+        rho in 0.1f64..1.0,
+        lambda in 0.3f64..2.0,
+        d in 0.0f64..100.0,
+    ) {
+        let pf = PowerLawPf::new(rho, 1.0, lambda);
+        let p = pf.prob(d);
+        let d2 = pf.inverse(p).expect("attained probability must invert");
+        prop_assert!((d - d2).abs() < 1e-6, "d = {d}, inverse = {d2}");
+    }
+}
