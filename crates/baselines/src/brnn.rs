@@ -26,7 +26,11 @@ use pinocchio_index::RTree;
 /// Panics when `candidates` is empty.
 pub fn brnn_star(objects: &[MovingObject], candidates: &[Point]) -> Vec<u32> {
     assert!(!candidates.is_empty(), "BRNN* needs at least one candidate");
-    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+    let tree: RTree<usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| (c, j))
+        .collect();
 
     let mut votes = vec![0u32; candidates.len()];
     let mut per_object: Vec<u32> = vec![0; candidates.len()];
@@ -70,9 +74,16 @@ pub fn brnn_star(objects: &[MovingObject], candidates: &[Point]) -> Vec<u32> {
 /// # Panics
 /// Panics when `candidates` is empty or `k == 0`.
 pub fn brknn_star(objects: &[MovingObject], candidates: &[Point], k: usize) -> Vec<u32> {
-    assert!(!candidates.is_empty(), "BRkNN* needs at least one candidate");
+    assert!(
+        !candidates.is_empty(),
+        "BRkNN* needs at least one candidate"
+    );
     assert!(k >= 1, "k must be at least 1");
-    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+    let tree: RTree<usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| (c, j))
+        .collect();
 
     let mut votes = vec![0u32; candidates.len()];
     let mut per_object: Vec<u32> = vec![0; candidates.len()];
@@ -186,7 +197,11 @@ mod tests {
     fn brknn_votes_grow_with_k() {
         let objects = vec![MovingObject::new(
             0,
-            vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
         )];
         let candidates = vec![
             Point::new(0.1, 0.0),
@@ -214,6 +229,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be")]
     fn brknn_zero_k_rejected() {
-        let _ = brknn_star(&[MovingObject::new(0, vec![Point::ORIGIN])], &[Point::ORIGIN], 0);
+        let _ = brknn_star(
+            &[MovingObject::new(0, vec![Point::ORIGIN])],
+            &[Point::ORIGIN],
+            0,
+        );
     }
 }

@@ -65,7 +65,11 @@ pub fn range_baseline(
     config: RangeConfig,
 ) -> Vec<u32> {
     assert!(!candidates.is_empty(), "RANGE needs at least one candidate");
-    let tree: RTree<usize> = candidates.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+    let tree: RTree<usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| (c, j))
+        .collect();
 
     let mut influence = vec![0u32; candidates.len()];
     let mut in_range: Vec<u32> = vec![0; candidates.len()];

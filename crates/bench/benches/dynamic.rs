@@ -3,7 +3,6 @@
 //! future-work scenario.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use pinocchio_core::{Algorithm, DynamicPrimeLs, PrimeLs};
 use pinocchio_data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
 use pinocchio_geo::Point;
@@ -11,6 +10,7 @@ use pinocchio_prob::PowerLawPf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn world() -> (Vec<pinocchio_data::MovingObject>, Vec<Point>) {
     let d = SyntheticGenerator::new(GeneratorConfig::small(200, 21)).generate();
@@ -61,8 +61,7 @@ fn bench_append_position(c: &mut Criterion) {
                     rng.gen_range(0.0..40.0),
                     rng.gen_range(0.0..28.0),
                 ));
-                objects[slot] =
-                    pinocchio_data::MovingObject::new(objects[slot].id(), positions);
+                objects[slot] = pinocchio_data::MovingObject::new(objects[slot].id(), positions);
                 let problem = PrimeLs::builder()
                     .objects(objects)
                     .candidates(candidates.clone())

@@ -4,16 +4,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pinocchio_geo::Point;
-use std::time::Duration;
 use pinocchio_index::{GridIndex, RTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn points(n: usize, seed: u64) -> Vec<(Point, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|i| (Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..70.0)), i))
+        .map(|i| {
+            (
+                Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..70.0)),
+                i,
+            )
+        })
         .collect()
 }
 

@@ -4,13 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pinocchio_geo::{Euclidean, Point};
-use std::time::Duration;
-use pinocchio_prob::{
-    min_max_radius, CumulativeProbability, MinMaxRadiusCache, PowerLawPf,
-};
+use pinocchio_prob::{min_max_radius, CumulativeProbability, MinMaxRadiusCache, PowerLawPf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn positions(n: usize, spread: f64, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -90,5 +88,10 @@ fn bench_cumulative(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_early_stop, bench_radius_cache, bench_cumulative);
+criterion_group!(
+    benches,
+    bench_early_stop,
+    bench_radius_cache,
+    bench_cumulative
+);
 criterion_main!(benches);

@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pinocchio_core::{parallel, solve_with_options, Algorithm, PrimeLs};
-use std::time::Duration;
 use pinocchio_data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
 use pinocchio_prob::PowerLawPf;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn fixture(users: usize, candidates: usize) -> PrimeLs<PowerLawPf> {
     let d = SyntheticGenerator::new(GeneratorConfig::small(users, 42)).generate();
@@ -50,7 +50,11 @@ fn bench_vo_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// ablation_parallel: sequential vs threaded NA and PIN.
+/// ablation_parallel: sequential vs threaded NA, PIN and PIN-VO.
+/// The PIN-VO rows exercise the shared-atomic-bound work-stealing
+/// driver; on a multi-core machine `vo_par/4` should beat `vo_seq` on
+/// this instance (on a single-core box expect parity — the rows then
+/// bound the driver's queue/atomic overhead instead).
 fn bench_parallel(c: &mut Criterion) {
     let problem = fixture(250, 150);
     let mut group = c.benchmark_group("ablation_parallel");
@@ -71,6 +75,18 @@ fn bench_parallel(c: &mut Criterion) {
     for threads in [2usize, 4] {
         group.bench_function(BenchmarkId::new("pin_par", threads), |b| {
             b.iter(|| black_box(parallel::solve_pinocchio(&problem, threads)).max_influence)
+        });
+    }
+    // The VO rows get a bigger instance: on tiny problems the heap
+    // cut-off leaves so little validation work that thread spawn +
+    // queue contention swamp the gains.
+    let vo_problem = fixture(1500, 400);
+    group.bench_function("vo_seq", |b| {
+        b.iter(|| black_box(vo_problem.solve(Algorithm::PinocchioVo)).max_influence)
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("vo_par", threads), |b| {
+            b.iter(|| black_box(parallel::solve_vo(&vo_problem, threads)).max_influence)
         });
     }
     group.finish();

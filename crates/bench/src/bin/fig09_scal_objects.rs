@@ -13,8 +13,7 @@ use pinocchio_prob::PowerLawPf;
 
 fn main() {
     let d = dataset(DatasetKind::Gowalla);
-    let (_, candidates) =
-        sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 9);
+    let (_, candidates) = sample_candidate_group(&d, defaults::CANDIDATES.min(d.venues().len()), 9);
 
     let full = d.objects().len();
     let sweep: Vec<usize> = [2_000usize, 4_000, 6_000, 8_000, 10_000]
@@ -30,7 +29,12 @@ fn main() {
     for (i, &r_count) in sweep.iter().enumerate() {
         let objects = sample_objects(&d, r_count, 17 + i as u64);
         let sub = d.with_objects(objects);
-        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let p = problem(
+            &sub,
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            defaults::TAU,
+        );
         let mut row = vec![r_count.to_string()];
         let mut times = serde_json::Map::new();
         let mut max_inf = 0u32;

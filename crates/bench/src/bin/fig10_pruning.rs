@@ -46,7 +46,9 @@ fn main() {
             let mut predicted_sum = 0.0f64;
             let mut counted = 0usize;
             for entry in a2d.entries() {
-                let Some(regions) = entry.regions else { continue };
+                let Some(regions) = entry.regions else {
+                    continue;
+                };
                 let (ia, nib, und) = pruning_breakdown(&regions, &candidates);
                 ia_sum += ia as f64 / m;
                 nib_sum += nib as f64 / m;

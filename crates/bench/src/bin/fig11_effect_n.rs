@@ -39,7 +39,15 @@ fn main() {
     let groups = group_by_position_count(&d, &TABLE5_BOUNDS);
     let mut a = Table::new(
         "Fig. 11a (G): natural position-count groups",
-        &["group", "objects", "NA", "PIN-VO", "speedup", "max inf", "inf share %"],
+        &[
+            "group",
+            "objects",
+            "NA",
+            "PIN-VO",
+            "speedup",
+            "max inf",
+            "inf share %",
+        ],
     );
     let mut optima = Vec::new();
     let mut rec_a = Vec::new();
@@ -54,7 +62,12 @@ fn main() {
             .collect();
         let count = objects.len();
         let sub = d.with_objects(objects);
-        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let p = problem(
+            &sub,
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            defaults::TAU,
+        );
         let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
         let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
         assert_eq!(na.max_influence, vo.max_influence);
@@ -100,7 +113,12 @@ fn main() {
         let objects = resample_positions(&heavy, n, 300 + i as u64);
         let count = objects.len();
         let sub = d.with_objects(objects);
-        let p = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), defaults::TAU);
+        let p = problem(
+            &sub,
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            defaults::TAU,
+        );
         let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
         let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
         assert_eq!(na.max_influence, vo.max_influence);
@@ -122,9 +140,7 @@ fn main() {
     }
     println!("{b}");
     let (avg_b, max_b) = pairwise_distances(&optima_b);
-    println!(
-        "optimal locations across n: avg pairwise distance {avg_b:.2} km, max {max_b:.2} km"
-    );
+    println!("optimal locations across n: avg pairwise distance {avg_b:.2} km, max {max_b:.2} km");
 
     write_record(
         "fig11_effect_n",

@@ -29,7 +29,10 @@ fn main() {
             let p = problem(&d, candidates.clone(), PowerLawPf::paper_default(), tau);
             let (na, na_secs) = timed_solve(&p, Algorithm::Naive);
             let (vo, vo_secs) = timed_solve(&p, Algorithm::PinocchioVo);
-            assert_eq!(na.max_influence, vo.max_influence, "solvers disagree at tau={tau}");
+            assert_eq!(
+                na.max_influence, vo.max_influence,
+                "solvers disagree at tau={tau}"
+            );
             table.push_row(vec![
                 format!("{tau:.1}"),
                 fmt_secs(na_secs),

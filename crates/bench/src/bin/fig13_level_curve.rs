@@ -30,7 +30,10 @@ fn main() {
         .filter(|o| o.position_count() >= 50)
         .cloned()
         .collect();
-    println!("level curve over {} objects with ≥ 50 positions\n", heavy.len());
+    println!(
+        "level curve over {} objects with ≥ 50 positions\n",
+        heavy.len()
+    );
 
     let instance = |n: usize| {
         let objects = resample_positions(&heavy, n, 900 + n as u64);
@@ -113,15 +116,25 @@ fn main() {
     println!("Fig. 13b: quadratic fit tau(n) = {poly}");
     let mut fit_table = Table::new(
         "fit validation at intermediate n",
-        &["n", "predicted tau", "max inf at predicted tau", "influence error %"],
+        &[
+            "n",
+            "predicted tau",
+            "max inf at predicted tau",
+            "influence error %",
+        ],
     );
     let mut rec_fit = Vec::new();
     for n in [15usize, 25, 35, 45] {
         let predicted = poly.eval(n as f64).clamp(0.01, 0.99);
         let sub = instance(n);
-        let inf = problem(&sub, candidates.clone(), PowerLawPf::paper_default(), predicted)
-            .solve(Algorithm::PinocchioVo)
-            .max_influence;
+        let inf = problem(
+            &sub,
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            predicted,
+        )
+        .solve(Algorithm::PinocchioVo)
+        .max_influence;
         let err = (inf as f64 - reference.max_influence as f64).abs()
             / reference.max_influence.max(1) as f64
             * 100.0;

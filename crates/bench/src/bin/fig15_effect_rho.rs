@@ -28,7 +28,12 @@ fn main() {
         );
         let mut per_kind = Vec::new();
         for &rho in &rhos {
-            let p = problem(&d, candidates.clone(), PowerLawPf::with_rho(rho), defaults::TAU);
+            let p = problem(
+                &d,
+                candidates.clone(),
+                PowerLawPf::with_rho(rho),
+                defaults::TAU,
+            );
             let (r, secs) = timed_solve(&p, Algorithm::PinocchioVo);
             table.push_row(vec![
                 format!("{rho:.1}"),

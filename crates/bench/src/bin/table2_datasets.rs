@@ -27,8 +27,16 @@ fn main() {
     );
     let row = |label: &str, a: String, b: String| vec![label.to_string(), a, b];
     table.push_row(row("user count", f.users.to_string(), g.users.to_string()));
-    table.push_row(row("venue count", f.venues.to_string(), g.venues.to_string()));
-    table.push_row(row("check-ins", f.checkins.to_string(), g.checkins.to_string()));
+    table.push_row(row(
+        "venue count",
+        f.venues.to_string(),
+        g.venues.to_string(),
+    ));
+    table.push_row(row(
+        "check-ins",
+        f.checkins.to_string(),
+        g.checkins.to_string(),
+    ));
     table.push_row(row(
         "avg. check-ins",
         format!("{:.0}", f.avg_checkins),
@@ -51,8 +59,14 @@ fn main() {
     ));
     table.push_row(row(
         "avg object MBR (km)",
-        format!("{:.2} x {:.2}", f.avg_object_width_km, f.avg_object_height_km),
-        format!("{:.2} x {:.2}", g.avg_object_width_km, g.avg_object_height_km),
+        format!(
+            "{:.2} x {:.2}",
+            f.avg_object_width_km, f.avg_object_height_km
+        ),
+        format!(
+            "{:.2} x {:.2}",
+            g.avg_object_width_km, g.avg_object_height_km
+        ),
     ));
     println!("{table}");
 

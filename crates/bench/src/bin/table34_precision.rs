@@ -66,7 +66,10 @@ fn main() {
     let labels = ["Prime-ls", "Avg. range", "brnn*"];
     let header = ["method", "@10", "@20", "@30", "@40", "@50"];
     let mut t3 = Table::new(
-        format!("Table 3: Precision@K ({} groups of {group_size} candidates)", groups),
+        format!(
+            "Table 3: Precision@K ({} groups of {group_size} candidates)",
+            groups
+        ),
         &header,
     );
     let mut t4 = Table::new("Table 4: Average Precision@K", &header);
@@ -83,7 +86,10 @@ fn main() {
         );
     }
     let mut random_row = vec!["random".to_string()];
-    random_row.extend(KS.iter().map(|&k| format!("{:.3}", k as f64 / group_size as f64)));
+    random_row.extend(
+        KS.iter()
+            .map(|&k| format!("{:.3}", k as f64 / group_size as f64)),
+    );
     t3.push_row(random_row);
     println!("{t3}");
     println!("{t4}");

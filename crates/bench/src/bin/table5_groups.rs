@@ -16,7 +16,10 @@ fn main() {
         &["# of positions", "# of objects"],
     );
     for g in &groups {
-        table.push_row(vec![format!("[{}, {})", g.lo, g.hi), g.object_indices.len().to_string()]);
+        table.push_row(vec![
+            format!("[{}, {})", g.lo, g.hi),
+            g.object_indices.len().to_string(),
+        ]);
     }
     table.push_row(vec!["total".into(), d.objects().len().to_string()]);
     println!("{table}");

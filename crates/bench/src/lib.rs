@@ -117,8 +117,7 @@ pub fn fmt_secs(secs: f64) -> String {
 /// (`target/experiments`, created on demand).
 pub fn experiments_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; hop to the workspace root.
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("can create target/experiments");
     dir
 }

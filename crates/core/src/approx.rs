@@ -65,8 +65,7 @@ impl ApproxConfig {
     /// The Hoeffding sample size for `m` candidates.
     pub fn sample_size(&self, m: usize) -> usize {
         assert!(m > 0);
-        ((2.0 * m as f64 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil()
-            as usize
+        ((2.0 * m as f64 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize
     }
 }
 

@@ -107,8 +107,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
             .into_iter()
             .map(|c| this.insert_candidate(c))
             .collect();
-        let objs: Vec<ObjectHandle> =
-            objects.into_iter().map(|o| this.insert_object(o)).collect();
+        let objs: Vec<ObjectHandle> = objects.into_iter().map(|o| this.insert_object(o)).collect();
         (this, objs, cands)
     }
 
@@ -211,9 +210,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
     /// # Panics
     /// Panics on a stale handle.
     pub fn remove_object(&mut self, handle: ObjectHandle) -> MovingObject {
-        let row = self.objects[handle.0]
-            .take()
-            .expect("stale object handle");
+        let row = self.objects[handle.0].take().expect("stale object handle");
         for (w, &bits) in row.influenced_by.iter().enumerate() {
             let mut bits = bits;
             while bits != 0 {
@@ -236,9 +233,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
     /// Panics on a stale handle or a non-finite position.
     pub fn append_position(&mut self, handle: ObjectHandle, position: Point) {
         assert!(position.is_finite(), "non-finite position");
-        let mut row = self.objects[handle.0]
-            .take()
-            .expect("stale object handle");
+        let mut row = self.objects[handle.0].take().expect("stale object handle");
         let mut positions = row.object.positions().to_vec();
         positions.push(position);
         row.object = MovingObject::new(row.object.id(), positions);
@@ -466,7 +461,9 @@ mod tests {
                 ))
             })
             .collect();
-        let objs: Vec<_> = (0..20).map(|i| d.insert_object(rng_object(&mut rng, i))).collect();
+        let objs: Vec<_> = (0..20)
+            .map(|i| d.insert_object(rng_object(&mut rng, i)))
+            .collect();
         d.verify_against_static();
 
         for &h in objs.iter().step_by(3) {
@@ -489,8 +486,9 @@ mod tests {
                 rng.gen_range(0.0..20.0),
             ));
         }
-        let handles: Vec<_> =
-            (0..10).map(|i| d.insert_object(rng_object(&mut rng, i))).collect();
+        let handles: Vec<_> = (0..10)
+            .map(|i| d.insert_object(rng_object(&mut rng, i)))
+            .collect();
         d.verify_against_static();
 
         for step in 0..30 {

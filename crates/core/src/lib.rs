@@ -25,7 +25,10 @@
 //!
 //! All solvers return the same optimal candidate (ties broken towards
 //! the smallest candidate index); they differ only in cost, which the
-//! attached [`SolveStats`] quantify.
+//! attached [`SolveStats`] quantify. Each also has a multi-threaded
+//! counterpart in [`parallel`] — including PIN-VO, whose monotone
+//! `maxminInf` bound is shared between workers through an atomic
+//! `fetch_max` without giving up exactness.
 //!
 //! The solvers operate in a planar kilometre frame with the Euclidean
 //! metric — project geodetic data first (`pinocchio_geo::projection`);
@@ -50,7 +53,7 @@ pub mod weighted;
 pub use approx::{solve_approx, ApproxConfig, ApproxResult};
 pub use dynamic::{CandidateHandle, DynamicPrimeLs, ObjectHandle};
 pub use problem::{BuildError, PrimeLs, PrimeLsBuilder};
-pub use result::{Algorithm, SolveResult, SolveStats};
+pub use result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
 pub use state::{A2d, ObjectEntry};
 pub use topk::{solve_top_k, TopKEntry};
 pub use vo::solve_with_options;

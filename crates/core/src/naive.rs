@@ -7,7 +7,7 @@
 //! test suite.
 
 use crate::problem::PrimeLs;
-use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
 use pinocchio_prob::ProbabilityFunction;
 use std::time::Instant;
 
@@ -30,11 +30,8 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
         }
     }
 
-    let (best_candidate, &max_influence) = influences
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))) // ties → smallest index
-        .expect("at least one candidate by construction");
+    let (best_candidate, max_influence) =
+        argmax_smallest_index(&influences).expect("at least one candidate by construction");
 
     SolveResult {
         algorithm: Algorithm::Naive,

@@ -1,25 +1,52 @@
-//! Parallel influence counting — an extension beyond the paper.
+//! Parallel solvers — an extension beyond the paper.
 //!
 //! The paper's future work mentions scaling to dynamic scenarios; an
-//! obvious first step is exploiting cores. Influence counting is
-//! embarrassingly parallel over *objects*: each thread processes an
-//! object stripe against all candidates and produces a partial influence
-//! vector; vectors are summed at the end. The pruning rules apply
-//! per-object, so PINOCCHIO parallelises the same way.
+//! obvious first step is exploiting cores. Two parallelisation shapes
+//! are used:
 //!
-//! PINOCCHIO-VO is *not* parallelised here: Strategy 1's global
-//! `maxminInf` bound makes it inherently sequential — exactly the kind
-//! of design trade-off the `ablation_parallel` benchmark quantifies
-//! (pruned-but-parallel PIN vs sequential-but-adaptive VO).
+//! * **Object striping** ([`solve_naive`], [`solve_pinocchio`]) —
+//!   influence counting is embarrassingly parallel over *objects*: each
+//!   thread processes an object stripe against all candidates and
+//!   produces a partial influence vector plus partial [`SolveStats`];
+//!   partials are merged at the end. The pruning rules apply per-object,
+//!   so PINOCCHIO stripes the same way.
 //!
-//! Scoped threads from `std` are used; the partial vectors are the only
-//! shared state and are owned per thread.
+//! * **Work-stealing validation** ([`solve_vo`]) — PINOCCHIO-VO's
+//!   Strategy 1 bound `maxminInf` is *monotone non-decreasing*, which
+//!   makes it safe to share: worker threads pull candidates from a
+//!   shared priority queue ordered by `(maxInf, minInf)` and publish
+//!   every fully-validated influence count into one `AtomicU32` via
+//!   `fetch_max`. A stale (too small) bound only costs wasted work,
+//!   never a wrong verdict, so the parallel solver returns exactly the
+//!   sequential answer (see the module docs in `vo.rs` and the exactness
+//!   argument below).
+//!
+//! # Why the shared atomic bound is exact
+//!
+//! Let `I*` be the true maximum influence and `j*` the smallest index
+//! attaining it. The bound only ever holds `max(initial minInf bounds,
+//! exact counts of fully-validated candidates)`, all of which are
+//! `≤ I*`. A candidate is skipped (queue cut-off) or killed
+//! (mid-validation) only when its remaining potential `maxInf` is
+//! *strictly below* the bound, hence strictly below `I*` — so every
+//! candidate whose exact influence equals `I*` is fully validated under
+//! every schedule, and the merged smallest-index tie-break returns
+//! `(j*, I*)` deterministically.
+//!
+//! Scoped threads from `std` are used; workers own their partial state
+//! and the only shared mutables are the candidate queue (mutex) and the
+//! bound (atomic).
 
 use crate::problem::PrimeLs;
-use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
 use crate::state::A2d;
+use crate::vo;
 use pinocchio_index::RTree;
 use pinocchio_prob::ProbabilityFunction;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Parallel NA: exhaustive counting with `threads` worker threads.
@@ -37,35 +64,40 @@ pub fn solve_naive<P: ProbabilityFunction + Clone + Sync>(
     let objects = problem.objects();
     let chunk = objects.len().div_ceil(threads);
 
-    let partials: Vec<(Vec<u32>, u64)> = std::thread::scope(|scope| {
+    let partials: Vec<(Vec<u32>, SolveStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = objects
             .chunks(chunk.max(1))
             .map(|stripe| {
                 let eval = problem.evaluator();
                 scope.spawn(move || {
                     let mut inf = vec![0u32; m];
-                    let mut positions = 0u64;
+                    let mut stats = SolveStats::default();
                     for o in stripe {
                         for (j, c) in problem.candidates().iter().enumerate() {
-                            positions += o.position_count() as u64;
+                            stats.validated_pairs += 1;
+                            stats.positions_evaluated += o.position_count() as u64;
                             if eval.influences(c, o.positions(), tau) {
                                 inf[j] += 1;
                             }
                         }
                     }
-                    (inf, positions)
+                    (inf, stats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
-    finish(problem, partials, Algorithm::Naive, start, 0)
+    finish(problem, partials, Algorithm::Naive, start)
 }
 
 /// Parallel PINOCCHIO: per-object pruning and validation distributed
 /// over `threads` worker threads (the candidate R-tree is shared
-/// read-only).
+/// read-only). Every pruning counter is accumulated per worker and
+/// merged, so the stats are identical to the sequential solver's.
 ///
 /// # Panics
 /// Panics if `threads == 0`.
@@ -85,11 +117,10 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
         .map(|(j, &c)| (c, j))
         .collect();
     let a2d = A2d::build(problem.objects(), problem.pf(), tau);
-    let uninfluenceable = (a2d.entries().len() - a2d.influenceable()) as u64;
     let entries = a2d.entries();
     let chunk = entries.len().div_ceil(threads);
 
-    let partials: Vec<(Vec<u32>, u64)> = std::thread::scope(|scope| {
+    let partials: Vec<(Vec<u32>, SolveStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = entries
             .chunks(chunk.max(1))
             .map(|stripe| {
@@ -97,76 +128,204 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
                 let tree = &tree;
                 scope.spawn(move || {
                     let mut inf = vec![0u32; m];
-                    let mut positions = 0u64;
+                    let mut stats = SolveStats::default();
                     let mut undecided: Vec<usize> = Vec::new();
                     for entry in stripe {
-                        let Some(regions) = entry.regions else { continue };
+                        let Some(regions) = entry.regions else {
+                            stats.uninfluenceable_objects += 1;
+                            continue;
+                        };
                         let object = &problem.objects()[entry.index];
                         undecided.clear();
+                        let mut ia_hits = 0u64;
+                        let mut nib_members = 0u64;
                         tree.query_region(
                             |node| node.intersects(&regions.nib_mbr()),
                             |p| regions.in_non_influence_boundary(p),
                             &mut |p, &j| {
+                                nib_members += 1;
                                 if regions.in_influence_arcs(p) {
+                                    ia_hits += 1;
                                     inf[j] += 1;
                                 } else {
                                     undecided.push(j);
                                 }
                             },
                         );
+                        stats.decided_by_ia += ia_hits;
+                        stats.decided_by_nib += m as u64 - nib_members;
                         for &j in &undecided {
-                            positions += object.position_count() as u64;
-                            if eval.influences(
-                                &problem.candidates()[j],
-                                object.positions(),
-                                tau,
-                            ) {
+                            stats.validated_pairs += 1;
+                            stats.positions_evaluated += object.position_count() as u64;
+                            if eval.influences(&problem.candidates()[j], object.positions(), tau) {
                                 inf[j] += 1;
                             }
                         }
                     }
-                    (inf, positions)
+                    (inf, stats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
-    finish(problem, partials, Algorithm::Pinocchio, start, uninfluenceable)
+    finish(problem, partials, Algorithm::Pinocchio, start)
+}
+
+/// Parallel PINOCCHIO-VO: the pruning phase runs sequentially (it is a
+/// single R-tree sweep and a small fraction of the runtime), then
+/// `threads` workers validate candidates pulled from a shared priority
+/// queue ordered by `(maxInf, minInf)`, sharing one atomic `maxminInf`
+/// bound — see the module docs for the exactness argument.
+///
+/// Returns the same `best_candidate` / `max_influence` as
+/// [`vo::solve`](crate::vo::solve) with pruning, for every thread count.
+/// Cost counters (`validated_pairs`, `positions_evaluated`, …) depend on
+/// how fast the bound tightens and may therefore vary with the schedule,
+/// but the pair accounting is always complete.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
+    problem: &PrimeLs<P>,
+    threads: usize,
+) -> SolveResult {
+    assert!(threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let tau = problem.tau();
+    let m = problem.candidates().len();
+
+    let prep = vo::prepare(problem, true);
+    let vs_store = &prep.vs_store;
+    let min_inf = &prep.min_inf;
+    let max_inf = &prep.max_inf;
+
+    // Shared candidate queue, best-first by (maxInf, minInf); smallest
+    // index first among equals so the pop order mirrors the sequential
+    // driver.
+    let queue: Mutex<BinaryHeap<(u32, u32, Reverse<usize>)>> = Mutex::new(
+        (0..m)
+            .map(|j| (max_inf[j], min_inf[j], Reverse(j)))
+            .collect(),
+    );
+    // The shared monotone bound, seeded with the best certified lower
+    // bound. `fetch_max` keeps it monotone under concurrent publishes.
+    let bound = AtomicU32::new(min_inf.iter().copied().max().unwrap_or(0));
+
+    let worker_results: Vec<(SolveStats, Option<(u32, usize)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let eval = problem.evaluator();
+                let queue = &queue;
+                let bound = &bound;
+                scope.spawn(move || {
+                    let mut stats = SolveStats::default();
+                    let mut best: Option<(u32, usize)> = None;
+                    loop {
+                        let j = {
+                            let mut heap = queue.lock().expect("queue mutex poisoned");
+                            let Some(&(top_max, _, _)) = heap.peek() else {
+                                break;
+                            };
+                            if top_max < bound.load(Ordering::Acquire) {
+                                // Strategy 1 cut-off: the queue is
+                                // ordered by maxInf, so everything
+                                // left is dead. Account for it once,
+                                // under the lock, and drain it so the
+                                // other workers stop too.
+                                stats.candidates_skipped_by_bounds += heap.len() as u64;
+                                stats.pairs_skipped_by_bounds += heap
+                                    .iter()
+                                    .map(|&(_, _, Reverse(r))| vs_store[r].len() as u64)
+                                    .sum::<u64>();
+                                heap.clear();
+                                break;
+                            }
+                            let (_, _, Reverse(j)) = heap.pop().expect("peeked non-empty");
+                            j
+                        };
+                        let candidate = problem.candidates()[j];
+                        let exact = vo::validate_candidate(
+                            &eval,
+                            problem.objects(),
+                            &candidate,
+                            &vs_store[j],
+                            (min_inf[j], max_inf[j]),
+                            tau,
+                            true,
+                            || bound.load(Ordering::Acquire),
+                            &mut stats,
+                        );
+                        if let Some(exact) = exact {
+                            bound.fetch_max(exact, Ordering::AcqRel);
+                            match best {
+                                Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
+                                _ => best = Some((exact, j)),
+                            }
+                        }
+                    }
+                    (stats, best)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut stats = prep.stats;
+    let mut best: Option<(u32, usize)> = None;
+    for (partial, local_best) in worker_results {
+        stats += partial;
+        if let Some((inf, j)) = local_best {
+            match best {
+                Some((binf, bidx)) if inf < binf || (inf == binf && bidx < j) => {}
+                _ => best = Some((inf, j)),
+            }
+        }
+    }
+    let (max_influence, best_candidate) =
+        best.expect("the incumbent candidate is always fully validated");
+
+    SolveResult {
+        algorithm: Algorithm::PinocchioVo,
+        best_candidate,
+        best_location: problem.candidates()[best_candidate],
+        max_influence,
+        influences: None,
+        stats,
+        elapsed: start.elapsed(),
+    }
 }
 
 fn finish<P: ProbabilityFunction + Clone>(
     problem: &PrimeLs<P>,
-    partials: Vec<(Vec<u32>, u64)>,
+    partials: Vec<(Vec<u32>, SolveStats)>,
     algorithm: Algorithm,
     start: Instant,
-    uninfluenceable: u64,
 ) -> SolveResult {
     let m = problem.candidates().len();
     let mut influences = vec![0u32; m];
-    let mut positions_evaluated = 0;
-    for (partial, positions) in partials {
+    let mut stats = SolveStats::default();
+    for (partial, partial_stats) in partials {
         for (acc, v) in influences.iter_mut().zip(partial) {
             *acc += v;
         }
-        positions_evaluated += positions;
+        stats += partial_stats;
     }
-    let (best_candidate, &max_influence) = influences
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .expect("at least one candidate");
+    let (best_candidate, max_influence) =
+        argmax_smallest_index(&influences).expect("at least one candidate");
     SolveResult {
         algorithm,
         best_candidate,
         best_location: problem.candidates()[best_candidate],
         max_influence,
         influences: Some(influences),
-        stats: SolveStats {
-            positions_evaluated,
-            uninfluenceable_objects: uninfluenceable,
-            ..Default::default()
-        },
+        stats,
         elapsed: start.elapsed(),
     }
 }
@@ -198,7 +357,7 @@ mod tests {
             let par = solve_naive(&p, threads);
             assert_eq!(par.influences, seq.influences, "threads={threads}");
             assert_eq!(par.best_candidate, seq.best_candidate);
-            assert_eq!(par.stats.positions_evaluated, seq.stats.positions_evaluated);
+            assert_eq!(par.stats, seq.stats, "stats parity, threads={threads}");
         }
     }
 
@@ -210,6 +369,67 @@ mod tests {
             let par = solve_pinocchio(&p, threads);
             assert_eq!(par.influences, seq.influences, "threads={threads}");
             assert_eq!(par.best_candidate, seq.best_candidate);
+            assert_eq!(par.stats, seq.stats, "stats parity, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_vo_matches_sequential_vo_and_naive() {
+        for seed in [32, 35, 36] {
+            let p = problem(seed);
+            let seq = crate::vo::solve(&p, true);
+            let na = naive::solve(&p);
+            for threads in [1, 2, 4, 8] {
+                let par = solve_vo(&p, threads);
+                assert_eq!(
+                    par.best_candidate, seq.best_candidate,
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(
+                    par.max_influence, seq.max_influence,
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(par.best_candidate, na.best_candidate);
+                assert_eq!(par.max_influence, na.max_influence);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_vo_single_thread_reproduces_sequential_stats() {
+        // With one worker the pop order and bound updates are exactly the
+        // sequential driver's, so even the cost counters must agree.
+        let p = problem(33);
+        let seq = crate::vo::solve(&p, true);
+        let par = solve_vo(&p, 1);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn parallel_accounting_is_complete() {
+        let p = problem(34);
+        let a2d = A2d::build(p.objects(), p.pf(), p.tau());
+        let influenceable_pairs = (a2d.influenceable() * p.candidates().len()) as u64;
+        let all_pairs = (p.objects().len() * p.candidates().len()) as u64;
+        for threads in [1, 3, 8] {
+            let na = solve_naive(&p, threads);
+            assert_eq!(
+                na.stats.accounted_pairs(),
+                all_pairs,
+                "NA threads={threads}"
+            );
+            let pin = solve_pinocchio(&p, threads);
+            assert_eq!(
+                pin.stats.accounted_pairs(),
+                influenceable_pairs,
+                "PIN threads={threads}"
+            );
+            let vo = solve_vo(&p, threads);
+            assert_eq!(
+                vo.stats.accounted_pairs(),
+                influenceable_pairs,
+                "VO threads={threads}"
+            );
         }
     }
 
@@ -219,6 +439,10 @@ mod tests {
         let par = solve_naive(&p, 500);
         let seq = naive::solve(&p);
         assert_eq!(par.influences, seq.influences);
+        let vo_par = solve_vo(&p, 500);
+        let vo_seq = crate::vo::solve(&p, true);
+        assert_eq!(vo_par.best_candidate, vo_seq.best_candidate);
+        assert_eq!(vo_par.max_influence, vo_seq.max_influence);
     }
 
     #[test]
@@ -226,5 +450,12 @@ mod tests {
     fn zero_threads_rejected() {
         let p = problem(34);
         let _ = solve_naive(&p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected_for_vo() {
+        let p = problem(34);
+        let _ = solve_vo(&p, 0);
     }
 }

@@ -16,7 +16,7 @@
 //! geometry, exact point membership via [`InfluenceRegions`].
 
 use crate::problem::PrimeLs;
-use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
 use crate::state::A2d;
 use pinocchio_geo::{InfluenceRegions, Mbr, Point, RegionVerdict};
 use pinocchio_index::RTree;
@@ -81,11 +81,8 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
         }
     }
 
-    let (best_candidate, &max_influence) = influences
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .expect("at least one candidate by construction");
+    let (best_candidate, max_influence) =
+        argmax_smallest_index(&influences).expect("at least one candidate by construction");
 
     SolveResult {
         algorithm: Algorithm::Pinocchio,

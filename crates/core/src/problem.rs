@@ -15,6 +15,8 @@ pub enum BuildError {
     NoCandidates,
     /// `τ` outside the open interval `(0, 1)`.
     InvalidTau(f64),
+    /// `τ` was never set.
+    MissingTau,
     /// A candidate has a non-finite coordinate (index given).
     NonFiniteCandidate(usize),
 }
@@ -25,6 +27,7 @@ impl fmt::Display for BuildError {
             BuildError::NoObjects => write!(f, "PRIME-LS needs at least one moving object"),
             BuildError::NoCandidates => write!(f, "PRIME-LS needs at least one candidate"),
             BuildError::InvalidTau(t) => write!(f, "tau must be in (0, 1), got {t}"),
+            BuildError::MissingTau => write!(f, "tau must be set (it has no default)"),
             BuildError::NonFiniteCandidate(i) => {
                 write!(f, "candidate {i} has a non-finite coordinate")
             }
@@ -150,7 +153,9 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
         if self.candidates.is_empty() {
             return Err(BuildError::NoCandidates);
         }
-        let tau = self.tau.unwrap_or(f64::NAN);
+        let Some(tau) = self.tau else {
+            return Err(BuildError::MissingTau);
+        };
         if !(tau > 0.0 && tau < 1.0) {
             return Err(BuildError::InvalidTau(tau));
         }
@@ -221,6 +226,17 @@ mod tests {
                 .unwrap_err();
             assert_eq!(err, BuildError::InvalidTau(tau));
         }
+    }
+
+    #[test]
+    fn builder_rejects_unset_tau() {
+        let err = PrimeLs::builder()
+            .objects(one_object())
+            .candidates(vec![Point::new(1.0, 1.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::MissingTau);
     }
 
     #[test]

@@ -61,11 +61,41 @@ pub struct SolveStats {
     pub candidates_fully_validated: u64,
     /// Candidates skipped entirely by Strategy 1 (VO only).
     pub candidates_skipped_by_bounds: u64,
+    /// Object–candidate pairs never evaluated because Strategy 1 killed
+    /// or skipped the candidate (VO only). Together with the decided and
+    /// validated counters this accounts for every influenceable pair.
+    pub pairs_skipped_by_bounds: u64,
     /// Objects that can never be influenced (`minMaxRadius` undefined).
     pub uninfluenceable_objects: u64,
 }
 
+impl std::ops::AddAssign for SolveStats {
+    /// Merges the counters of a partial solve (e.g. one worker thread's
+    /// stripe) into `self`; every field is a sum, so merging partials in
+    /// any order reproduces the sequential totals.
+    fn add_assign(&mut self, rhs: SolveStats) {
+        self.decided_by_ia += rhs.decided_by_ia;
+        self.decided_by_nib += rhs.decided_by_nib;
+        self.validated_pairs += rhs.validated_pairs;
+        self.positions_evaluated += rhs.positions_evaluated;
+        self.candidates_fully_validated += rhs.candidates_fully_validated;
+        self.candidates_skipped_by_bounds += rhs.candidates_skipped_by_bounds;
+        self.pairs_skipped_by_bounds += rhs.pairs_skipped_by_bounds;
+        self.uninfluenceable_objects += rhs.uninfluenceable_objects;
+    }
+}
+
 impl SolveStats {
+    /// Pairs accounted for by pruning, validation, or a Strategy 1 skip —
+    /// for every solver this must equal its share of the pair space (see
+    /// the `accounting_is_complete` tests).
+    pub fn accounted_pairs(&self) -> u64 {
+        self.decided_by_ia
+            + self.decided_by_nib
+            + self.validated_pairs
+            + self.pairs_skipped_by_bounds
+    }
+
     /// Total object–candidate pairs decided without exact validation.
     pub fn pruned_pairs(&self) -> u64 {
         self.decided_by_ia + self.decided_by_nib
@@ -78,6 +108,24 @@ impl SolveStats {
         let total = self.pruned_pairs() + self.validated_pairs;
         (total > 0).then(|| self.pruned_pairs() as f64 / total as f64)
     }
+}
+
+/// Index and value of the maximum element, ties broken towards the
+/// smallest index.
+///
+/// Every solver must pick its winner through this one helper so the
+/// smallest-index tie-break — the contract that makes all algorithms
+/// return bit-identical results — lives in exactly one place. Returns
+/// `None` on an empty slice.
+pub fn argmax_smallest_index(values: &[u32]) -> Option<(usize, u32)> {
+    let mut best: Option<(usize, u32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
 }
 
 /// The outcome of one PRIME-LS solve.
@@ -136,6 +184,49 @@ mod tests {
         assert_eq!(s.pruned_pairs(), 60);
         assert!((s.pruned_fraction().unwrap() - 0.6).abs() < 1e-12);
         assert_eq!(SolveStats::default().pruned_fraction(), None);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_towards_smallest_index() {
+        assert_eq!(argmax_smallest_index(&[]), None);
+        assert_eq!(argmax_smallest_index(&[7]), Some((0, 7)));
+        assert_eq!(argmax_smallest_index(&[1, 3, 2]), Some((1, 3)));
+        // Tie on the maximum: the earlier index must win.
+        assert_eq!(argmax_smallest_index(&[2, 5, 5, 1]), Some((1, 5)));
+        // All-tied input (the all-uninfluenceable world): index 0 wins.
+        assert_eq!(argmax_smallest_index(&[0, 0, 0]), Some((0, 0)));
+        // Maximum at the last index, no tie.
+        assert_eq!(argmax_smallest_index(&[1, 2, 9]), Some((2, 9)));
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_sum() {
+        let a = SolveStats {
+            decided_by_ia: 1,
+            decided_by_nib: 2,
+            validated_pairs: 3,
+            positions_evaluated: 4,
+            candidates_fully_validated: 5,
+            candidates_skipped_by_bounds: 6,
+            pairs_skipped_by_bounds: 7,
+            uninfluenceable_objects: 8,
+        };
+        let mut merged = a;
+        merged += a;
+        assert_eq!(
+            merged,
+            SolveStats {
+                decided_by_ia: 2,
+                decided_by_nib: 4,
+                validated_pairs: 6,
+                positions_evaluated: 8,
+                candidates_fully_validated: 10,
+                candidates_skipped_by_bounds: 12,
+                pairs_skipped_by_bounds: 14,
+                uninfluenceable_objects: 16,
+            }
+        );
+        assert_eq!(merged.accounted_pairs(), 2 + 4 + 6 + 14);
     }
 
     #[test]

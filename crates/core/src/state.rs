@@ -38,11 +38,7 @@ pub struct A2d {
 impl A2d {
     /// Runs Algorithm 1: computes `minMaxRadius` (memoised per `n`) and
     /// the pruning regions for every object.
-    pub fn build<P: ProbabilityFunction>(
-        objects: &[MovingObject],
-        pf: &P,
-        tau: f64,
-    ) -> Self {
+    pub fn build<P: ProbabilityFunction>(objects: &[MovingObject], pf: &P, tau: f64) -> Self {
         let mut cache = MinMaxRadiusCache::new(tau);
         let mut influenceable = 0;
         let entries = objects

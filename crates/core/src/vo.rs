@@ -27,8 +27,10 @@
 use crate::problem::PrimeLs;
 use crate::result::{Algorithm, SolveResult, SolveStats};
 use crate::state::A2d;
+use pinocchio_data::MovingObject;
+use pinocchio_geo::{Euclidean, Point};
 use pinocchio_index::RTree;
-use pinocchio_prob::ProbabilityFunction;
+use pinocchio_prob::{CumulativeProbability, EarlyStopOutcome, ProbabilityFunction};
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -81,7 +83,9 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
             .collect();
         let mut in_nib = vec![false; m];
         for entry in a2d.entries() {
-            let Some(regions) = entry.regions else { continue };
+            let Some(regions) = entry.regions else {
+                continue;
+            };
             tree.query_region(
                 |node| node.intersects(&regions.nib_mbr()),
                 |p| regions.in_non_influence_boundary(p),
@@ -121,6 +125,64 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
     }
 }
 
+/// Validates one candidate against its verification set, maintaining its
+/// `(minInf, maxInf)` bounds and applying the Strategy 1 mid-validation
+/// kill against the *current* `maxminInf`, re-read through
+/// `current_bound` before every verdict that shrinks `maxInf`.
+///
+/// This is the per-candidate core shared by the sequential driver
+/// ([`solve_with_options`]) and the work-stealing parallel driver
+/// (`parallel::solve_vo`): sequentially `current_bound` reads a local
+/// variable (which cannot change mid-candidate), in parallel it reads
+/// the shared atomic bound so a candidate dies as soon as *any* worker
+/// raises `maxminInf` past its remaining potential.
+///
+/// Returns `Some(exact_influence)` when validation ran to completion,
+/// `None` when the candidate was killed. All validation counters —
+/// including the pairs never evaluated because of a kill — are
+/// accumulated into `stats`, keeping the pair accounting complete.
+#[allow(clippy::too_many_arguments)] // one call site per driver; bundling would just rename the list
+pub(crate) fn validate_candidate<P: ProbabilityFunction + Clone>(
+    eval: &CumulativeProbability<P, Euclidean>,
+    objects: &[MovingObject],
+    candidate: &Point,
+    vs: &[u32],
+    bounds: (u32, u32),
+    tau: f64,
+    early_stop: bool,
+    mut current_bound: impl FnMut() -> u32,
+    stats: &mut SolveStats,
+) -> Option<u32> {
+    let (mut min_inf, mut max_inf) = bounds;
+    for (done, &k) in vs.iter().enumerate() {
+        let object = &objects[k as usize];
+        let outcome = if early_stop {
+            eval.influences_early_stop(candidate, object.positions(), tau)
+        } else {
+            EarlyStopOutcome::from_verdict(
+                eval.influences(candidate, object.positions(), tau),
+                object.position_count(),
+            )
+        };
+        stats.validated_pairs += 1;
+        stats.positions_evaluated += outcome.positions_evaluated as u64;
+        if outcome.influenced {
+            min_inf += 1;
+        } else {
+            max_inf -= 1;
+            if max_inf < current_bound() {
+                // Strategy 1, mid-validation variant: the rest of the
+                // verification set is skipped, never evaluated.
+                stats.pairs_skipped_by_bounds += (vs.len() - done - 1) as u64;
+                return None;
+            }
+        }
+    }
+    stats.candidates_fully_validated += 1;
+    debug_assert_eq!(min_inf, max_inf, "bounds must meet after full validation");
+    Some(min_inf)
+}
+
 /// Runs PINOCCHIO-VO (`with_pruning = true`, Algorithm 3) or PIN-VO*
 /// (`with_pruning = false`).
 pub fn solve<P: ProbabilityFunction + Clone>(
@@ -146,12 +208,19 @@ pub fn solve_with_options<P: ProbabilityFunction + Clone>(
     let eval = problem.evaluator();
     let tau = problem.tau();
     let m = problem.candidates().len();
-    let mut prep = prepare(problem, with_pruning);
-    let vs_store = std::mem::take(&mut prep.vs_store);
-    let vs_all = std::mem::take(&mut prep.vs_all);
-    let mut min_inf = std::mem::take(&mut prep.min_inf);
-    let mut max_inf = std::mem::take(&mut prep.max_inf);
+    let prep = prepare(problem, with_pruning);
+    let vs_store = &prep.vs_store;
+    let vs_all = &prep.vs_all;
+    let min_inf = &prep.min_inf;
+    let max_inf = &prep.max_inf;
     let mut stats = prep.stats;
+    let vs_len = |j: usize| -> u64 {
+        if with_pruning {
+            vs_store[j].len() as u64
+        } else {
+            vs_all.len() as u64
+        }
+    };
 
     // ---- validation phase (Strategy 1 driver) --------------------------
     // Max-heap over (maxInf, minInf, smaller-index-first). Bounds of a
@@ -173,44 +242,29 @@ pub fn solve_with_options<P: ProbabilityFunction + Clone>(
         if top_max < maxmin_inf {
             // Strategy 1 cut-off: nobody left can beat the incumbent.
             stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+            stats.pairs_skipped_by_bounds += vs_len(j)
+                + heap
+                    .iter()
+                    .map(|&(_, _, std::cmp::Reverse(r))| vs_len(r))
+                    .sum::<u64>();
             break;
         }
         let candidate = problem.candidates()[j];
-        let vs: &[u32] = if with_pruning { &vs_store[j] } else { &vs_all };
+        let vs: &[u32] = if with_pruning { &vs_store[j] } else { vs_all };
 
-        let mut dead = false;
-        for &k in vs {
-            let object = &problem.objects()[k as usize];
-            let outcome = if early_stop {
-                eval.influences_early_stop(&candidate, object.positions(), tau)
-            } else {
-                pinocchio_prob::EarlyStopOutcome {
-                    influenced: eval.influences(&candidate, object.positions(), tau),
-                    positions_evaluated: object.position_count(),
-                    non_influence_product: f64::NAN, // unused on this path
-                }
-            };
-            stats.validated_pairs += 1;
-            stats.positions_evaluated += outcome.positions_evaluated as u64;
-            if outcome.influenced {
-                min_inf[j] += 1;
-            } else {
-                max_inf[j] -= 1;
-                if max_inf[j] < maxmin_inf {
-                    dead = true; // Strategy 1, mid-validation variant
-                    break;
-                }
-            }
-        }
-        if dead {
+        let Some(exact) = validate_candidate(
+            &eval,
+            problem.objects(),
+            &candidate,
+            vs,
+            (min_inf[j], max_inf[j]),
+            tau,
+            early_stop,
+            || maxmin_inf,
+            &mut stats,
+        ) else {
             continue;
-        }
-        stats.candidates_fully_validated += 1;
-        let exact = min_inf[j];
-        debug_assert_eq!(
-            exact, max_inf[j],
-            "bounds must meet after full validation"
-        );
+        };
         match best {
             Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
             _ => best = Some((exact, j)),
@@ -265,7 +319,10 @@ mod tests {
                 let p = synthetic_problem(tau, seed, 50);
                 let na = naive::solve(&p);
                 let vo = solve(&p, true);
-                assert_eq!(vo.best_candidate, na.best_candidate, "tau={tau} seed={seed}");
+                assert_eq!(
+                    vo.best_candidate, na.best_candidate,
+                    "tau={tau} seed={seed}"
+                );
                 assert_eq!(vo.max_influence, na.max_influence, "tau={tau} seed={seed}");
             }
         }
@@ -318,6 +375,28 @@ mod tests {
 
     fn died_mid(vo: &SolveResult, total: u64) -> u64 {
         total - vo.stats.candidates_fully_validated - vo.stats.candidates_skipped_by_bounds
+    }
+
+    #[test]
+    fn accounting_is_complete() {
+        // Every (influenceable object, candidate) pair is decided by a
+        // pruning rule, validated, or skipped by Strategy 1 — nothing is
+        // lost, for both VO and VO*.
+        for (tau, seed) in [(0.5, 4), (0.7, 6), (0.9, 11)] {
+            let p = synthetic_problem(tau, seed, 60);
+            let a2d = A2d::build(p.objects(), p.pf(), p.tau());
+            let expected_pairs = (a2d.influenceable() * p.candidates().len()) as u64;
+            for with_pruning in [true, false] {
+                for early_stop in [true, false] {
+                    let r = solve_with_options(&p, with_pruning, early_stop);
+                    assert_eq!(
+                        r.stats.accounted_pairs(),
+                        expected_pairs,
+                        "tau={tau} seed={seed} pruning={with_pruning} s2={early_stop}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

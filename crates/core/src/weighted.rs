@@ -68,7 +68,9 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
     let mut influences = vec![0.0f64; problem.candidates().len()];
     let mut undecided: Vec<usize> = Vec::new();
     for entry in a2d.entries() {
-        let Some(regions) = entry.regions else { continue };
+        let Some(regions) = entry.regions else {
+            continue;
+        };
         let object = &problem.objects()[entry.index];
         let weight = weights[entry.index];
         if weight == 0.0 {
@@ -85,11 +87,8 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
             },
         );
         for &j in &undecided {
-            let outcome = eval.influences_early_stop(
-                &problem.candidates()[j],
-                object.positions(),
-                tau,
-            );
+            let outcome =
+                eval.influences_early_stop(&problem.candidates()[j], object.positions(), tau);
             if outcome.influenced {
                 influences[j] += weight;
             }
@@ -113,7 +112,9 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
 mod tests {
     use super::*;
     use crate::result::Algorithm;
-    use pinocchio_data::{sample_candidate_group, GeneratorConfig, MovingObject, SyntheticGenerator};
+    use pinocchio_data::{
+        sample_candidate_group, GeneratorConfig, MovingObject, SyntheticGenerator,
+    };
     use pinocchio_prob::PowerLawPf;
 
     fn problem(seed: u64) -> PrimeLs<PowerLawPf> {
@@ -147,7 +148,11 @@ mod tests {
         let p = problem(3);
         let base = solve_weighted(&p, &vec![1.0; p.objects().len()]);
         let scaled = solve_weighted(&p, &vec![2.5; p.objects().len()]);
-        for (a, b) in base.weighted_influences.iter().zip(&scaled.weighted_influences) {
+        for (a, b) in base
+            .weighted_influences
+            .iter()
+            .zip(&scaled.weighted_influences)
+        {
             assert!((a * 2.5 - b).abs() < 1e-9);
         }
         assert_eq!(base.best_candidate, scaled.best_candidate);
@@ -191,7 +196,11 @@ mod tests {
             .build()
             .unwrap();
         let reference = solve_weighted(&without, &vec![1.0; without.objects().len()]);
-        for (a, b) in r.weighted_influences.iter().zip(&reference.weighted_influences) {
+        for (a, b) in r
+            .weighted_influences
+            .iter()
+            .zip(&reference.weighted_influences)
+        {
             assert!((a - b).abs() < 1e-9);
         }
     }

@@ -35,11 +35,7 @@ impl Dataset {
     /// Panics when there are no objects — every experiment needs at least
     /// one moving object. (Venue-less datasets are permitted: ground
     /// truth is only needed by the effectiveness experiments.)
-    pub fn new(
-        name: impl Into<String>,
-        objects: Vec<MovingObject>,
-        venues: Vec<Venue>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, objects: Vec<MovingObject>, venues: Vec<Venue>) -> Self {
         let name = name.into();
         assert!(!objects.is_empty(), "dataset {name} has no moving objects");
         Dataset {

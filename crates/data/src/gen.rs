@@ -342,8 +342,7 @@ impl SyntheticGenerator {
                 // user's probability mass concentrates in one
                 // neighbourhood even though occasional trips (below)
                 // inflate the activity MBR across the frame.
-                let n_personal =
-                    rng.gen_range(cfg.personal_anchors_min..=cfg.personal_anchors_max);
+                let n_personal = rng.gen_range(cfg.personal_anchors_min..=cfg.personal_anchors_max);
                 let home_venue = rng.gen_range(0..cfg.n_venues);
                 let neighbourhood = &hotspot_venues[venue_hotspot[home_venue]];
                 let personal: Vec<usize> = std::iter::once(home_venue)
@@ -377,11 +376,8 @@ impl SyntheticGenerator {
                 };
                 // Social anchors: popularity- and distance-weighted venues
                 // the user frequents alongside everyone else.
-                let n_social =
-                    rng.gen_range(cfg.social_anchors_min..=cfg.social_anchors_max);
-                let social: Vec<usize> = (0..n_social)
-                    .map(|_| gravity_venue(&mut rng))
-                    .collect();
+                let n_social = rng.gen_range(cfg.social_anchors_min..=cfg.social_anchors_max);
+                let social: Vec<usize> = (0..n_social).map(|_| gravity_venue(&mut rng)).collect();
                 // Zipf preference within each anchor class.
                 let personal_cdf = zipf_cdf(n_personal, 0.7);
                 let social_cdf = if n_social > 0 {
@@ -661,8 +657,11 @@ mod tests {
     #[test]
     fn checkin_distribution_is_skewed() {
         let d = small();
-        let mut counts: Vec<usize> =
-            d.objects().iter().map(MovingObject::position_count).collect();
+        let mut counts: Vec<usize> = d
+            .objects()
+            .iter()
+            .map(MovingObject::position_count)
+            .collect();
         counts.sort_unstable();
         let median = counts[counts.len() / 2] as f64;
         let mean = d.total_checkins() as f64 / counts.len() as f64;
@@ -705,9 +704,11 @@ mod tests {
 
     #[test]
     fn lognormal_calibration_hits_clamped_mean() {
-        for (target, sigma, lo, hi) in
-            [(72.0, 2.0, 3.0, 661.0), (37.0, 2.0, 2.0, 780.0), (40.0, 1.6, 3.0, 200.0)]
-        {
+        for (target, sigma, lo, hi) in [
+            (72.0, 2.0, 3.0, 661.0),
+            (37.0, 2.0, 2.0, 780.0),
+            (40.0, 1.6, 3.0, 200.0),
+        ] {
             let mu = calibrate_lognormal_mu(target, sigma, lo, hi);
             let mean = clamped_lognormal_mean(mu, sigma, lo, hi);
             assert!(

@@ -78,7 +78,10 @@ pub fn load_dataset(
     venues_path: Option<&Path>,
 ) -> Result<Dataset, IoError> {
     let mut by_user: BTreeMap<u64, Vec<Point>> = BTreeMap::new();
-    for (lineno, line) in BufReader::new(File::open(checkins_path)?).lines().enumerate() {
+    for (lineno, line) in BufReader::new(File::open(checkins_path)?)
+        .lines()
+        .enumerate()
+    {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -281,7 +284,10 @@ mod tests {
             &pinocchio_geo::Point::new(103.80, 1.30),
             &pinocchio_geo::Point::new(103.95, 1.35),
         );
-        assert!((planar - sphere).abs() / sphere < 1e-3, "{planar} vs {sphere}");
+        assert!(
+            (planar - sphere).abs() / sphere < 1e-3,
+            "{planar} vs {sphere}"
+        );
         // Round trip through the returned projection.
         let back = proj.inverse(&a);
         assert!((back.x - 103.80).abs() < 1e-9);

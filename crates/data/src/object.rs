@@ -95,7 +95,11 @@ mod tests {
     fn subset_selects_positions() {
         let o = MovingObject::new(
             1,
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ],
         );
         let s = o.with_position_subset(&[0, 2]);
         assert_eq!(s.positions(), &[Point::new(0.0, 0.0), Point::new(2.0, 2.0)]);

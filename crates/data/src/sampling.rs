@@ -19,8 +19,7 @@ use rand::{Rng, SeedableRng};
 
 /// The paper's Table 5 grouping boundaries: `[lo, hi)` position-count
 /// ranges (the last bound is inclusive of the paper's maximum, 780).
-pub const TABLE5_BOUNDS: [(usize, usize); 5] =
-    [(1, 10), (10, 30), (30, 50), (50, 70), (70, 781)];
+pub const TABLE5_BOUNDS: [(usize, usize); 5] = [(1, 10), (10, 30), (30, 50), (50, 70), (70, 781)];
 
 /// A group of objects sharing a position-count range.
 #[derive(Debug, Clone)]
@@ -97,11 +96,7 @@ pub fn sample_objects(dataset: &Dataset, k: usize, seed: u64) -> Vec<MovingObjec
 /// Restricts each given object to `k` randomly chosen positions
 /// (Fig. 11b / Fig. 13 instance construction). Objects with fewer than
 /// `k` positions are skipped.
-pub fn resample_positions(
-    objects: &[MovingObject],
-    k: usize,
-    seed: u64,
-) -> Vec<MovingObject> {
+pub fn resample_positions(objects: &[MovingObject], k: usize, seed: u64) -> Vec<MovingObject> {
     assert!(k >= 1, "objects need at least one position");
     let mut rng = StdRng::seed_from_u64(seed);
     objects

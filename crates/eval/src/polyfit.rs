@@ -83,7 +83,12 @@ impl fmt::Display for Polynomial {
             if i == 0 {
                 write!(f, "{c:.4}")?;
             } else {
-                write!(f, " {} {:.4}·x^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+                write!(
+                    f,
+                    " {} {:.4}·x^{i}",
+                    if *c < 0.0 { "-" } else { "+" },
+                    c.abs()
+                )?;
             }
         }
         Ok(())

@@ -263,7 +263,7 @@ mod tests {
         assert_eq!(m.min_dist(&Point::new(1.0, 1.0)), 0.0);
         assert_eq!(m.min_dist(&Point::new(7.0, 1.0)), 3.0); // beyond right edge
         assert_eq!(m.min_dist(&Point::new(2.0, -2.0)), 2.0); // below
-        // diagonal: closest point is the corner (4,2)
+                                                             // diagonal: closest point is the corner (4,2)
         let d = m.min_dist(&Point::new(7.0, 6.0));
         assert!((d - 5.0).abs() < 1e-12);
     }

@@ -61,8 +61,7 @@ impl Haversine {
         let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let h = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * h.sqrt().clamp(0.0, 1.0).asin()
     }
 }
@@ -89,7 +88,10 @@ mod tests {
     #[test]
     fn euclidean_basic() {
         let m = Euclidean;
-        assert_eq!(m.distance(&Point::new(0.0, 0.0), &Point::new(0.0, 2.0)), 2.0);
+        assert_eq!(
+            m.distance(&Point::new(0.0, 0.0), &Point::new(0.0, 2.0)),
+            2.0
+        );
         assert_eq!(m.name(), "euclidean");
     }
 

@@ -265,8 +265,7 @@ impl InfluenceRegions {
     pub fn expected_survivor_fraction_in_frame(&self, frame: &Mbr, steps: usize) -> f64 {
         let frame_area = frame.area();
         assert!(frame_area > 0.0, "frame must have positive area");
-        ((self.nib_area_in_frame(frame, steps) - self.ia_area_in_frame(frame, steps))
-            / frame_area)
+        ((self.nib_area_in_frame(frame, steps) - self.ia_area_in_frame(frame, steps)) / frame_area)
             .clamp(0.0, 1.0)
     }
 }
@@ -291,10 +290,7 @@ mod tests {
             RegionVerdict::CannotInfluence
         );
         // Just outside the box: minDist small but maxDist > 3.
-        assert_eq!(
-            r.classify(&Point::new(4.5, 1.0)),
-            RegionVerdict::Undecided
-        );
+        assert_eq!(r.classify(&Point::new(4.5, 1.0)), RegionVerdict::Undecided);
     }
 
     #[test]

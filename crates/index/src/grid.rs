@@ -156,7 +156,9 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
         let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)

@@ -135,7 +135,7 @@ impl<T: Clone> RTree<T> {
         let leaf_count = (n as f64 / cap).ceil();
         let slice_count = leaf_count.sqrt().ceil() as usize;
         let slice_size = (n as f64 / slice_count as f64).ceil() as usize; // points per x-slice
-        // Points per slice must be a multiple of max_entries worth of leaves.
+                                                                          // Points per slice must be a multiple of max_entries worth of leaves.
         let per_slice = ((slice_size as f64 / cap).ceil() * cap) as usize;
 
         items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
@@ -143,9 +143,7 @@ impl<T: Clone> RTree<T> {
         for slice in items.chunks_mut(per_slice.max(max_entries)) {
             slice.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
             for run in slice.chunks(max_entries) {
-                let mbr = Mbr::from_points(
-                    &run.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
-                );
+                let mbr = Mbr::from_points(&run.iter().map(|(p, _)| *p).collect::<Vec<_>>());
                 let id = tree.nodes.len();
                 tree.nodes.push(Node {
                     mbr,
@@ -237,8 +235,7 @@ impl<T: Clone> RTree<T> {
                     // Expand MBRs along the recorded path.
                     for &anc in &path {
                         let m: Option<Mbr> = self.nodes[anc].mbr;
-                        self.nodes[anc].mbr =
-                            Some(m.map_or(target, |m| m.union(&target)));
+                        self.nodes[anc].mbr = Some(m.map_or(target, |m| m.union(&target)));
                     }
                     return id;
                 }
@@ -696,7 +693,9 @@ mod tests {
     fn pseudo_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
         let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
@@ -737,7 +736,10 @@ mod tests {
     #[test]
     fn insert_then_query_small() {
         let mut tree = RTree::new();
-        for (i, (x, y)) in [(0.0, 0.0), (1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+        for (i, (x, y)) in [(0.0, 0.0), (1.0, 1.0), (5.0, 5.0), (9.0, 2.0)]
+            .iter()
+            .enumerate()
+        {
             tree.insert(Point::new(*x, *y), i);
         }
         assert_eq!(tree.len(), 4);
@@ -884,10 +886,7 @@ mod tests {
             &Mbr::new(Point::new(10.0, 10.0), Point::new(12.0, 12.0)),
             |_, _| {},
         );
-        assert!(
-            stats.entries_tested < 400,
-            "pruning ineffective: {stats:?}"
-        );
+        assert!(stats.entries_tested < 400, "pruning ineffective: {stats:?}");
         assert!(stats.nodes_visited >= 1);
     }
 

@@ -42,7 +42,12 @@ impl LogsigPf {
         validate(rho, scale);
         let k = 8.0 / scale;
         let norm = sigmoid(k * scale / 2.0);
-        LogsigPf { rho, scale, k, norm }
+        LogsigPf {
+            rho,
+            scale,
+            k,
+            norm,
+        }
     }
 }
 
@@ -289,7 +294,10 @@ mod tests {
             ConcavePf::new(0.5, 10.0),
         );
         for d in [2.0, 5.0, 8.0] {
-            assert!(cx.prob(d) <= li.prob(d) && li.prob(d) <= cc.prob(d), "d={d}");
+            assert!(
+                cx.prob(d) <= li.prob(d) && li.prob(d) <= cc.prob(d),
+                "d={d}"
+            );
         }
     }
 

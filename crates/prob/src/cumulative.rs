@@ -22,11 +22,27 @@ pub struct EarlyStopOutcome {
     /// Number of positions whose probability was actually evaluated
     /// (`n'` of Strategy 2; equals `n` when no early exit fired).
     pub positions_evaluated: usize,
-    /// The non-influence product after the last evaluated position. When
-    /// the scan ran to completion this equals `∏(1 − Pr_c(p_i))`, so the
-    /// exact cumulative probability is `1 −` this value; after an early
-    /// exit it is only an upper bound on the full product.
-    pub non_influence_product: f64,
+    /// The non-influence product after the last evaluated position, when
+    /// the scan computed one. When the scan ran to completion this equals
+    /// `∏(1 − Pr_c(p_i))`, so the exact cumulative probability is `1 −`
+    /// this value; after an early exit it is only an upper bound on the
+    /// full product. `None` when the verdict was reached by a method that
+    /// does not track the product (e.g. [`EarlyStopOutcome::from_verdict`]).
+    pub non_influence_product: Option<f64>,
+}
+
+impl EarlyStopOutcome {
+    /// Wraps a verdict produced without tracking the non-influence
+    /// product (used by full-scan validation paths that only need the
+    /// boolean and the position count). Keeping the product out of this
+    /// constructor guarantees no placeholder value can ever leak.
+    pub fn from_verdict(influenced: bool, positions_evaluated: usize) -> Self {
+        EarlyStopOutcome {
+            influenced,
+            positions_evaluated,
+            non_influence_product: None,
+        }
+    }
 }
 
 /// Stateless evaluator for cumulative influence probabilities.
@@ -108,14 +124,14 @@ impl<P: ProbabilityFunction, M: DistanceMetric> CumulativeProbability<P, M> {
                 return EarlyStopOutcome {
                     influenced: true,
                     positions_evaluated: i + 1,
-                    non_influence_product: non_influence,
+                    non_influence_product: Some(non_influence),
                 };
             }
         }
         EarlyStopOutcome {
             influenced: 1.0 - non_influence >= tau,
             positions_evaluated: positions.len(),
-            non_influence_product: non_influence,
+            non_influence_product: Some(non_influence),
         }
     }
 
@@ -162,9 +178,7 @@ mod tests {
 
     impl ProbabilityFunction for Scripted {
         fn prob(&self, _d: f64) -> f64 {
-            let i = self
-                .next
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.probs[i]
         }
         fn inverse(&self, _p: f64) -> Option<f64> {
@@ -182,19 +196,15 @@ mod tests {
     #[test]
     fn example1_from_the_paper() {
         // Pr_{c1}(O1) with p = 0.5, 0.1, 0.2, 0.15, 0.12 → 0.73 (2 d.p.).
-        let eval = CumulativeProbability::new(
-            Scripted::new(vec![0.5, 0.1, 0.2, 0.15, 0.12]),
-            Euclidean,
-        );
+        let eval =
+            CumulativeProbability::new(Scripted::new(vec![0.5, 0.1, 0.2, 0.15, 0.12]), Euclidean);
         let c = Point::ORIGIN;
         let pr = eval.cumulative(&c, &pts(5));
         assert!((pr - 0.73).abs() < 0.005, "got {pr}");
 
         // Pr_{c1}(O2) with p = 0.25, 0.35, 0.33, 0.3, 0.38 → 0.86 (2 d.p.).
-        let eval = CumulativeProbability::new(
-            Scripted::new(vec![0.25, 0.35, 0.33, 0.3, 0.38]),
-            Euclidean,
-        );
+        let eval =
+            CumulativeProbability::new(Scripted::new(vec![0.25, 0.35, 0.33, 0.3, 0.38]), Euclidean);
         let pr = eval.cumulative(&c, &pts(5));
         assert!((pr - 0.86).abs() < 0.005, "got {pr}");
     }
@@ -255,6 +265,19 @@ mod tests {
         let es = eval.influences_early_stop(&Point::ORIGIN, &positions, 0.7);
         assert!(es.influenced);
         assert_eq!(es.positions_evaluated, 1);
+    }
+
+    #[test]
+    fn early_stop_product_is_present_only_when_tracked() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let es = eval.influences_early_stop(&Point::ORIGIN, &pts(5), 0.7);
+        let product = es.non_influence_product.expect("scan tracks the product");
+        assert!((0.0..=1.0).contains(&product));
+
+        let wrapped = EarlyStopOutcome::from_verdict(true, 5);
+        assert!(wrapped.influenced);
+        assert_eq!(wrapped.positions_evaluated, 5);
+        assert_eq!(wrapped.non_influence_product, None);
     }
 
     #[test]

@@ -35,11 +35,7 @@ pub fn required_single_position_probability(tau: f64, n: usize) -> f64 {
 /// required per-position probability — in that case
 /// `Pr_c(O) ≤ 1 − (1 − PF(0))^n < τ` for every candidate, so the object
 /// can never be influenced and should be skipped outright.
-pub fn min_max_radius<P: ProbabilityFunction + ?Sized>(
-    pf: &P,
-    tau: f64,
-    n: usize,
-) -> Option<f64> {
+pub fn min_max_radius<P: ProbabilityFunction + ?Sized>(pf: &P, tau: f64, n: usize) -> Option<f64> {
     pf.inverse(required_single_position_probability(tau, n))
 }
 

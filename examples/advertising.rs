@@ -68,9 +68,7 @@ fn main() {
     // Ground truth sanity check: where do the two spots rank by actual
     // check-in popularity?
     let mut by_popularity: Vec<usize> = (0..venue_indices.len()).collect();
-    by_popularity.sort_by_key(|&i| {
-        std::cmp::Reverse(dataset.venues()[venue_indices[i]].checkins)
-    });
+    by_popularity.sort_by_key(|&i| std::cmp::Reverse(dataset.venues()[venue_indices[i]].checkins));
     let rank_of = |j: usize| by_popularity.iter().position(|&i| i == j).unwrap() + 1;
     println!(
         "\nground-truth popularity rank (of {}): PRIME-LS #{}, BRNN* #{}",

@@ -20,7 +20,11 @@ fn main() {
         ),
         MovingObject::new(
             1, // Priya
-            vec![Point::new(0.2, 0.1), Point::new(0.3, -0.2), Point::new(0.1, 0.3)],
+            vec![
+                Point::new(0.2, 0.1),
+                Point::new(0.3, -0.2),
+                Point::new(0.1, 0.3),
+            ],
         ),
         MovingObject::new(2, vec![Point::new(25.0, 30.0), Point::new(25.5, 29.5)]), // Sam
     ];

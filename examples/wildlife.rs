@@ -81,7 +81,8 @@ fn main() {
     for &j in ranked.iter().take(5) {
         println!(
             "  site #{j:3} at {}  covers {:3} animals",
-            problem.candidates()[j], influences[j]
+            problem.candidates()[j],
+            influences[j]
         );
     }
 }

@@ -4,6 +4,7 @@
 //! pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]
 //! pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*]
 //!                        [--tau T] [--candidates M] [--seed N] [--top K]
+//!                        [--threads N]
 //! pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M]
 //!                        [--epsilon E] [--delta D] [--seed N]
 //! pinocchio-cli generate --out DIR [--dataset ...] [--seed N]
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]\n  \
-         pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*] [--tau T] [--candidates M] [--seed N] [--top K]\n  \
+         pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*] [--tau T] [--candidates M] [--seed N] [--top K] [--threads N]\n  \
          pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M] [--epsilon E] [--delta D] [--seed N]\n  \
          pinocchio-cli generate --out DIR [--dataset ...] [--seed N]"
     );
@@ -109,7 +110,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let (_, candidates) = sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
+            let (_, candidates) =
+                sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
             let problem = match PrimeLs::builder()
                 .objects(dataset.objects().to_vec())
                 .candidates(candidates)
@@ -131,10 +133,7 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
-                for (rank, entry) in pinocchio::core::solve_top_k(&problem, k)
-                    .iter()
-                    .enumerate()
-                {
+                for (rank, entry) in pinocchio::core::solve_top_k(&problem, k).iter().enumerate() {
                     println!(
                         "{:3}. candidate #{} at {} influence {}",
                         rank + 1,
@@ -145,9 +144,36 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            let r = problem.solve(algorithm);
+            let threads: usize = match flags.get("threads").map(|s| s.parse()).unwrap_or(Ok(1)) {
+                Ok(0) => {
+                    eprintln!("error: --threads must be at least 1");
+                    return ExitCode::from(2);
+                }
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: bad --threads: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let r = if threads > 1 {
+                use pinocchio::core::parallel;
+                match algorithm {
+                    Algorithm::Naive => parallel::solve_naive(&problem, threads),
+                    Algorithm::Pinocchio => parallel::solve_pinocchio(&problem, threads),
+                    Algorithm::PinocchioVo => parallel::solve_vo(&problem, threads),
+                    Algorithm::PinocchioVoStar => {
+                        eprintln!("error: --threads supports na, pin and pin-vo (pin-vo* has no parallel driver)");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                problem.solve(algorithm)
+            };
             println!("algorithm        {}", r.algorithm);
-            println!("best candidate   #{} at {}", r.best_candidate, r.best_location);
+            println!(
+                "best candidate   #{} at {}",
+                r.best_candidate, r.best_location
+            );
             println!("max influence    {}", r.max_influence);
             println!("pairs validated  {}", r.stats.validated_pairs);
             println!("pairs pruned     {}", r.stats.pruned_pairs());
@@ -162,14 +188,19 @@ fn main() -> ExitCode {
                     .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
                     .unwrap_or(Ok(default))
             };
-            let (tau, epsilon, delta) = match (get("tau", 0.7), get("epsilon", 0.05), get("delta", 0.01)) {
-                (Ok(t), Ok(e), Ok(d)) => (t, e, d),
-                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let m: usize = match flags.get("candidates").map(|s| s.parse()).unwrap_or(Ok(200)) {
+            let (tau, epsilon, delta) =
+                match (get("tau", 0.7), get("epsilon", 0.05), get("delta", 0.01)) {
+                    (Ok(t), Ok(e), Ok(d)) => (t, e, d),
+                    (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+            let m: usize = match flags
+                .get("candidates")
+                .map(|s| s.parse())
+                .unwrap_or(Ok(200))
+            {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("error: bad --candidates: {e}");
@@ -195,9 +226,16 @@ fn main() -> ExitCode {
                 &problem,
                 pinocchio::core::ApproxConfig::new(epsilon, delta, 1),
             );
-            println!("best candidate    #{} at {}", r.best_candidate, r.best_location);
+            println!(
+                "best candidate    #{} at {}",
+                r.best_candidate, r.best_location
+            );
             println!("est. influence    {}", r.estimated_influence);
-            println!("sample size       {} of {}", r.sample_size, dataset.objects().len());
+            println!(
+                "sample size       {} of {}",
+                r.sample_size,
+                dataset.objects().len()
+            );
             println!("exact             {}", r.exact);
             ExitCode::SUCCESS
         }

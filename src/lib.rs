@@ -53,7 +53,5 @@ pub mod prelude {
     pub use pinocchio_core::{Algorithm, PrimeLs, PrimeLsBuilder, SolveResult};
     pub use pinocchio_data::{Dataset, MovingObject};
     pub use pinocchio_geo::{Mbr, Point};
-    pub use pinocchio_prob::{
-        CumulativeProbability, PowerLawPf, ProbabilityFunction,
-    };
+    pub use pinocchio_prob::{CumulativeProbability, PowerLawPf, ProbabilityFunction};
 }

@@ -8,11 +8,21 @@ fn cli() -> Command {
 
 #[test]
 fn stats_prints_dataset_summary() {
-    let out = cli().args(["stats", "--dataset", "small"]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["stats", "--dataset", "small"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("user count"), "{text}");
-    assert!(text.contains("300"), "default small world has 300 users: {text}");
+    assert!(
+        text.contains("300"),
+        "default small world has 300 users: {text}"
+    );
 }
 
 #[test]
@@ -58,10 +68,70 @@ fn solve_algorithms_agree_via_cli() {
 }
 
 #[test]
+fn solve_threads_flag_reaches_every_parallel_solver() {
+    let influence_of = |algo: &str, threads: &str| -> String {
+        let out = cli()
+            .args([
+                "solve",
+                "--dataset",
+                "small",
+                "--algo",
+                algo,
+                "--seed",
+                "5",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "algo {algo} threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("max influence"))
+            .unwrap()
+            .to_string()
+    };
+    let sequential = influence_of("pin-vo", "1");
+    for algo in ["na", "pin", "pin-vo"] {
+        assert_eq!(sequential, influence_of(algo, "4"), "algo {algo}");
+    }
+
+    let out = cli()
+        .args(["solve", "--dataset", "small", "--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--threads 0 must be rejected");
+
+    let out = cli()
+        .args([
+            "solve",
+            "--dataset",
+            "small",
+            "--algo",
+            "pin-vo*",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "pin-vo* has no parallel driver");
+}
+
+#[test]
 fn generate_writes_loadable_csv() {
     let dir = std::env::temp_dir().join(format!("pinocchio-cli-gen-{}", std::process::id()));
     let out = cli()
-        .args(["generate", "--dataset", "small", "--out", dir.to_str().unwrap()])
+        .args([
+            "generate",
+            "--dataset",
+            "small",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -90,10 +160,22 @@ fn solve_top_lists_k_candidates() {
 #[test]
 fn approx_reports_sample_size() {
     let out = cli()
-        .args(["approx", "--dataset", "small", "--epsilon", "0.2", "--candidates", "40"])
+        .args([
+            "approx",
+            "--dataset",
+            "small",
+            "--epsilon",
+            "0.2",
+            "--candidates",
+            "40",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("sample size"), "{text}");
     assert!(text.contains("best candidate"), "{text}");
@@ -101,7 +183,10 @@ fn approx_reports_sample_size() {
 
 #[test]
 fn bad_arguments_fail_cleanly() {
-    let out = cli().args(["solve", "--algo", "warp-drive"]).output().unwrap();
+    let out = cli()
+        .args(["solve", "--algo", "warp-drive"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 

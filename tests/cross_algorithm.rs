@@ -138,7 +138,10 @@ fn max_influence_is_monotone_decreasing_in_tau() {
             .build()
             .unwrap();
         let inf = problem.solve(Algorithm::PinocchioVo).max_influence;
-        assert!(inf <= last, "influence rose from {last} to {inf} at tau={tau}");
+        assert!(
+            inf <= last,
+            "influence rose from {last} to {inf} at tau={tau}"
+        );
         last = inf;
     }
 }
@@ -156,6 +159,119 @@ fn parallel_solvers_agree_with_sequential() {
     let seq = problem.solve(Algorithm::Naive);
     let par = pinocchio::core::parallel::solve_naive(&problem, 4);
     assert_eq!(par.influences, seq.influences);
+    assert_eq!(par.stats, seq.stats, "parallel NA must not drop counters");
     let par = pinocchio::core::parallel::solve_pinocchio(&problem, 4);
     assert_eq!(par.influences, seq.influences);
+    let seq = problem.solve(Algorithm::Pinocchio);
+    assert_eq!(par.stats, seq.stats, "parallel PIN must not drop counters");
+    let seq = problem.solve(Algorithm::PinocchioVo);
+    let par = pinocchio::core::parallel::solve_vo(&problem, 4);
+    assert_eq!(
+        (par.best_candidate, par.max_influence),
+        (seq.best_candidate, seq.max_influence)
+    );
+}
+
+mod parallel_vo_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_vo_agreement(
+        users: usize,
+        cands: usize,
+        seed: u64,
+        tau: f64,
+    ) -> Result<(), TestCaseError> {
+        let (objects, candidates) = world(users, cands, seed);
+        let problem = PrimeLs::builder()
+            .objects(objects)
+            .candidates(candidates)
+            .probability_function(PowerLawPf::paper_default())
+            .tau(tau)
+            .build()
+            .unwrap();
+        let oracle = problem.solve(Algorithm::Naive);
+        let seq_vo = problem.solve(Algorithm::PinocchioVo);
+        prop_assert_eq!(
+            (seq_vo.best_candidate, seq_vo.max_influence),
+            (oracle.best_candidate, oracle.max_influence),
+            "sequential VO vs NA (seed={} tau={})",
+            seed,
+            tau
+        );
+        for threads in [1, 2, 8] {
+            let par_vo = pinocchio::core::parallel::solve_vo(&problem, threads);
+            prop_assert_eq!(
+                (par_vo.best_candidate, par_vo.max_influence),
+                (oracle.best_candidate, oracle.max_influence),
+                "parallel VO vs NA (seed={} tau={} threads={})",
+                seed,
+                tau,
+                threads
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn agrees_on_random_worlds(seed in 0u64..10_000, tau_idx in 0usize..3) {
+            let tau = [0.1, 0.5, 0.9][tau_idx];
+            check_vo_agreement(60, 30, seed, tau)?;
+        }
+    }
+}
+
+#[test]
+fn parallel_vo_handles_all_uninfluenceable_worlds() {
+    // τ = 0.95 > PF(0) with single-position objects: nothing can be
+    // influenced; every solver must return influence 0 at candidate 0.
+    let problem = PrimeLs::builder()
+        .objects(vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0)]),
+            MovingObject::new(1, vec![Point::new(5.0, 5.0)]),
+            MovingObject::new(2, vec![Point::new(-3.0, 4.0)]),
+        ])
+        .candidates(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ])
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.95)
+        .build()
+        .unwrap();
+    for threads in [1, 2, 8] {
+        let r = pinocchio::core::parallel::solve_vo(&problem, threads);
+        assert_eq!(r.max_influence, 0, "threads={threads}");
+        assert_eq!(r.best_candidate, 0, "ties break to the smallest index");
+    }
+}
+
+#[test]
+fn parallel_vo_breaks_ties_towards_smallest_index() {
+    // Two identical clusters and symmetric candidates guarantee an
+    // influence tie; every thread count must resolve it exactly like the
+    // sequential solvers (smallest candidate index wins).
+    let problem = PrimeLs::builder()
+        .objects(vec![
+            MovingObject::new(0, vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)]),
+            MovingObject::new(1, vec![Point::new(10.0, 0.0), Point::new(10.1, 0.0)]),
+        ])
+        .candidates(vec![Point::new(10.05, 0.0), Point::new(0.05, 0.0)])
+        .probability_function(PowerLawPf::paper_default())
+        .tau(0.7)
+        .build()
+        .unwrap();
+    let na = problem.solve(Algorithm::Naive);
+    assert_eq!((na.best_candidate, na.max_influence), (0, 1));
+    for threads in [1, 2, 8] {
+        let r = pinocchio::core::parallel::solve_vo(&problem, threads);
+        assert_eq!(
+            (r.best_candidate, r.max_influence),
+            (0, 1),
+            "threads={threads}"
+        );
+    }
 }

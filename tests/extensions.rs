@@ -86,8 +86,7 @@ fn weighted_optimum_respects_value_concentration() {
     // Pick a candidate with at least one influenced object but not the
     // unweighted winner.
     let unweighted_best = p.solve(Algorithm::PinocchioVo).best_candidate;
-    let Some(target) = (0..candidates.len())
-        .find(|&j| j != unweighted_best && influences[j] > 0)
+    let Some(target) = (0..candidates.len()).find(|&j| j != unweighted_best && influences[j] > 0)
     else {
         panic!("need a second influential candidate for this test");
     };

@@ -88,10 +88,7 @@ fn geodetic_data_projects_and_solves() {
 
     // Projection fidelity: planar distances match haversine within 0.1 %.
     let planar = problem.candidates()[0].euclidean(&problem.candidates()[1]);
-    let sphere = Haversine::distance_km(
-        &Point::new(103.81, 1.30),
-        &Point::new(103.955, 1.355),
-    );
+    let sphere = Haversine::distance_km(&Point::new(103.81, 1.30), &Point::new(103.955, 1.355));
     assert!((planar - sphere).abs() / sphere < 1e-3);
 }
 

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this vendored crate
+//! provides the subset of the criterion 0.5 API the workspace's benches
+//! use: `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` / `finish`, `Bencher::iter` and
+//! `Bencher::iter_batched`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for (a bounded version of)
+//! the configured warm-up time, then runs timed iterations until the
+//! measurement time elapses, and reports the mean wall-clock time per
+//! iteration plus the spread across sample batches. No plots, no
+//! statistics beyond mean/min/max — enough to compare alternatives on
+//! the same machine in the same run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; every batch size runs one setup per iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives timed iterations of one benchmark routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled by `iter` / `iter_batched`: (iterations, total time).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iters += 1;
+            if busy >= self.measurement || wall.elapsed() >= 4 * self.measurement {
+                break;
+            }
+        }
+        self.result = Some((iters, busy));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (sampling here is time-driven).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget (clamped to 1 s to keep runs quick).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Sets the measurement budget (clamped to 5 s to keep runs quick).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d.min(Duration::from_secs(5));
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, total)) => {
+                let per_iter = total.as_secs_f64() / iters as f64;
+                println!(
+                    "{label:55} {:>12}  ({iters} iterations)",
+                    fmt_time(per_iter)
+                );
+            }
+            None => println!("{label:55} (no measurement — routine never called iter)"),
+        }
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Formats seconds-per-iteration with a human unit.
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: "bench".into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            _criterion: self,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (compatible subset of the
+/// criterion macro: the plain `criterion_group!(name, fn, ...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_simple_loop() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.bench_function(BenchmarkId::new("batched", 3), |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

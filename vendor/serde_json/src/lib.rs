@@ -1,0 +1,502 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build container has no registry access, so this vendored crate
+//! implements the subset the workspace's experiment harness uses: the
+//! [`Value`] tree, [`Map`], the [`json!`] macro, and
+//! [`to_string`] / [`to_string_pretty`]. There is no serde integration —
+//! values are built through `From` conversions, which is exactly how the
+//! `json!` call sites use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integers keep their integer spelling when printed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite floating-point number.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Infinity/NaN; serde_json serialises
+                    // non-finite floats as null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An order-preserving JSON object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key, replacing and returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+/// References convert by cloning, so `json!` can borrow its expression
+/// operands the way real serde_json's `to_value(&value)` does.
+impl<T: Clone> From<&T> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &T) -> Value {
+        Value::from(v.clone())
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<A, B> From<(A, B)> for Value
+where
+    Value: From<A> + From<B>,
+{
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![Value::from(a), Value::from(b)])
+    }
+}
+
+impl<A, B, C> From<(A, B, C)> for Value
+where
+    Value: From<A> + From<B> + From<C>,
+{
+    fn from((a, b, c): (A, B, C)) -> Value {
+        Value::Array(vec![Value::from(a), Value::from(b), Value::from(c)])
+    }
+}
+
+impl<T, const N: usize> From<[T; N]> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<&[T]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<T> From<BTreeMap<String, T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: BTreeMap<String, T>) -> Value {
+        let mut map = Map::new();
+        for (k, val) in v {
+            map.insert(k, Value::from(val));
+        }
+        Value::Object(map)
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => Value::from(inner),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+/// Serialisation error (this stand-in never fails; the type exists for
+/// signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises a value to compact JSON.
+pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let v: Value = value.clone().into();
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialises a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let v: Value = value.clone().into();
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal; non-literal Rust
+/// expressions are converted through `Into<Value>`.
+///
+/// Values inside object and array literals are munched token-by-token up
+/// to the next top-level comma, so multi-token Rust expressions
+/// (`result.max_influence`, `frame.width()`) work as in real serde_json.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: Vec<$crate::Value> = Vec::new();
+        {
+            $crate::json_elems!(items; $($tt)*);
+        }
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_entries!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from(&$other) };
+}
+
+/// Internal: parses array elements. Nested `{}`/`[]`/`null` match as
+/// token trees first; anything else parses as one Rust expression, which
+/// keeps commas inside turbofish (`BTreeMap<_, _>`) intact.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_elems {
+    ($items:ident;) => {};
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; $value:expr , $($rest:tt)*) => {
+        $items.push($crate::Value::from(&$value));
+        $crate::json_elems!($items; $($rest)*);
+    };
+    ($items:ident; $value:expr) => {
+        $items.push($crate::Value::from(&$value));
+    };
+}
+
+/// Internal: parses `"key": value` entries of an object literal (same
+/// value grammar as [`json_elems!`]).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from(&$value));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let xs = vec![1.5f64, 2.0];
+        let v = json!({
+            "name": "pinocchio",
+            "count": 3usize,
+            "nested": { "avg": 1.75, "max": 2.0 },
+            "series": xs,
+            "pair": [1, 2],
+            "flag": true,
+            "nothing": null,
+        });
+        let Value::Object(map) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(map.get("name"), Some(&Value::from("pinocchio")));
+        assert_eq!(map.get("count"), Some(&Value::from(3usize)));
+        assert!(matches!(map.get("nested"), Some(Value::Object(_))));
+        assert_eq!(map.len(), 7);
+    }
+
+    #[test]
+    fn pretty_printing_round_trips_structure() {
+        let v = json!({ "a": [1, 2], "b": { "c": "x\"y" } });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": ["));
+        assert!(s.contains("\\\"y\""));
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, r#"{"a":[1,2],"b":{"c":"x\"y"}}"#);
+    }
+
+    #[test]
+    fn numbers_print_like_serde_json() {
+        assert_eq!(to_string(&json!(3usize)).unwrap(), "3");
+        assert_eq!(to_string(&json!(-4i64)).unwrap(), "-4");
+        assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+        assert_eq!(to_string(&json!(2.0f64)).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn maps_replace_on_duplicate_insert() {
+        let mut m = Map::new();
+        assert!(m.insert("k".into(), json!(1)).is_none());
+        assert_eq!(m.insert("k".into(), json!(2)), Some(json!(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn btreemap_and_vec_conversions() {
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("x".to_string(), vec![1.0f64, 2.0]);
+        let v = Value::from(b);
+        let Value::Object(map) = &v else { panic!() };
+        assert!(matches!(map.get("x"), Some(Value::Array(a)) if a.len() == 2));
+    }
+}
