@@ -19,7 +19,7 @@
 //! compare Top-K lists uniformly.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod brnn;
 pub mod mindist;
@@ -35,6 +35,7 @@ pub fn rank_descending<S: PartialOrd>(scores: &[S]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
         scores[b]
+            // pinocchio-lint: allow(float-soundness) -- generic over PartialOrd so total_cmp is unavailable; the documented NaN-free contract is pinned by a should_panic test
             .partial_cmp(&scores[a])
             .expect("scores must not be NaN")
             .then(a.cmp(&b))
@@ -48,6 +49,7 @@ pub fn rank_ascending<S: PartialOrd>(scores: &[S]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
         scores[a]
+            // pinocchio-lint: allow(float-soundness) -- generic over PartialOrd so total_cmp is unavailable; the documented NaN-free contract is pinned by a should_panic test
             .partial_cmp(&scores[b])
             .expect("scores must not be NaN")
             .then(a.cmp(&b))

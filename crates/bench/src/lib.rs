@@ -15,7 +15,7 @@
 //! experiments assert.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use pinocchio_core::{Algorithm, PrimeLs, SolveResult};
 use pinocchio_data::{Dataset, GeneratorConfig, SyntheticGenerator};

@@ -25,7 +25,7 @@
 
 use crate::pinocchio;
 use crate::problem::PrimeLs;
-use crate::result::Algorithm;
+use crate::result::{Algorithm, SolveStats};
 use pinocchio_geo::Point;
 use pinocchio_prob::ProbabilityFunction;
 use rand::rngs::StdRng;
@@ -85,6 +85,9 @@ pub struct ApproxResult {
     pub sample_size: usize,
     /// Whether the sample covered every object (result then exact).
     pub exact: bool,
+    /// Cost counters of the underlying (sampled or exact) PINOCCHIO
+    /// solve; on a sampled run the pair space is `s · m`, not `r · m`.
+    pub stats: SolveStats,
 }
 
 /// Approximately solves PRIME-LS by uniform object sampling (with
@@ -107,6 +110,7 @@ pub fn solve_approx<P: ProbabilityFunction + Clone>(
             estimated_influence: exact.max_influence,
             sample_size: r,
             exact: true,
+            stats: exact.stats,
         };
     }
 
@@ -120,6 +124,7 @@ pub fn solve_approx<P: ProbabilityFunction + Clone>(
         .probability_function(problem.pf().clone())
         .tau(problem.tau())
         .build()
+        // pinocchio-lint: allow(panic-path) -- the sub-problem reuses the parent's validated candidates/pf/tau and a non-empty sample, so every BuildError is ruled out
         .expect("sub-problem inherits validity");
     let result = sub.solve(Algorithm::Pinocchio);
 
@@ -131,6 +136,7 @@ pub fn solve_approx<P: ProbabilityFunction + Clone>(
         estimated_influence: (fraction * r as f64).round() as u32,
         sample_size: s,
         exact: false,
+        stats: result.stats,
     }
 }
 
@@ -207,6 +213,17 @@ mod tests {
             approx.estimated_fraction,
             chosen_true / r_count
         );
+    }
+
+    #[test]
+    fn stats_cover_the_sampled_pair_space() {
+        let p = problem(300, 9);
+        let approx = solve_approx(&p, ApproxConfig::new(0.12, 0.05, 42));
+        assert!(!approx.exact);
+        let pair_space = (approx.sample_size * p.candidates().len()) as u64;
+        let accounted = approx.stats.accounted_pairs();
+        assert!(accounted > 0, "stats must be populated");
+        assert!(accounted <= pair_space, "{accounted} > {pair_space}");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! probability distance and the MBR geometry agree.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod approx;
 pub mod dynamic;
@@ -53,8 +53,8 @@ pub mod weighted;
 pub use approx::{solve_approx, ApproxConfig, ApproxResult};
 pub use dynamic::{CandidateHandle, DynamicPrimeLs, ObjectHandle};
 pub use problem::{BuildError, PrimeLs, PrimeLsBuilder};
-pub use result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
+pub use result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
 pub use state::{A2d, ObjectEntry};
-pub use topk::{solve_top_k, TopKEntry};
-pub use vo::solve_with_options;
+pub use topk::{solve_top_k, try_solve_top_k, TopKEntry, TopKResult};
+pub use vo::{solve_with_options, try_solve_with_options};
 pub use weighted::{solve_weighted, WeightedResult};

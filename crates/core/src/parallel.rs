@@ -38,7 +38,7 @@
 //! bound (atomic).
 
 use crate::problem::PrimeLs;
-use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
+use crate::result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
 use crate::state::A2d;
 use crate::vo;
 use pinocchio_index::RTree;
@@ -48,6 +48,17 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Joins a worker, re-raising its panic payload on the calling thread.
+///
+/// `resume_unwind` propagates the worker's original panic (message and
+/// all) instead of wrapping it in a second, less informative one — the
+/// solver itself never panics here, it only forwards.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
 
 /// Parallel NA: exhaustive counting with `threads` worker threads.
 ///
@@ -85,10 +96,7 @@ pub fn solve_naive<P: ProbabilityFunction + Clone + Sync>(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
 
     finish(problem, partials, Algorithm::Naive, start)
@@ -166,10 +174,7 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
 
     finish(problem, partials, Algorithm::Pinocchio, start)
@@ -194,6 +199,24 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
     threads: usize,
 ) -> SolveResult {
     assert!(threads > 0, "need at least one thread");
+    match try_solve_vo(problem, threads) {
+        Ok(result) => result,
+        // pinocchio-lint: allow(panic-path) -- ZeroThreads is asserted away above and NoValidatedCandidate is impossible for builder-constructed problems; kept panicking for signature stability
+        Err(e) => panic!("parallel PIN-VO invariant violated: {e}"),
+    }
+}
+
+/// Fallible form of [`solve_vo`]: returns [`SolveError::ZeroThreads`]
+/// for `threads == 0` and [`SolveError::NoValidatedCandidate`] if no
+/// candidate survives validation (impossible for builder-constructed
+/// problems, whose candidate sets are non-empty).
+pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
+    problem: &PrimeLs<P>,
+    threads: usize,
+) -> Result<SolveResult, SolveError> {
+    if threads == 0 {
+        return Err(SolveError::ZeroThreads);
+    }
     let start = Instant::now();
     let tau = problem.tau();
     let m = problem.candidates().len();
@@ -226,25 +249,39 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
                     let mut best: Option<(u32, usize)> = None;
                     loop {
                         let j = {
-                            let mut heap = queue.lock().expect("queue mutex poisoned");
-                            let Some(&(top_max, _, _)) = heap.peek() else {
+                            // The critical section only peeks/pops/clears,
+                            // all of which leave the heap structurally
+                            // valid, so a poisoned lock (another worker
+                            // panicked mid-section) can be recovered: the
+                            // panic itself still surfaces via join.
+                            let mut heap = match queue.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            let Some((top_max, _, Reverse(j))) = heap.pop() else {
                                 break;
                             };
+                            // ordering: Acquire pairs with the Release half of the
+                            // workers' `fetch_max` publishes below, so the cut-off
+                            // observes every influence count published before it; a
+                            // stale (smaller) value only delays the cut-off and can
+                            // never fire it early, preserving exactness.
                             if top_max < bound.load(Ordering::Acquire) {
                                 // Strategy 1 cut-off: the queue is
-                                // ordered by maxInf, so everything
-                                // left is dead. Account for it once,
-                                // under the lock, and drain it so the
+                                // ordered by maxInf, so the popped
+                                // candidate and everything left are
+                                // dead. Account for them once, under
+                                // the lock, and drain the heap so the
                                 // other workers stop too.
-                                stats.candidates_skipped_by_bounds += heap.len() as u64;
-                                stats.pairs_skipped_by_bounds += heap
-                                    .iter()
-                                    .map(|&(_, _, Reverse(r))| vs_store[r].len() as u64)
-                                    .sum::<u64>();
+                                stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+                                stats.pairs_skipped_by_bounds += vs_store[j].len() as u64
+                                    + heap
+                                        .iter()
+                                        .map(|&(_, _, Reverse(r))| vs_store[r].len() as u64)
+                                        .sum::<u64>();
                                 heap.clear();
                                 break;
                             }
-                            let (_, _, Reverse(j)) = heap.pop().expect("peeked non-empty");
                             j
                         };
                         let candidate = problem.candidates()[j];
@@ -256,10 +293,18 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
                             (min_inf[j], max_inf[j]),
                             tau,
                             true,
+                            // ordering: Acquire pairs with the `fetch_max` Release
+                            // publishes — mid-validation kill tests observe fresh
+                            // bounds; staleness is again only a cost, never an error.
                             || bound.load(Ordering::Acquire),
                             &mut stats,
                         );
                         if let Some(exact) = exact {
+                            // ordering: AcqRel — the Release half publishes this
+                            // exact count to the other workers' Acquire loads (the
+                            // happens-before edge in DESIGN.md); the Acquire half
+                            // orders the read-modify-write after earlier publishes
+                            // so the bound is monotone non-decreasing.
                             bound.fetch_max(exact, Ordering::AcqRel);
                             match best {
                                 Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
@@ -271,10 +316,7 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
 
     let mut stats = prep.stats;
@@ -288,10 +330,9 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
             }
         }
     }
-    let (max_influence, best_candidate) =
-        best.expect("the incumbent candidate is always fully validated");
+    let (max_influence, best_candidate) = best.ok_or(SolveError::NoValidatedCandidate)?;
 
-    SolveResult {
+    Ok(SolveResult {
         algorithm: Algorithm::PinocchioVo,
         best_candidate,
         best_location: problem.candidates()[best_candidate],
@@ -299,7 +340,7 @@ pub fn solve_vo<P: ProbabilityFunction + Clone + Sync>(
         influences: None,
         stats,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 fn finish<P: ProbabilityFunction + Clone>(
@@ -317,8 +358,9 @@ fn finish<P: ProbabilityFunction + Clone>(
         }
         stats += partial_stats;
     }
-    let (best_candidate, max_influence) =
-        argmax_smallest_index(&influences).expect("at least one candidate");
+    let (best_candidate, max_influence) = argmax_smallest_index(&influences)
+        // pinocchio-lint: allow(panic-path) -- the builder rejects empty candidate sets (BuildError::NoCandidates), so the merged influence vector is non-empty
+        .expect("at least one candidate");
     SolveResult {
         algorithm,
         best_candidate,
@@ -457,5 +499,12 @@ mod tests {
     fn zero_threads_rejected_for_vo() {
         let p = problem(34);
         let _ = solve_vo(&p, 0);
+    }
+
+    #[test]
+    fn try_solve_vo_reports_zero_threads_as_error() {
+        let p = problem(34);
+        assert_eq!(try_solve_vo(&p, 0).err(), Some(SolveError::ZeroThreads));
+        assert!(try_solve_vo(&p, 2).is_ok());
     }
 }

@@ -81,8 +81,9 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
         }
     }
 
-    let (best_candidate, max_influence) =
-        argmax_smallest_index(&influences).expect("at least one candidate by construction");
+    let (best_candidate, max_influence) = argmax_smallest_index(&influences)
+        // pinocchio-lint: allow(panic-path) -- the builder rejects empty candidate sets (BuildError::NoCandidates), so the influence vector is non-empty
+        .expect("at least one candidate by construction");
 
     SolveResult {
         algorithm: Algorithm::Pinocchio,

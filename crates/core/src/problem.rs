@@ -19,6 +19,8 @@ pub enum BuildError {
     MissingTau,
     /// A candidate has a non-finite coordinate (index given).
     NonFiniteCandidate(usize),
+    /// The probability function was never set.
+    MissingProbabilityFunction,
 }
 
 impl fmt::Display for BuildError {
@@ -30,6 +32,9 @@ impl fmt::Display for BuildError {
             BuildError::MissingTau => write!(f, "tau must be set (it has no default)"),
             BuildError::NonFiniteCandidate(i) => {
                 write!(f, "candidate {i} has a non-finite coordinate")
+            }
+            BuildError::MissingProbabilityFunction => {
+                write!(f, "a probability function must be set (it has no default)")
             }
         }
     }
@@ -98,6 +103,7 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
     pub fn all_influences(&self) -> Vec<u32> {
         crate::pinocchio::solve(self)
             .influences
+            // pinocchio-lint: allow(panic-path) -- pinocchio::solve always populates `influences` (it validates every undecided pair); a None here is a solver bug, not an input condition
             .expect("PINOCCHIO reports exact influences for all candidates")
     }
 }
@@ -162,7 +168,9 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
         if let Some(i) = self.candidates.iter().position(|c| !c.is_finite()) {
             return Err(BuildError::NonFiniteCandidate(i));
         }
-        let pf = self.pf.expect("probability function is mandatory");
+        let Some(pf) = self.pf else {
+            return Err(BuildError::MissingProbabilityFunction);
+        };
         Ok(PrimeLs {
             objects: self.objects,
             candidates: self.candidates,
@@ -226,6 +234,17 @@ mod tests {
                 .unwrap_err();
             assert_eq!(err, BuildError::InvalidTau(tau));
         }
+    }
+
+    #[test]
+    fn builder_rejects_missing_probability_function() {
+        let err = PrimeLs::<PowerLawPf>::builder()
+            .objects(one_object())
+            .candidates(vec![Point::new(1.0, 1.0)])
+            .tau(0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::MissingProbabilityFunction);
     }
 
     #[test]

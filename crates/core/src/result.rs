@@ -110,6 +110,38 @@ impl SolveStats {
     }
 }
 
+/// Errors surfaced by the fallible (`try_*`) solver entry points.
+///
+/// The panicking entry points keep their historical signatures by
+/// wrapping these; callers that prefer to handle degenerate inputs
+/// themselves use the `try_*` variants instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// A parallel driver was asked to run with zero worker threads.
+    ZeroThreads,
+    /// A top-k query asked for an empty ranking (`k == 0`).
+    ZeroK,
+    /// No candidate was ever fully validated. Impossible for a problem
+    /// built through [`PrimeLsBuilder`](crate::PrimeLsBuilder), which
+    /// rejects empty candidate sets, but surfaced as an error so that
+    /// drivers need not trust that invariant with a panic.
+    NoValidatedCandidate,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::ZeroThreads => f.write_str("need at least one thread"),
+            SolveError::ZeroK => f.write_str("top-k requires k >= 1"),
+            SolveError::NoValidatedCandidate => {
+                f.write_str("no candidate was fully validated (empty candidate set?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// Index and value of the maximum element, ties broken towards the
 /// smallest index.
 ///

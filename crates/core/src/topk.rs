@@ -11,7 +11,8 @@
 //! a skipped candidate's influence is strictly below the cut-off).
 
 use crate::problem::PrimeLs;
-use crate::vo::prepare;
+use crate::result::{SolveError, SolveStats};
+use crate::vo::{prepare, validate_candidate};
 use pinocchio_geo::Point;
 use pinocchio_prob::ProbabilityFunction;
 use std::collections::BinaryHeap;
@@ -25,6 +26,18 @@ pub struct TopKEntry {
     pub location: Point,
     /// Exact influence `inf(c)`.
     pub influence: u32,
+}
+
+/// The outcome of a top-k solve: the ranked entries plus the same cost
+/// counters every other solver reports, so the pruning/validation
+/// economics of the k-th-best cut-off are measurable.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// The top-`k` candidates, ranked `(influence desc, index asc)`.
+    pub entries: Vec<TopKEntry>,
+    /// Cost counters; pair accounting is complete (see
+    /// `top_k_accounting_is_complete`).
+    pub stats: SolveStats,
 }
 
 /// Computes the exact top-`k` candidates by influence using the
@@ -66,14 +79,37 @@ pub fn solve_top_k<P: ProbabilityFunction + Clone>(
     k: usize,
 ) -> Vec<TopKEntry> {
     assert!(k > 0, "top-k needs k >= 1");
+    match try_solve_top_k(problem, k) {
+        Ok(result) => result.entries,
+        // pinocchio-lint: allow(panic-path) -- ZeroK is asserted away above and try_solve_top_k has no other error path; kept panicking for signature stability
+        Err(e) => panic!("top-k invariant violated: {e}"),
+    }
+}
+
+/// Fallible form of [`solve_top_k`] that also reports [`SolveStats`]:
+/// returns [`SolveError::ZeroK`] instead of panicking on `k == 0`.
+///
+/// The validation core is shared with PINOCCHIO-VO
+/// (`vo::validate_candidate`); only the cut-off differs — the k-th best
+/// certified influence instead of the single best — so the pair
+/// accounting identity (`accounted_pairs()` equals the influenceable
+/// pair space) holds for every `k`.
+pub fn try_solve_top_k<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    k: usize,
+) -> Result<TopKResult, SolveError> {
+    if k == 0 {
+        return Err(SolveError::ZeroK);
+    }
     let eval = problem.evaluator();
     let tau = problem.tau();
     let m = problem.candidates().len();
 
     let mut prep = prepare(problem, true);
     let vs_store = std::mem::take(&mut prep.vs_store);
-    let mut min_inf = std::mem::take(&mut prep.min_inf);
-    let mut max_inf = std::mem::take(&mut prep.max_inf);
+    let min_inf = std::mem::take(&mut prep.min_inf);
+    let max_inf = std::mem::take(&mut prep.max_inf);
+    let mut stats = prep.stats;
 
     let mut heap: BinaryHeap<(u32, u32, std::cmp::Reverse<usize>)> = (0..m)
         .map(|j| (max_inf[j], min_inf[j], std::cmp::Reverse(j)))
@@ -94,28 +130,31 @@ pub fn solve_top_k<P: ProbabilityFunction + Clone>(
 
     while let Some((top_max, _, std::cmp::Reverse(j))) = heap.pop() {
         if top_max < cutoff(&best_k) {
-            break; // nobody left can reach the current top-k
+            // Nobody left can reach the current top-k. Account for the
+            // popped candidate and the drained remainder, exactly like
+            // the single-optimum driver's cut-off.
+            stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+            stats.pairs_skipped_by_bounds += vs_store[j].len() as u64
+                + heap
+                    .iter()
+                    .map(|&(_, _, std::cmp::Reverse(r))| vs_store[r].len() as u64)
+                    .sum::<u64>();
+            break;
         }
         let candidate = problem.candidates()[j];
-        let mut dead = false;
-        for &obj in &vs_store[j] {
-            let object = &problem.objects()[obj as usize];
-            let outcome = eval.influences_early_stop(&candidate, object.positions(), tau);
-            if outcome.influenced {
-                min_inf[j] += 1;
-            } else {
-                max_inf[j] -= 1;
-                if max_inf[j] < cutoff(&best_k) {
-                    dead = true;
-                    break;
-                }
-            }
-        }
-        if dead {
+        let Some(exact) = validate_candidate(
+            &eval,
+            problem.objects(),
+            &candidate,
+            &vs_store[j],
+            (min_inf[j], max_inf[j]),
+            tau,
+            true,
+            || cutoff(&best_k),
+            &mut stats,
+        ) else {
             continue;
-        }
-        let exact = min_inf[j];
-        debug_assert_eq!(exact, max_inf[j], "bounds meet after validation");
+        };
         validated.push((exact, j));
         best_k.push(std::cmp::Reverse(exact));
         if best_k.len() > k {
@@ -125,14 +164,15 @@ pub fn solve_top_k<P: ProbabilityFunction + Clone>(
 
     validated.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     validated.truncate(k);
-    validated
+    let entries = validated
         .into_iter()
         .map(|(influence, candidate)| TopKEntry {
             candidate,
             location: problem.candidates()[candidate],
             influence,
         })
-        .collect()
+        .collect();
+    Ok(TopKResult { entries, stats })
 }
 
 #[cfg(test)]
@@ -199,5 +239,22 @@ mod tests {
     fn zero_k_rejected() {
         let p = problem(13);
         let _ = solve_top_k(&p, 0);
+    }
+
+    #[test]
+    fn try_solve_reports_zero_k_as_error() {
+        let p = problem(13);
+        assert_eq!(try_solve_top_k(&p, 0).err(), Some(SolveError::ZeroK));
+    }
+
+    #[test]
+    fn top_k_accounting_is_complete() {
+        let p = problem(5);
+        let a2d = crate::state::A2d::build(p.objects(), p.pf(), p.tau());
+        let influenceable_pairs = (a2d.influenceable() * p.candidates().len()) as u64;
+        for k in [1usize, 5, 40] {
+            let r = try_solve_top_k(&p, k).expect("k >= 1");
+            assert_eq!(r.stats.accounted_pairs(), influenceable_pairs, "k={k}");
+        }
     }
 }

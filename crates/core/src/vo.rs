@@ -25,7 +25,7 @@
 //! (smallest index among maxima) is always identical to NA's.
 
 use crate::problem::PrimeLs;
-use crate::result::{Algorithm, SolveResult, SolveStats};
+use crate::result::{Algorithm, SolveError, SolveResult, SolveStats};
 use crate::state::A2d;
 use pinocchio_data::MovingObject;
 use pinocchio_geo::{Euclidean, Point};
@@ -204,6 +204,22 @@ pub fn solve_with_options<P: ProbabilityFunction + Clone>(
     with_pruning: bool,
     early_stop: bool,
 ) -> SolveResult {
+    match try_solve_with_options(problem, with_pruning, early_stop) {
+        Ok(result) => result,
+        // pinocchio-lint: allow(panic-path) -- the builder rejects empty candidate sets, so NoValidatedCandidate cannot occur; kept panicking for signature stability
+        Err(e) => panic!("PINOCCHIO-VO invariant violated: {e}"),
+    }
+}
+
+/// Fallible form of [`solve_with_options`]: returns
+/// [`SolveError::NoValidatedCandidate`] instead of panicking if no
+/// candidate survives validation (impossible for builder-constructed
+/// problems, whose candidate sets are non-empty).
+pub fn try_solve_with_options<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    with_pruning: bool,
+    early_stop: bool,
+) -> Result<SolveResult, SolveError> {
     let start = Instant::now();
     let eval = problem.evaluator();
     let tau = problem.tau();
@@ -274,10 +290,9 @@ pub fn solve_with_options<P: ProbabilityFunction + Clone>(
         }
     }
 
-    let (max_influence, best_candidate) =
-        best.expect("the incumbent candidate is always fully validated");
+    let (max_influence, best_candidate) = best.ok_or(SolveError::NoValidatedCandidate)?;
 
-    SolveResult {
+    Ok(SolveResult {
         algorithm: if with_pruning {
             Algorithm::PinocchioVo
         } else {
@@ -289,7 +304,7 @@ pub fn solve_with_options<P: ProbabilityFunction + Clone>(
         influences: None,
         stats,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

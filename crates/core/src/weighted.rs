@@ -16,6 +16,7 @@
 //! exhibit, and PIN-level pruning already removes the bulk of the work.
 
 use crate::problem::PrimeLs;
+use crate::result::SolveStats;
 use crate::state::A2d;
 use pinocchio_geo::{Point, RegionVerdict};
 use pinocchio_index::RTree;
@@ -32,6 +33,10 @@ pub struct WeightedResult {
     pub max_weighted_influence: f64,
     /// Exact weighted influence of every candidate.
     pub weighted_influences: Vec<f64>,
+    /// Cost counters. Pairs of zero-weight objects are reported as
+    /// `pairs_skipped_by_bounds` (the weight shortcut plays the role of
+    /// a bound), so the pair accounting stays complete.
+    pub stats: SolveStats,
 }
 
 /// Solves weighted PRIME-LS with per-object weights.
@@ -65,30 +70,49 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
         .collect();
     let a2d = A2d::build(problem.objects(), problem.pf(), tau);
 
-    let mut influences = vec![0.0f64; problem.candidates().len()];
+    let m = problem.candidates().len();
+    let mut stats = SolveStats::default();
+    let mut influences = vec![0.0f64; m];
     let mut undecided: Vec<usize> = Vec::new();
     for entry in a2d.entries() {
         let Some(regions) = entry.regions else {
+            stats.uninfluenceable_objects += 1;
             continue;
         };
         let object = &problem.objects()[entry.index];
         let weight = weights[entry.index];
-        if weight == 0.0 {
-            continue; // cannot affect any ranking
+        if weight.abs().total_cmp(&0.0).is_eq() {
+            // A zero weight cannot affect any ranking; its pairs are
+            // skipped the way a VO bound would skip them.
+            stats.pairs_skipped_by_bounds += m as u64;
+            continue;
         }
         undecided.clear();
+        let mut ia_hits = 0u64;
+        let mut nib_members = 0u64;
         tree.query_region(
             |node| node.intersects(&regions.nib_mbr()),
             |p| regions.in_non_influence_boundary(p),
-            &mut |p, &j| match regions.classify(p) {
-                RegionVerdict::Influences => influences[j] += weight,
-                RegionVerdict::Undecided => undecided.push(j),
-                RegionVerdict::CannotInfluence => unreachable!("filtered by the query"),
+            &mut |p, &j| {
+                nib_members += 1;
+                match regions.classify(p) {
+                    RegionVerdict::Influences => {
+                        ia_hits += 1;
+                        influences[j] += weight;
+                    }
+                    RegionVerdict::Undecided => undecided.push(j),
+                    // pinocchio-lint: allow(panic-path) -- the query's region filter only forwards points inside the NIB, which classify() never maps to CannotInfluence
+                    RegionVerdict::CannotInfluence => unreachable!("filtered by the query"),
+                }
             },
         );
+        stats.decided_by_ia += ia_hits;
+        stats.decided_by_nib += m as u64 - nib_members;
         for &j in &undecided {
+            stats.validated_pairs += 1;
             let outcome =
                 eval.influences_early_stop(&problem.candidates()[j], object.positions(), tau);
+            stats.positions_evaluated += outcome.positions_evaluated as u64;
             if outcome.influenced {
                 influences[j] += weight;
             }
@@ -99,12 +123,14 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        // pinocchio-lint: allow(panic-path) -- the builder rejects empty candidate sets (BuildError::NoCandidates), so max_by over the influence vector is Some
         .expect("at least one candidate by construction");
     WeightedResult {
         best_candidate,
         best_location: problem.candidates()[best_candidate],
         max_weighted_influence: influences[best_candidate],
         weighted_influences: influences,
+        stats,
     }
 }
 
@@ -203,6 +229,17 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn weighted_accounting_is_complete() {
+        let p = problem(5);
+        let a2d = A2d::build(p.objects(), p.pf(), p.tau());
+        let influenceable_pairs = (a2d.influenceable() * p.candidates().len()) as u64;
+        let mut weights = vec![1.0; p.objects().len()];
+        weights[0] = 0.0; // zero-weight pairs must still be accounted
+        let r = solve_weighted(&p, &weights);
+        assert_eq!(r.stats.accounted_pairs(), influenceable_pairs);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   can be dropped in.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod gen;

@@ -15,7 +15,7 @@
 //!   experiment binaries.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ground_truth;
 pub mod levelcurve;

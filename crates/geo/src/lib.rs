@@ -20,7 +20,7 @@
 //! The crate is dependency-free and forbids `unsafe` code.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod mbr;
 pub mod metric;

@@ -105,6 +105,7 @@ impl<T: Clone> GridIndex<T> {
         for row in lo_row..=hi_row {
             for col in lo_col..=hi_col {
                 stats.nodes_visited += 1;
+                // pinocchio-lint: allow(panic-path) -- row/col are clamped to [0, rows/cols) above, so the flattened index is always in bounds
                 for (p, t) in &self.cells[row * self.cols + col] {
                     stats.entries_tested += 1;
                     if rect.contains_point(p) {

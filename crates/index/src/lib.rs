@@ -18,7 +18,7 @@
 //! identifier.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod grid;
 pub mod rtree;

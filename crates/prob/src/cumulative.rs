@@ -178,6 +178,7 @@ mod tests {
 
     impl ProbabilityFunction for Scripted {
         fn prob(&self, _d: f64) -> f64 {
+            // pinocchio-lint: allow(atomic-ordering) -- Relaxed: scripted-PF call counter read by single-threaded tests only; no cross-thread ordering to establish
             let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.probs[i]
         }

@@ -18,7 +18,7 @@
 //!   of Algorithm 1) in [`radius`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alt;
 pub mod cumulative;

@@ -1,0 +1,150 @@
+//! The structured diagnostic model shared by every rule.
+
+use serde_json::{json, Value};
+use std::fmt;
+
+/// How a diagnostic affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Reported but does not fail the run.
+    Warn,
+    /// Fails the run (exit code 1).
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding: rule id, severity, location, message and an optional
+/// suggested fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `panic-path`). One of [`RULES`] or
+    /// the meta-rule `suppression-hygiene`.
+    pub rule: &'static str,
+    /// Whether this finding fails the run.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the rule has a concrete recommendation.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a deny-severity diagnostic.
+    pub fn deny(rule: &'static str, file: &str, line: usize, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Deny,
+            file: file.to_string(),
+            line,
+            message,
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a suggested fix.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// The diagnostic as a JSON object (for `--format json`).
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("rule".to_string(), json!(self.rule));
+        map.insert("severity".to_string(), json!(self.severity.label()));
+        map.insert("file".to_string(), json!(self.file.as_str()));
+        map.insert("line".to_string(), json!(self.line as u64));
+        map.insert("message".to_string(), json!(self.message.as_str()));
+        map.insert(
+            "suggestion".to_string(),
+            match &self.suggestion {
+                Some(s) => json!(s.as_str()),
+                None => Value::Null,
+            },
+        );
+        Value::Object(map)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity.label(),
+            self.rule,
+            self.file,
+            self.line,
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The five substantive rule ids, in documentation order. The engine
+/// additionally emits `suppression-hygiene` for malformed suppressions.
+pub const RULES: [&str; 5] = [
+    "panic-path",
+    "float-soundness",
+    "atomic-ordering",
+    "crate-hygiene",
+    "stats-accounting",
+];
+
+/// The meta-rule id for malformed `pinocchio-lint` suppressions.
+pub const SUPPRESSION_RULE: &str = "suppression-hygiene";
+
+/// Whether `name` is a known rule id (including the meta-rule).
+pub fn is_known_rule(name: &str) -> bool {
+    name == SUPPRESSION_RULE || RULES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_location_and_suggestion() {
+        let d = Diagnostic::deny("panic-path", "crates/core/src/vo.rs", 12, "no".to_string())
+            .with_suggestion("yes");
+        let text = d.to_string();
+        assert!(text.contains("[panic-path]"));
+        assert!(text.contains("crates/core/src/vo.rs:12"));
+        assert!(text.contains("help: yes"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let d = Diagnostic::deny("atomic-ordering", "a.rs", 3, "msg".to_string());
+        let v = d.to_json();
+        assert_eq!(
+            v.get("rule").and_then(Value::as_str),
+            Some("atomic-ordering")
+        );
+        assert_eq!(v.get("line").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("suggestion"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rule_registry() {
+        assert!(is_known_rule("float-soundness"));
+        assert!(is_known_rule(SUPPRESSION_RULE));
+        assert!(!is_known_rule("made-up"));
+    }
+}

@@ -1,0 +1,233 @@
+//! File collection, rule dispatch, suppression filtering and reporting.
+
+use crate::diag::{Diagnostic, Severity, RULES};
+use crate::rules::check_file;
+use crate::source::SourceFile;
+use serde_json::{json, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What to lint and with which rules.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root (the directory holding `crates/` and `src/`).
+    pub root: PathBuf,
+    /// Rule ids to run; defaults to every rule.
+    pub rules: Vec<&'static str>,
+}
+
+impl LintConfig {
+    /// All rules over the workspace rooted at `root`.
+    pub fn all(root: impl Into<PathBuf>) -> Self {
+        LintConfig {
+            root: root.into(),
+            rules: RULES.to_vec(),
+        }
+    }
+
+    /// A single rule over the workspace rooted at `root`.
+    pub fn only(root: impl Into<PathBuf>, rule: &'static str) -> Self {
+        LintConfig {
+            root: root.into(),
+            rules: vec![rule],
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Diagnostics that survived suppression, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the run must fail (any deny-severity diagnostic).
+    pub fn has_denials(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Count of deny-severity diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// The report as a JSON object (`--format json`).
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert(
+            "diagnostics".to_string(),
+            Value::Array(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+        );
+        map.insert(
+            "files_scanned".to_string(),
+            json!(self.files_scanned as u64),
+        );
+        map.insert("deny_count".to_string(), json!(self.deny_count() as u64));
+        map.insert(
+            "warn_count".to_string(),
+            json!((self.diagnostics.len() - self.deny_count()) as u64),
+        );
+        Value::Object(map)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} deny, {} warn\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.diagnostics.len() - self.deny_count()
+        ));
+        out
+    }
+}
+
+/// Collects the `.rs` files to lint: everything under `<root>/crates`
+/// and `<root>/src`, excluding `vendor/`, `target/` and test fixture
+/// trees (`…/fixtures/…`). Paths come back sorted and repo-relative.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        walk(&root.join(top), &mut files);
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from))
+        .collect();
+    rel.sort();
+    rel
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "vendor" | "target" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the configured rules over the workspace and returns the report.
+/// Unreadable files are skipped (they cannot carry violations the
+/// compiler would accept either).
+pub fn lint(config: &LintConfig) -> LintReport {
+    let paths = collect_files(&config.root);
+    let files_scanned = paths.len();
+    let mut diagnostics = Vec::new();
+    for rel in &paths {
+        let Ok(text) = fs::read_to_string(config.root.join(rel)) else {
+            continue;
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let file = SourceFile::parse(&rel_str, &text);
+        // Malformed suppressions are reported regardless of rule subset:
+        // they are an audit-trail failure, not a rule finding.
+        diagnostics.extend(file.suppression_diagnostics());
+        diagnostics.extend(
+            check_file(&file, &config.rules)
+                .into_iter()
+                .filter(|d| !file.is_suppressed(d.rule, d.line)),
+        );
+    }
+    LintReport {
+        diagnostics,
+        files_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a throwaway mini-workspace under the target temp dir.
+    fn scratch_workspace(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("xtask-engine-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for (rel, text) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("files live under root")).expect("mkdir");
+            fs::write(path, text).expect("write fixture");
+        }
+        root
+    }
+
+    #[test]
+    fn end_to_end_lint_flags_and_suppresses() {
+        let root = scratch_workspace(
+            "e2e",
+            &[
+                (
+                    "crates/core/src/lib.rs",
+                    "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn ok() {}\n",
+                ),
+                (
+                    "crates/core/src/bad.rs",
+                    "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+                ),
+                (
+                    "crates/core/src/allowed.rs",
+                    "pub fn g(x: Option<u32>) -> u32 {\n    x.unwrap() // pinocchio-lint: allow(panic-path) -- builder guarantees Some\n}\n",
+                ),
+                ("vendor/fake/src/lib.rs", "pub fn v() { x.unwrap(); }\n"),
+            ],
+        );
+        let report = lint(&LintConfig::all(&root));
+        assert_eq!(report.files_scanned, 3, "vendor must be excluded");
+        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"panic-path"));
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.file.contains("allowed.rs")),
+            "justified suppression must silence the finding"
+        );
+        assert!(report.has_denials());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unjustified_suppression_fails_even_with_rule_subset() {
+        let root = scratch_workspace(
+            "nojust",
+            &[(
+                "crates/core/src/bad.rs",
+                "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // pinocchio-lint: allow(panic-path)\n}\n",
+            )],
+        );
+        // Even when only crate-hygiene is requested, the malformed
+        // suppression is still reported…
+        let report = lint(&LintConfig::only(&root, "crate-hygiene"));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "suppression-hygiene"));
+        // …and the unjustified allow does not silence panic-path.
+        let full = lint(&LintConfig::all(&root));
+        assert!(full.diagnostics.iter().any(|d| d.rule == "panic-path"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

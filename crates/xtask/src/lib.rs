@@ -1,0 +1,38 @@
+//! In-repo static-analysis engine for the PINOCCHIO workspace.
+//!
+//! `cargo run -p xtask -- lint` runs a line/token-level audit over every
+//! `.rs` file under `crates/` and `src/` (vendored shims and test
+//! fixtures excluded) and fails on any *deny* diagnostic. The rules
+//! encode the domain invariants PR 1 made load-bearing — invariants
+//! clippy cannot check:
+//!
+//! | rule id            | guards against |
+//! |--------------------|----------------|
+//! | `panic-path`       | `unwrap`/`expect`/`panic!`-family and arithmetic indexing in non-test library code of `core`, `prob`, `geo`, `index` |
+//! | `float-soundness`  | `==`/`!=` against float literals, `f64::NAN` literals, bare `partial_cmp(..).unwrap()` |
+//! | `atomic-ordering`  | undocumented `Ordering::*` uses; `Relaxed` is deny-by-default |
+//! | `crate-hygiene`    | crate roots missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
+//! | `stats-accounting` | solver entry points that stop referencing `SolveStats` |
+//!
+//! Every rule can be silenced per line with
+//! `// pinocchio-lint: allow(<rule>) -- <justification>`; the
+//! justification is mandatory — an allow without one is itself a deny
+//! diagnostic (`suppression-hygiene`) and suppresses nothing.
+//!
+//! The engine is deliberately token-level, not AST-level: the workspace
+//! builds offline, so the linter cannot depend on `syn` or a rustc
+//! plugin. Stripping comments and string literals before matching keeps
+//! the token scan honest; the per-rule corner cases are documented in
+//! [`rules`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{collect_files, lint, LintConfig, LintReport};
+pub use source::SourceFile;

@@ -1,0 +1,133 @@
+//! `cargo run -p xtask -- <subcommand>` — the workspace's task runner.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run every static-analysis rule; exit 1 on any deny.
+//! * `audit-stats` — run only the `stats-accounting` rule and print the
+//!   solver-file coverage table.
+//! * `check-headers` — run only the `crate-hygiene` rule.
+//!
+//! Common flags: `--format json|text` (default `text`),
+//! `--root <path>` (default: the workspace root containing this crate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{lint, LintConfig, LintReport};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- <lint|audit-stats|check-headers> [--format json|text] [--root PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                format = v.clone();
+                i += 2;
+            }
+            "--root" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                root = Some(PathBuf::from(v));
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    if format != "text" && format != "json" {
+        return usage();
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let config = match command.as_str() {
+        "lint" => LintConfig::all(&root),
+        "audit-stats" => LintConfig::only(&root, "stats-accounting"),
+        "check-headers" => LintConfig::only(&root, "crate-hygiene"),
+        _ => return usage(),
+    };
+    let report = lint(&config);
+
+    if format == "json" {
+        match serde_json::to_string_pretty(&report.to_json()) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("failed to serialise report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", report.render_text());
+        if command == "audit-stats" {
+            print_stats_table(&root);
+        }
+    }
+
+    if report.has_denials() {
+        ExitCode::FAILURE
+    } else {
+        report_clean(command, &report);
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_clean(command: &str, report: &LintReport) {
+    if report.diagnostics.is_empty() {
+        eprintln!("xtask {command}: clean ({} files)", report.files_scanned);
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Text-mode extra for `audit-stats`: which core files define solver
+/// entry points and whether they reference `SolveStats`.
+fn print_stats_table(root: &std::path::Path) {
+    println!("solver entry points (crates/core):");
+    for rel in xtask::collect_files(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !rel_str.starts_with("crates/core/src/") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let file = xtask::SourceFile::parse(&rel_str, &text);
+        let has_entry = file
+            .lines
+            .iter()
+            .any(|l| !l.in_test && l.code.starts_with("pub fn solve"));
+        if has_entry {
+            let ok = file.code_contains("SolveStats");
+            println!(
+                "  {:<36} {}",
+                rel_str,
+                if ok {
+                    "SolveStats ok"
+                } else {
+                    "MISSING SolveStats"
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: undocumented and Relaxed atomic orderings.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Publishes without a justification comment.
+pub fn publish(x: &AtomicU32) {
+    x.store(1, Ordering::Release);
+}
+
+/// Counts with deny-by-default Relaxed.
+pub fn count(x: &AtomicU32) -> u32 {
+    x.fetch_add(1, Ordering::Relaxed)
+}

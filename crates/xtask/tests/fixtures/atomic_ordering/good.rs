@@ -1,0 +1,14 @@
+//! Fixture: every ordering carries a happens-before argument.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Publishes with a happens-before argument.
+pub fn publish(x: &AtomicU32) {
+    // ordering: Release pairs with the Acquire load in `observe`.
+    x.store(1, Ordering::Release);
+}
+
+/// Observes the published value.
+pub fn observe(x: &AtomicU32) -> u32 {
+    x.load(Ordering::Acquire) // ordering: pairs with `publish`'s Release store
+}

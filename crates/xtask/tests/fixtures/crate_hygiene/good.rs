@@ -1,0 +1,7 @@
+//! Fixture: a compliant crate root.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

@@ -1,0 +1,16 @@
+//! Fixture: float comparisons that lie.
+
+/// Compares floats with `==` / `!=`.
+pub fn same(a: f64, b: f64) -> bool {
+    a == 1.0 && b != 2.0
+}
+
+/// Sorts by a partial order and panics on NaN.
+pub fn first(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// Produces a NaN sentinel instead of an Option.
+pub fn sentinel() -> f64 {
+    f64::NAN
+}

@@ -1,0 +1,16 @@
+//! Fixture: float comparisons through the total order.
+
+/// Compares floats through `total_cmp`.
+pub fn same(a: f64, b: f64) -> bool {
+    a.total_cmp(&1.0).is_eq() && !b.total_cmp(&2.0).is_eq()
+}
+
+/// Sorts by the total order; no NaN panic possible.
+pub fn first(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Signals absence with an Option.
+pub fn sentinel() -> Option<f64> {
+    None
+}

@@ -1,0 +1,16 @@
+//! Fixture: panic-path tokens in non-test core code.
+
+/// Unwraps an option.
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Expects an invariant.
+pub fn demand(x: Option<u32>) -> u32 {
+    x.expect("always present")
+}
+
+/// Indexes with arithmetic.
+pub fn off_by_one(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}

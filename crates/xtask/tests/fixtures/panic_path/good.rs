@@ -1,0 +1,16 @@
+//! Fixture: total alternatives to panicking.
+
+/// Unwraps an option with a default.
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+/// Surfaces the absence to the caller.
+pub fn demand(x: Option<u32>) -> Result<u32, &'static str> {
+    x.ok_or("missing")
+}
+
+/// Gets with bounds checking.
+pub fn off_by_one(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i + 1).copied()
+}

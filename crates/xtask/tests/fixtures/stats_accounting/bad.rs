@@ -1,0 +1,6 @@
+//! Fixture: a solver entry point that ignores the cost counters.
+
+/// Solves without any accounting.
+pub fn solve_fast() -> u32 {
+    0
+}

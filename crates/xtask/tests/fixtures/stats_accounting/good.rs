@@ -1,0 +1,8 @@
+//! Fixture: a solver entry point wired into `SolveStats`.
+
+use crate::result::SolveStats;
+
+/// Solves and reports cost counters.
+pub fn solve_fast() -> SolveStats {
+    SolveStats::default()
+}

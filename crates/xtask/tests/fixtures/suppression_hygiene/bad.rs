@@ -1,0 +1,11 @@
+//! Fixture: suppressions that fail the audit trail.
+
+/// Unjustified allow: reported AND does not silence the finding.
+pub fn unjustified(x: Option<u32>) -> u32 {
+    x.unwrap() // pinocchio-lint: allow(panic-path)
+}
+
+/// Unknown rule id in the allow.
+pub fn unknown(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // pinocchio-lint: allow(made-up-rule) -- a reason is given but the rule does not exist
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified suppression silences the finding cleanly.
+
+/// Justified allow passes the audit and suppresses the diagnostic.
+pub fn justified(x: Option<u32>) -> u32 {
+    x.unwrap() // pinocchio-lint: allow(panic-path) -- fixture: the value is always Some by construction
+}

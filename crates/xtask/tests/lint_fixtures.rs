@@ -1,0 +1,249 @@
+//! Fixture-driven integration tests for the lint engine.
+//!
+//! Each rule has a failing and a passing fixture under
+//! `tests/fixtures/<rule>/{bad,good}.rs`. Fixtures are copied into a
+//! throwaway mini-workspace (at a path that puts them in the rule's
+//! scope) and linted through the same entry point the CLI uses, so
+//! these tests cover collection, parsing, rule dispatch, suppression
+//! filtering and reporting end to end.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{lint, LintConfig, LintReport, Severity};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Builds a throwaway mini-workspace holding the given files.
+fn scratch(tag: &str, files: &[(&str, String)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xtask-fixture-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, text) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixtures live under root")).expect("mkdir");
+        fs::write(path, text).expect("write fixture");
+    }
+    root
+}
+
+/// Lints a single fixture placed at `placed_at` inside a scratch
+/// workspace and returns the report (scratch dir is cleaned up).
+fn lint_fixture(tag: &str, placed_at: &str, fixture_rel: &str) -> LintReport {
+    let root = scratch(tag, &[(placed_at, fixture(fixture_rel))]);
+    let report = lint(&LintConfig::all(&root));
+    let _ = fs::remove_dir_all(&root);
+    report
+}
+
+fn rule_ids(report: &LintReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn panic_path_bad_trips_good_passes() {
+    // Non-root path inside a panic-free crate: only panic-path applies.
+    let bad = lint_fixture(
+        "pp-bad",
+        "crates/core/src/fixture_mod.rs",
+        "panic_path/bad.rs",
+    );
+    let hits = rule_ids(&bad);
+    assert_eq!(
+        hits.iter().filter(|r| **r == "panic-path").count(),
+        3,
+        "unwrap, expect and arithmetic indexing must all trip: {bad:?}"
+    );
+    assert!(bad.has_denials());
+
+    let good = lint_fixture(
+        "pp-good",
+        "crates/core/src/fixture_mod.rs",
+        "panic_path/good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+}
+
+#[test]
+fn panic_path_is_scoped_to_the_panic_free_crates() {
+    // The same bad fixture in a crate outside the scope is not flagged.
+    let report = lint_fixture(
+        "pp-scope",
+        "crates/eval/src/fixture_mod.rs",
+        "panic_path/bad.rs",
+    );
+    assert!(
+        !rule_ids(&report).contains(&"panic-path"),
+        "eval is outside the panic-free scope: {report:?}"
+    );
+}
+
+#[test]
+fn float_soundness_bad_trips_good_passes() {
+    let bad = lint_fixture(
+        "fs-bad",
+        "crates/geo/src/fixture_mod.rs",
+        "float_soundness/bad.rs",
+    );
+    let hits = rule_ids(&bad);
+    assert!(
+        hits.iter().filter(|r| **r == "float-soundness").count() >= 3,
+        "float ==/!=, partial_cmp unwrap and NAN literal must trip: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "fs-good",
+        "crates/geo/src/fixture_mod.rs",
+        "float_soundness/good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+}
+
+#[test]
+fn atomic_ordering_bad_trips_good_passes() {
+    let bad = lint_fixture(
+        "ao-bad",
+        "crates/core/src/fixture_mod.rs",
+        "atomic_ordering/bad.rs",
+    );
+    let hits = rule_ids(&bad);
+    assert_eq!(
+        hits.iter().filter(|r| **r == "atomic-ordering").count(),
+        2,
+        "the undocumented Release and the Relaxed must both trip: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "ao-good",
+        "crates/core/src/fixture_mod.rs",
+        "atomic_ordering/good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+}
+
+#[test]
+fn crate_hygiene_bad_trips_good_passes() {
+    // Hygiene fixtures must sit at a crate root to be in scope.
+    let bad = lint_fixture("ch-bad", "crates/core/src/lib.rs", "crate_hygiene/bad.rs");
+    let hits = rule_ids(&bad);
+    assert_eq!(
+        hits.iter().filter(|r| **r == "crate-hygiene").count(),
+        2,
+        "both missing attributes must be reported: {bad:?}"
+    );
+
+    let good = lint_fixture("ch-good", "crates/core/src/lib.rs", "crate_hygiene/good.rs");
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+}
+
+#[test]
+fn stats_accounting_bad_trips_good_passes() {
+    let bad = lint_fixture(
+        "sa-bad",
+        "crates/core/src/fixture_solver.rs",
+        "stats_accounting/bad.rs",
+    );
+    assert!(
+        rule_ids(&bad).contains(&"stats-accounting"),
+        "a solver entry point without SolveStats must trip: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "sa-good",
+        "crates/core/src/fixture_solver.rs",
+        "stats_accounting/good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+}
+
+#[test]
+fn suppression_hygiene_bad_trips_good_passes() {
+    let bad = lint_fixture(
+        "sh-bad",
+        "crates/core/src/fixture_mod.rs",
+        "suppression_hygiene/bad.rs",
+    );
+    let hits = rule_ids(&bad);
+    assert_eq!(
+        hits.iter().filter(|r| **r == "suppression-hygiene").count(),
+        2,
+        "the unjustified allow and the unknown rule must both trip: {bad:?}"
+    );
+    assert!(
+        hits.contains(&"panic-path"),
+        "an unjustified allow must not silence the finding: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "sh-good",
+        "crates/core/src/fixture_mod.rs",
+        "suppression_hygiene/good.rs",
+    );
+    assert!(
+        good.diagnostics.is_empty(),
+        "a justified allow silences the finding and passes the audit: {good:?}"
+    );
+}
+
+#[test]
+fn every_diagnostic_is_deny_severity_by_default() {
+    let bad = lint_fixture("sev", "crates/core/src/fixture_mod.rs", "panic_path/bad.rs");
+    assert!(bad.diagnostics.iter().all(|d| d.severity == Severity::Deny));
+    assert_eq!(bad.deny_count(), bad.diagnostics.len());
+}
+
+#[test]
+fn json_report_round_trips_through_serde_json() {
+    let root = scratch(
+        "json",
+        &[(
+            "crates/core/src/fixture_mod.rs",
+            fixture("panic_path/bad.rs"),
+        )],
+    );
+    let report = lint(&LintConfig::all(&root));
+    let _ = fs::remove_dir_all(&root);
+
+    let value = report.to_json();
+    let text = serde_json::to_string_pretty(&value).expect("serialise report");
+    let parsed = serde_json::from_str(&text).expect("parse report back");
+    assert_eq!(value, parsed, "JSON output must round-trip losslessly");
+
+    // The parsed structure is navigable with the documented shape.
+    let diags = parsed
+        .get("diagnostics")
+        .and_then(|v| v.as_array())
+        .expect("diagnostics array");
+    assert_eq!(diags.len(), report.diagnostics.len());
+    let first = diags.first().expect("non-empty");
+    assert_eq!(
+        first.get("rule").and_then(|v| v.as_str()),
+        Some("panic-path")
+    );
+    assert_eq!(first.get("severity").and_then(|v| v.as_str()), Some("deny"));
+    assert_eq!(
+        first.get("line").and_then(|v| v.as_u64()),
+        Some(report.diagnostics[0].line as u64)
+    );
+    assert_eq!(
+        parsed.get("deny_count").and_then(|v| v.as_u64()),
+        Some(report.deny_count() as u64)
+    );
+}
+
+#[test]
+fn the_live_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let report = lint(&LintConfig::all(root));
+    assert!(
+        !report.has_denials(),
+        "the live workspace must lint clean:\n{}",
+        report.render_text()
+    );
+}

@@ -40,6 +40,9 @@
 //!          result.best_candidate, result.max_influence);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use pinocchio_baselines as baselines;
 pub use pinocchio_core as core;
 pub use pinocchio_data as data;
