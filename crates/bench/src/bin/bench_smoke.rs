@@ -1,0 +1,166 @@
+//! Bench smoke — a small release-mode benchmark of the validation hot
+//! path, comparing the scalar kernel against the arena/block kernel on
+//! the Fig. 8 / Fig. 9 default workloads.
+//!
+//! Emits `BENCH_PR3.json` at the workspace root (checked in, so the PR
+//! carries its own evidence) with one row per (dataset, solver):
+//!
+//! * `naive`       — NA under the scalar kernel,
+//! * `arena_naive` — NA over the position arena with the block-bounded
+//!   kernel (the full-scan validation workload, where block bounds pay
+//!   the most — this is the headline scalar-vs-arena comparison),
+//! * `vo_seq`   — sequential PINOCCHIO-VO, scalar kernel,
+//! * `vo_par`   — parallel PINOCCHIO-VO (4 workers), scalar kernel,
+//! * `arena_vo` — sequential PINOCCHIO-VO over the position arena with
+//!   the block-bounded kernel,
+//! * `arena_vo_par` — the parallel driver on the block kernel.
+//!
+//! Intended to run at `PINOCCHIO_SCALE=small` in CI (the `bench-smoke`
+//! job); at full scale it is the same sweep, just slower. Each solver is
+//! warmed once and timed over three runs, keeping the best, so the
+//! numbers are stable enough for a smoke-level "arena beats scalar"
+//! assertion without Criterion's run time.
+
+use pinocchio_bench::*;
+use pinocchio_core::{parallel, Algorithm, EvalKernel, PrimeLs, SolveStats};
+use pinocchio_data::{sample_candidate_group, Dataset};
+use pinocchio_prob::PowerLawPf;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parallel worker count for the `*_par` rows.
+const PAR_THREADS: usize = 4;
+/// Timed repetitions per row (best-of is recorded).
+const REPS: usize = 3;
+
+fn build(d: &Dataset, kernel: EvalKernel) -> PrimeLs<PowerLawPf> {
+    let m = defaults::CANDIDATES.min(d.venues().len());
+    let (_, candidates) = sample_candidate_group(d, m, 8);
+    PrimeLs::builder()
+        .objects(d.objects().to_vec())
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(defaults::TAU)
+        .evaluation_kernel(kernel)
+        .build()
+        .expect("benchmark problems are well-formed")
+}
+
+/// Best-of-`REPS` wall time plus the stats of the final run.
+fn best_of<F: FnMut() -> (usize, u32, SolveStats)>(mut run: F) -> (f64, usize, u32, SolveStats) {
+    let _ = run(); // warm-up: faults pages, fills the candidate-tree cache
+    let mut best = f64::INFINITY;
+    let mut last = (0usize, 0u32, SolveStats::default());
+    for _ in 0..REPS {
+        let t = Instant::now();
+        last = run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, last.0, last.1, last.2)
+}
+
+fn row(
+    rows: &mut Vec<serde_json::Value>,
+    dataset: &str,
+    solver: &str,
+    (secs, best_candidate, max_influence, stats): (f64, usize, u32, SolveStats),
+) {
+    println!(
+        "  {solver:<12} {:<10} best=#{best_candidate} inf={max_influence} \
+         positions={} skipped_by_blocks={} blocks_pruned={}",
+        fmt_secs(secs),
+        stats.positions_evaluated,
+        stats.positions_skipped_by_blocks,
+        stats.blocks_pruned,
+    );
+    rows.push(serde_json::json!({
+        "dataset": dataset,
+        "solver": solver,
+        "seconds": secs,
+        "best_candidate": best_candidate,
+        "max_influence": max_influence,
+        "positions_evaluated": stats.positions_evaluated,
+        "positions_skipped_by_blocks": stats.positions_skipped_by_blocks,
+        "blocks_pruned": stats.blocks_pruned,
+        "validated_pairs": stats.validated_pairs,
+    }));
+}
+
+fn main() {
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    for kind in [DatasetKind::Foursquare, DatasetKind::Gowalla] {
+        let d = dataset(kind);
+        println!(
+            "bench-smoke: dataset {} ({} objects)",
+            kind.letter(),
+            d.objects().len()
+        );
+        let scalar = build(&d, EvalKernel::Scalar);
+        let blocked = build(&d, EvalKernel::Blocked);
+
+        let solve = |p: &PrimeLs<PowerLawPf>, a: Algorithm| {
+            let r = p.solve(a);
+            (r.best_candidate, r.max_influence, r.stats)
+        };
+        row(
+            &mut rows,
+            kind.letter(),
+            "naive",
+            best_of(|| solve(&scalar, Algorithm::Naive)),
+        );
+        row(
+            &mut rows,
+            kind.letter(),
+            "arena_naive",
+            best_of(|| solve(&blocked, Algorithm::Naive)),
+        );
+        row(
+            &mut rows,
+            kind.letter(),
+            "vo_seq",
+            best_of(|| solve(&scalar, Algorithm::PinocchioVo)),
+        );
+        row(
+            &mut rows,
+            kind.letter(),
+            "vo_par",
+            best_of(|| {
+                let r = parallel::solve_vo(&scalar, PAR_THREADS);
+                (r.best_candidate, r.max_influence, r.stats)
+            }),
+        );
+        row(
+            &mut rows,
+            kind.letter(),
+            "arena_vo",
+            best_of(|| solve(&blocked, Algorithm::PinocchioVo)),
+        );
+        row(
+            &mut rows,
+            kind.letter(),
+            "arena_vo_par",
+            best_of(|| {
+                let r = parallel::solve_vo(&blocked, PAR_THREADS);
+                (r.best_candidate, r.max_influence, r.stats)
+            }),
+        );
+    }
+
+    let record = serde_json::json!({
+        "id": "bench_smoke_pr3",
+        "scale": if is_small_scale() { "small" } else { "full" },
+        "tau": defaults::TAU,
+        "candidates": defaults::CANDIDATES,
+        "par_threads": PAR_THREADS,
+        "reps": REPS,
+        "rows": rows,
+    });
+    write_record("bench_smoke_pr3", &record);
+
+    // Also drop the record at the workspace root so the PR carries the
+    // measured numbers alongside the code (BENCH_PR3.json is checked in).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialisable record");
+    std::fs::write(&root, body + "\n").expect("can write BENCH_PR3.json");
+    println!("[record written to {}]", root.display());
+}

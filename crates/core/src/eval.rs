@@ -1,0 +1,227 @@
+//! Per-pair evaluation dispatch — one place where every solver turns an
+//! (object, candidate) pair into an influence verdict.
+//!
+//! Historically each solver called
+//! [`CumulativeProbability::influences`] /
+//! [`influences_early_stop`](CumulativeProbability::influences_early_stop)
+//! directly and maintained its own `validated_pairs` /
+//! `positions_evaluated` bookkeeping. [`PairEval`] centralises both, so
+//! all solvers:
+//!
+//! * account for work identically (the stats-parity tests compare
+//!   [`SolveStats`] across solvers and thread counts), and
+//! * can be switched between the scalar evaluation path and the
+//!   block-bounded structure-of-arrays kernel
+//!   ([`CumulativeProbability::influences_blocked`]) with one
+//!   [`EvalKernel`] knob on the problem instance — the verdicts are
+//!   identical by construction, so every solver stays bit-identical
+//!   under either kernel.
+
+use crate::result::SolveStats;
+use pinocchio_data::{MovingObject, PositionArena, BLOCK_SIZE};
+use pinocchio_geo::{Euclidean, Point};
+use pinocchio_prob::{
+    BlockScratch, CumulativeProbability, EarlyStopOutcome, ProbabilityFunction, SoaBlocks,
+};
+
+/// Which evaluation path [`PairEval::influences`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalKernel {
+    /// The scalar per-position scan over `MovingObject::positions()`
+    /// (with the Lemma 4 early exit where the solver requests it).
+    /// This is the default and reproduces the historical behaviour —
+    /// and stats — exactly.
+    #[default]
+    Scalar,
+    /// The block-bounded structure-of-arrays kernel: per-block
+    /// `minDist`/`maxDist` bounds decide most objects from a handful of
+    /// distances; only straddling blocks are refined. Verdicts are
+    /// identical to [`EvalKernel::Scalar`]; `positions_evaluated`
+    /// shrinks and the `blocks_pruned` / `positions_skipped_by_blocks`
+    /// counters light up. The kernel subsumes the scalar early-stop
+    /// flag (its bounding pass exits early in both directions), so the
+    /// solver's `early_stop` request is ignored under this kernel.
+    Blocked,
+}
+
+/// A borrowed evaluation context: the probability evaluator plus both
+/// position representations (per-object `Vec<Point>` and the flat
+/// [`PositionArena`]) and the problem's `τ`.
+///
+/// Built by [`PrimeLs::pair_eval`](crate::PrimeLs::pair_eval); the
+/// arena is constructed together with the problem, so object index `k`
+/// here always refers to the same object in both layouts.
+#[derive(Debug)]
+pub struct PairEval<'a, P> {
+    eval: CumulativeProbability<P, Euclidean>,
+    objects: &'a [MovingObject],
+    arena: &'a PositionArena,
+    kernel: EvalKernel,
+    tau: f64,
+    // Reused across every pair this evaluator validates (the blocked
+    // kernel's per-block bound factors); owning it here is why
+    // `influences` takes `&mut self`.
+    scratch: BlockScratch,
+}
+
+impl<'a, P: ProbabilityFunction + Clone> PairEval<'a, P> {
+    pub(crate) fn new(
+        eval: CumulativeProbability<P, Euclidean>,
+        objects: &'a [MovingObject],
+        arena: &'a PositionArena,
+        kernel: EvalKernel,
+        tau: f64,
+    ) -> Self {
+        debug_assert_eq!(arena.object_count(), objects.len());
+        PairEval {
+            eval,
+            objects,
+            arena,
+            kernel,
+            tau,
+            scratch: BlockScratch::default(),
+        }
+    }
+
+    /// The underlying cumulative-probability evaluator.
+    pub fn evaluator(&self) -> &CumulativeProbability<P, Euclidean> {
+        &self.eval
+    }
+
+    /// The active evaluation kernel.
+    pub fn kernel(&self) -> EvalKernel {
+        self.kernel
+    }
+
+    /// Whether `candidate` influences object `object_index`
+    /// (`Pr_c(O) ≥ τ`), recording the pair's cost into `stats`.
+    ///
+    /// `early_stop` selects the Lemma 4 early exit on the scalar path
+    /// (Strategy 2); the blocked kernel always bounds in both
+    /// directions and ignores the flag. Every call adds exactly one
+    /// `validated_pairs`, and the pair's positions are fully accounted:
+    /// on the scalar path the early exit's unevaluated tail is implicit
+    /// in `positions_evaluated < n`, on the blocked path the identity
+    /// `positions_evaluated + positions_skipped_by_blocks = n` holds
+    /// per pair.
+    pub fn influences(
+        &mut self,
+        candidate: &Point,
+        object_index: usize,
+        early_stop: bool,
+        stats: &mut SolveStats,
+    ) -> bool {
+        stats.validated_pairs += 1;
+        match self.kernel {
+            EvalKernel::Scalar => {
+                let object = &self.objects[object_index];
+                let outcome = if early_stop {
+                    self.eval
+                        .influences_early_stop(candidate, object.positions(), self.tau)
+                } else {
+                    EarlyStopOutcome::from_verdict(
+                        self.eval
+                            .influences(candidate, object.positions(), self.tau),
+                        object.position_count(),
+                    )
+                };
+                stats.positions_evaluated += outcome.positions_evaluated as u64;
+                outcome.influenced
+            }
+            EvalKernel::Blocked => {
+                let view = SoaBlocks::new(
+                    self.arena.object_xs(object_index),
+                    self.arena.object_ys(object_index),
+                    self.arena.object_block_mbrs(object_index),
+                    BLOCK_SIZE,
+                );
+                let outcome =
+                    self.eval
+                        .influences_blocked(candidate, &view, self.tau, &mut self.scratch);
+                stats.positions_evaluated += outcome.positions_evaluated as u64;
+                stats.positions_skipped_by_blocks += outcome.positions_skipped as u64;
+                stats.blocks_pruned += outcome.blocks_pruned as u64;
+                outcome.influenced
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PrimeLs;
+    use pinocchio_prob::PowerLawPf;
+
+    fn problem(kernel: EvalKernel) -> PrimeLs<PowerLawPf> {
+        PrimeLs::builder()
+            .objects(vec![
+                MovingObject::new(
+                    0,
+                    (0..40).map(|i| Point::new(i as f64 * 0.3, 0.0)).collect(),
+                ),
+                MovingObject::new(1, vec![Point::new(50.0, 50.0)]),
+            ])
+            .candidates(vec![Point::new(0.0, 0.1), Point::new(200.0, 0.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .evaluation_kernel(kernel)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kernels_agree_on_verdicts() {
+        let scalar = problem(EvalKernel::Scalar);
+        let blocked = problem(EvalKernel::Blocked);
+        let mut ps = scalar.pair_eval();
+        let mut pb = blocked.pair_eval();
+        let mut s_stats = SolveStats::default();
+        let mut b_stats = SolveStats::default();
+        for k in 0..2 {
+            for c in scalar.candidates() {
+                for early in [false, true] {
+                    assert_eq!(
+                        ps.influences(c, k, early, &mut s_stats),
+                        pb.influences(c, k, early, &mut b_stats),
+                        "object {k} candidate {c:?} early={early}"
+                    );
+                }
+            }
+        }
+        assert_eq!(s_stats.validated_pairs, b_stats.validated_pairs);
+        assert_eq!(s_stats.positions_skipped_by_blocks, 0);
+        assert_eq!(s_stats.blocks_pruned, 0);
+    }
+
+    #[test]
+    fn blocked_accounting_is_total_per_pair() {
+        let p = problem(EvalKernel::Blocked);
+        let mut pair = p.pair_eval();
+        let total_positions: u64 = p.objects().iter().map(|o| o.position_count() as u64).sum();
+        let mut stats = SolveStats::default();
+        for k in 0..p.objects().len() {
+            for c in p.candidates() {
+                let _ = pair.influences(c, k, true, &mut stats);
+            }
+        }
+        // Every pair scans its object once: 2 candidates × all objects.
+        assert_eq!(
+            stats.positions_evaluated + stats.positions_skipped_by_blocks,
+            2 * total_positions
+        );
+    }
+
+    #[test]
+    fn scalar_full_scan_counts_every_position() {
+        let p = problem(EvalKernel::Scalar);
+        let mut pair = p.pair_eval();
+        let mut stats = SolveStats::default();
+        let _ = pair.influences(&p.candidates()[0], 0, false, &mut stats);
+        assert_eq!(stats.validated_pairs, 1);
+        assert_eq!(
+            stats.positions_evaluated,
+            p.objects()[0].position_count() as u64
+        );
+    }
+}

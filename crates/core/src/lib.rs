@@ -40,6 +40,7 @@
 
 pub mod approx;
 pub mod dynamic;
+pub mod eval;
 pub mod naive;
 pub mod parallel;
 pub mod pinocchio;
@@ -52,6 +53,7 @@ pub mod weighted;
 
 pub use approx::{solve_approx, ApproxConfig, ApproxResult};
 pub use dynamic::{CandidateHandle, DynamicPrimeLs, ObjectHandle};
+pub use eval::{EvalKernel, PairEval};
 pub use problem::{BuildError, PrimeLs, PrimeLsBuilder};
 pub use result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
 pub use state::{A2d, ObjectEntry};

@@ -14,17 +14,13 @@ use std::time::Instant;
 /// Runs the NA algorithm.
 pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResult {
     let start = Instant::now();
-    let eval = problem.evaluator();
-    let tau = problem.tau();
+    let mut pair = problem.pair_eval();
     let mut stats = SolveStats::default();
 
     let mut influences = vec![0u32; problem.candidates().len()];
-    for object in problem.objects() {
-        let positions = object.positions();
+    for k in 0..problem.objects().len() {
         for (j, c) in problem.candidates().iter().enumerate() {
-            stats.validated_pairs += 1;
-            stats.positions_evaluated += positions.len() as u64;
-            if eval.influences(c, positions, tau) {
+            if pair.influences(c, k, false, &mut stats) {
                 influences[j] += 1;
             }
         }

@@ -41,7 +41,6 @@ use crate::problem::PrimeLs;
 use crate::result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
 use crate::state::A2d;
 use crate::vo;
-use pinocchio_index::RTree;
 use pinocchio_prob::ProbabilityFunction;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -70,24 +69,22 @@ pub fn solve_naive<P: ProbabilityFunction + Clone + Sync>(
 ) -> SolveResult {
     assert!(threads > 0, "need at least one thread");
     let start = Instant::now();
-    let tau = problem.tau();
     let m = problem.candidates().len();
     let objects = problem.objects();
-    let chunk = objects.len().div_ceil(threads);
+    let chunk = (objects.len().div_ceil(threads)).max(1);
 
     let partials: Vec<(Vec<u32>, SolveStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = objects
-            .chunks(chunk.max(1))
-            .map(|stripe| {
-                let eval = problem.evaluator();
+        let handles: Vec<_> = (0..objects.len())
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(objects.len());
                 scope.spawn(move || {
+                    let mut pair = problem.pair_eval();
                     let mut inf = vec![0u32; m];
                     let mut stats = SolveStats::default();
-                    for o in stripe {
+                    for k in lo..hi {
                         for (j, c) in problem.candidates().iter().enumerate() {
-                            stats.validated_pairs += 1;
-                            stats.positions_evaluated += o.position_count() as u64;
-                            if eval.influences(c, o.positions(), tau) {
+                            if pair.influences(c, k, false, &mut stats) {
                                 inf[j] += 1;
                             }
                         }
@@ -118,12 +115,7 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
     let tau = problem.tau();
     let m = problem.candidates().len();
 
-    let tree: RTree<usize> = problem
-        .candidates()
-        .iter()
-        .enumerate()
-        .map(|(j, &c)| (c, j))
-        .collect();
+    let tree = problem.candidate_tree();
     let a2d = A2d::build(problem.objects(), problem.pf(), tau);
     let entries = a2d.entries();
     let chunk = entries.len().div_ceil(threads);
@@ -132,9 +124,8 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
         let handles: Vec<_> = entries
             .chunks(chunk.max(1))
             .map(|stripe| {
-                let eval = problem.evaluator();
-                let tree = &tree;
                 scope.spawn(move || {
+                    let mut pair = problem.pair_eval();
                     let mut inf = vec![0u32; m];
                     let mut stats = SolveStats::default();
                     let mut undecided: Vec<usize> = Vec::new();
@@ -143,7 +134,6 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
                             stats.uninfluenceable_objects += 1;
                             continue;
                         };
-                        let object = &problem.objects()[entry.index];
                         undecided.clear();
                         let mut ia_hits = 0u64;
                         let mut nib_members = 0u64;
@@ -163,9 +153,12 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
                         stats.decided_by_ia += ia_hits;
                         stats.decided_by_nib += m as u64 - nib_members;
                         for &j in &undecided {
-                            stats.validated_pairs += 1;
-                            stats.positions_evaluated += object.position_count() as u64;
-                            if eval.influences(&problem.candidates()[j], object.positions(), tau) {
+                            if pair.influences(
+                                &problem.candidates()[j],
+                                entry.index,
+                                false,
+                                &mut stats,
+                            ) {
                                 inf[j] += 1;
                             }
                         }
@@ -218,7 +211,6 @@ pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
         return Err(SolveError::ZeroThreads);
     }
     let start = Instant::now();
-    let tau = problem.tau();
     let m = problem.candidates().len();
 
     let prep = vo::prepare(problem, true);
@@ -241,10 +233,10 @@ pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
     let worker_results: Vec<(SolveStats, Option<(u32, usize)>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let eval = problem.evaluator();
                 let queue = &queue;
                 let bound = &bound;
                 scope.spawn(move || {
+                    let mut pair = problem.pair_eval();
                     let mut stats = SolveStats::default();
                     let mut best: Option<(u32, usize)> = None;
                     loop {
@@ -286,12 +278,10 @@ pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
                         };
                         let candidate = problem.candidates()[j];
                         let exact = vo::validate_candidate(
-                            &eval,
-                            problem.objects(),
+                            &mut pair,
                             &candidate,
                             &vs_store[j],
                             (min_inf[j], max_inf[j]),
-                            tau,
                             true,
                             // ordering: Acquire pairs with the `fetch_max` Release
                             // publishes — mid-validation kill tests observe fresh

@@ -19,24 +19,19 @@ use crate::problem::PrimeLs;
 use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
 use crate::state::A2d;
 use pinocchio_geo::{InfluenceRegions, Mbr, Point, RegionVerdict};
-use pinocchio_index::RTree;
 use pinocchio_prob::ProbabilityFunction;
 use std::time::Instant;
 
 /// Runs the PINOCCHIO algorithm (Algorithm 2).
 pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResult {
     let start = Instant::now();
-    let eval = problem.evaluator();
+    let mut pair = problem.pair_eval();
     let tau = problem.tau();
     let mut stats = SolveStats::default();
 
-    // Candidate R-tree; payload is the dense candidate index.
-    let tree: RTree<usize> = problem
-        .candidates()
-        .iter()
-        .enumerate()
-        .map(|(j, &c)| (c, j))
-        .collect();
+    // Candidate R-tree (cached on the problem instance); payload is the
+    // dense candidate index.
+    let tree = problem.candidate_tree();
 
     let a2d = A2d::build(problem.objects(), problem.pf(), tau);
     let mut influences = vec![0u32; problem.candidates().len()];
@@ -47,7 +42,6 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
             stats.uninfluenceable_objects += 1;
             continue;
         };
-        let object = &problem.objects()[entry.index];
 
         // One traversal classifies every candidate inside the NIB's
         // rectangular over-approximation; everything the traversal never
@@ -73,9 +67,7 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
 
         // Validation phase: plain full-scan cumulative probability.
         for &j in &undecided {
-            stats.validated_pairs += 1;
-            stats.positions_evaluated += object.position_count() as u64;
-            if eval.influences(&problem.candidates()[j], object.positions(), tau) {
+            if pair.influences(&problem.candidates()[j], entry.index, false, &mut stats) {
                 influences[j] += 1;
             }
         }

@@ -1,10 +1,13 @@
 //! The PRIME-LS problem instance and its builder.
 
+use crate::eval::{EvalKernel, PairEval};
 use crate::result::{Algorithm, SolveResult};
-use pinocchio_data::MovingObject;
+use pinocchio_data::{MovingObject, PositionArena};
 use pinocchio_geo::Point;
+use pinocchio_index::RTree;
 use pinocchio_prob::{CumulativeProbability, ProbabilityFunction};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors detected when assembling a [`PrimeLs`] instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +56,15 @@ pub struct PrimeLs<P> {
     candidates: Vec<Point>,
     pf: P,
     tau: f64,
+    /// Flat structure-of-arrays mirror of `objects`, built once at
+    /// construction and shared read-only by every solver.
+    arena: PositionArena,
+    /// Candidate R-tree, built lazily on first use and then reused by
+    /// every solve on this instance (vo / parallel / topk / weighted all
+    /// query the same tree; rebuilding it per solve was pure waste).
+    candidate_tree: OnceLock<RTree<usize>>,
+    /// Which evaluation path [`PairEval`] dispatches to.
+    kernel: EvalKernel,
 }
 
 impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
@@ -87,6 +99,52 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
         CumulativeProbability::new(self.pf.clone(), pinocchio_geo::Euclidean)
     }
 
+    /// The flat structure-of-arrays position store (same objects, same
+    /// order as [`Self::objects`]).
+    pub fn arena(&self) -> &PositionArena {
+        &self.arena
+    }
+
+    /// The candidate R-tree (payload: dense candidate index), built on
+    /// first call and cached for the lifetime of the instance. Objects
+    /// and candidates are immutable on `PrimeLs`, so the cached tree can
+    /// never go stale.
+    pub fn candidate_tree(&self) -> &RTree<usize> {
+        self.candidate_tree.get_or_init(|| {
+            self.candidates
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| (c, j))
+                .collect()
+        })
+    }
+
+    /// The active evaluation kernel.
+    pub fn evaluation_kernel(&self) -> EvalKernel {
+        self.kernel
+    }
+
+    /// Returns the instance with a different evaluation kernel — the
+    /// post-build counterpart of
+    /// [`PrimeLsBuilder::evaluation_kernel`]. Verdicts (and therefore
+    /// winners) are kernel-independent; only the cost profile changes.
+    pub fn with_evaluation_kernel(mut self, kernel: EvalKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The per-pair evaluation context used by all solvers: evaluator +
+    /// both position layouts + `τ` + the kernel selection.
+    pub fn pair_eval(&self) -> PairEval<'_, P> {
+        PairEval::new(
+            self.evaluator(),
+            &self.objects,
+            &self.arena,
+            self.kernel,
+            self.tau,
+        )
+    }
+
     /// Solves the instance with the chosen algorithm.
     pub fn solve(&self, algorithm: Algorithm) -> SolveResult {
         match algorithm {
@@ -115,6 +173,7 @@ pub struct PrimeLsBuilder<P> {
     candidates: Vec<Point>,
     pf: Option<P>,
     tau: Option<f64>,
+    kernel: EvalKernel,
 }
 
 impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
@@ -124,6 +183,7 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
             candidates: Vec::new(),
             pf: None,
             tau: None,
+            kernel: EvalKernel::default(),
         }
     }
 
@@ -151,6 +211,13 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
         self
     }
 
+    /// Selects the evaluation kernel (optional; defaults to
+    /// [`EvalKernel::Scalar`], the historical behaviour).
+    pub fn evaluation_kernel(mut self, kernel: EvalKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Validates and assembles the problem instance.
     pub fn build(self) -> Result<PrimeLs<P>, BuildError> {
         if self.objects.is_empty() {
@@ -171,11 +238,15 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
         let Some(pf) = self.pf else {
             return Err(BuildError::MissingProbabilityFunction);
         };
+        let arena = PositionArena::from_objects(&self.objects);
         Ok(PrimeLs {
             objects: self.objects,
             candidates: self.candidates,
             pf,
             tau,
+            arena,
+            candidate_tree: OnceLock::new(),
+            kernel: self.kernel,
         })
     }
 }

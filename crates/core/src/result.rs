@@ -67,6 +67,15 @@ pub struct SolveStats {
     pub pairs_skipped_by_bounds: u64,
     /// Objects that can never be influenced (`minMaxRadius` undefined).
     pub uninfluenceable_objects: u64,
+    /// Position blocks whose contribution was bounded from the block MBR
+    /// and never refined (blocked kernel only; zero on the scalar path).
+    pub blocks_pruned: u64,
+    /// Positions inside pruned blocks — decided without a `PF(dist)`
+    /// evaluation. For every validated pair the identity
+    /// `positions_evaluated + positions_skipped_by_blocks = total
+    /// positions of the pair's object` holds, mirroring the scalar
+    /// path's accounting where the two terms are `n'` and `n − n'`.
+    pub positions_skipped_by_blocks: u64,
 }
 
 impl std::ops::AddAssign for SolveStats {
@@ -82,6 +91,8 @@ impl std::ops::AddAssign for SolveStats {
         self.candidates_skipped_by_bounds += rhs.candidates_skipped_by_bounds;
         self.pairs_skipped_by_bounds += rhs.pairs_skipped_by_bounds;
         self.uninfluenceable_objects += rhs.uninfluenceable_objects;
+        self.blocks_pruned += rhs.blocks_pruned;
+        self.positions_skipped_by_blocks += rhs.positions_skipped_by_blocks;
     }
 }
 
@@ -242,6 +253,8 @@ mod tests {
             candidates_skipped_by_bounds: 6,
             pairs_skipped_by_bounds: 7,
             uninfluenceable_objects: 8,
+            blocks_pruned: 9,
+            positions_skipped_by_blocks: 10,
         };
         let mut merged = a;
         merged += a;
@@ -256,6 +269,8 @@ mod tests {
                 candidates_skipped_by_bounds: 12,
                 pairs_skipped_by_bounds: 14,
                 uninfluenceable_objects: 16,
+                blocks_pruned: 18,
+                positions_skipped_by_blocks: 20,
             }
         );
         assert_eq!(merged.accounted_pairs(), 2 + 4 + 6 + 14);

@@ -101,8 +101,7 @@ pub fn try_solve_top_k<P: ProbabilityFunction + Clone>(
     if k == 0 {
         return Err(SolveError::ZeroK);
     }
-    let eval = problem.evaluator();
-    let tau = problem.tau();
+    let mut pair = problem.pair_eval();
     let m = problem.candidates().len();
 
     let mut prep = prepare(problem, true);
@@ -143,12 +142,10 @@ pub fn try_solve_top_k<P: ProbabilityFunction + Clone>(
         }
         let candidate = problem.candidates()[j];
         let Some(exact) = validate_candidate(
-            &eval,
-            problem.objects(),
+            &mut pair,
             &candidate,
             &vs_store[j],
             (min_inf[j], max_inf[j]),
-            tau,
             true,
             || cutoff(&best_k),
             &mut stats,

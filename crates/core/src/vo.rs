@@ -24,13 +24,12 @@
 //! Both strategies are *cost* optimizations only: the returned optimum
 //! (smallest index among maxima) is always identical to NA's.
 
+use crate::eval::PairEval;
 use crate::problem::PrimeLs;
 use crate::result::{Algorithm, SolveError, SolveResult, SolveStats};
 use crate::state::A2d;
-use pinocchio_data::MovingObject;
-use pinocchio_geo::{Euclidean, Point};
-use pinocchio_index::RTree;
-use pinocchio_prob::{CumulativeProbability, EarlyStopOutcome, ProbabilityFunction};
+use pinocchio_geo::Point;
+use pinocchio_prob::ProbabilityFunction;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -75,12 +74,7 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
 
     if with_pruning {
         vs_store = vec![Vec::new(); m];
-        let tree: RTree<usize> = problem
-            .candidates()
-            .iter()
-            .enumerate()
-            .map(|(j, &c)| (c, j))
-            .collect();
+        let tree = problem.candidate_tree();
         let mut in_nib = vec![false; m];
         for entry in a2d.entries() {
             let Some(regions) = entry.regions else {
@@ -143,30 +137,17 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
 /// accumulated into `stats`, keeping the pair accounting complete.
 #[allow(clippy::too_many_arguments)] // one call site per driver; bundling would just rename the list
 pub(crate) fn validate_candidate<P: ProbabilityFunction + Clone>(
-    eval: &CumulativeProbability<P, Euclidean>,
-    objects: &[MovingObject],
+    pair: &mut PairEval<'_, P>,
     candidate: &Point,
     vs: &[u32],
     bounds: (u32, u32),
-    tau: f64,
     early_stop: bool,
     mut current_bound: impl FnMut() -> u32,
     stats: &mut SolveStats,
 ) -> Option<u32> {
     let (mut min_inf, mut max_inf) = bounds;
     for (done, &k) in vs.iter().enumerate() {
-        let object = &objects[k as usize];
-        let outcome = if early_stop {
-            eval.influences_early_stop(candidate, object.positions(), tau)
-        } else {
-            EarlyStopOutcome::from_verdict(
-                eval.influences(candidate, object.positions(), tau),
-                object.position_count(),
-            )
-        };
-        stats.validated_pairs += 1;
-        stats.positions_evaluated += outcome.positions_evaluated as u64;
-        if outcome.influenced {
+        if pair.influences(candidate, k as usize, early_stop, stats) {
             min_inf += 1;
         } else {
             max_inf -= 1;
@@ -221,8 +202,7 @@ pub fn try_solve_with_options<P: ProbabilityFunction + Clone>(
     early_stop: bool,
 ) -> Result<SolveResult, SolveError> {
     let start = Instant::now();
-    let eval = problem.evaluator();
-    let tau = problem.tau();
+    let mut pair = problem.pair_eval();
     let m = problem.candidates().len();
     let prep = prepare(problem, with_pruning);
     let vs_store = &prep.vs_store;
@@ -269,12 +249,10 @@ pub fn try_solve_with_options<P: ProbabilityFunction + Clone>(
         let vs: &[u32] = if with_pruning { &vs_store[j] } else { vs_all };
 
         let Some(exact) = validate_candidate(
-            &eval,
-            problem.objects(),
+            &mut pair,
             &candidate,
             vs,
             (min_inf[j], max_inf[j]),
-            tau,
             early_stop,
             || maxmin_inf,
             &mut stats,

@@ -19,7 +19,6 @@ use crate::problem::PrimeLs;
 use crate::result::SolveStats;
 use crate::state::A2d;
 use pinocchio_geo::{Point, RegionVerdict};
-use pinocchio_index::RTree;
 use pinocchio_prob::ProbabilityFunction;
 
 /// Result of a weighted solve.
@@ -59,15 +58,10 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
         weights.iter().all(|w| w.is_finite() && *w >= 0.0),
         "weights must be finite and non-negative"
     );
-    let eval = problem.evaluator();
+    let mut pair = problem.pair_eval();
     let tau = problem.tau();
 
-    let tree: RTree<usize> = problem
-        .candidates()
-        .iter()
-        .enumerate()
-        .map(|(j, &c)| (c, j))
-        .collect();
+    let tree = problem.candidate_tree();
     let a2d = A2d::build(problem.objects(), problem.pf(), tau);
 
     let m = problem.candidates().len();
@@ -79,7 +73,6 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
             stats.uninfluenceable_objects += 1;
             continue;
         };
-        let object = &problem.objects()[entry.index];
         let weight = weights[entry.index];
         if weight.abs().total_cmp(&0.0).is_eq() {
             // A zero weight cannot affect any ranking; its pairs are
@@ -109,11 +102,7 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
         stats.decided_by_ia += ia_hits;
         stats.decided_by_nib += m as u64 - nib_members;
         for &j in &undecided {
-            stats.validated_pairs += 1;
-            let outcome =
-                eval.influences_early_stop(&problem.candidates()[j], object.positions(), tau);
-            stats.positions_evaluated += outcome.positions_evaluated as u64;
-            if outcome.influenced {
+            if pair.influences(&problem.candidates()[j], entry.index, true, &mut stats) {
                 influences[j] += weight;
             }
         }

@@ -14,6 +14,8 @@
 //! * [`MovingObject`] / [`Dataset`] / [`Venue`] — the data model,
 //!   including per-venue ground-truth visit counts used by the
 //!   effectiveness experiments (Tables 3–4),
+//! * [`arena`] — the flat structure-of-arrays [`PositionArena`] with
+//!   per-block MBRs that backs the blocked evaluation kernel,
 //! * [`gen`] — the `FoursquareLike` / `GowallaLike` generators,
 //! * [`stats`] — dataset statistics (regenerates Table 2),
 //! * [`sampling`] — deterministic sub-sampling of objects, positions and
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod dataset;
 pub mod gen;
 pub mod io;
@@ -33,6 +36,7 @@ pub mod sampling;
 pub mod stats;
 pub mod trajectory;
 
+pub use arena::{PositionArena, BLOCK_SIZE};
 pub use dataset::{Dataset, Venue};
 pub use gen::{GeneratorConfig, SyntheticGenerator};
 pub use object::MovingObject;

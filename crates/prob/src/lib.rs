@@ -14,6 +14,9 @@
 //!   concave and linear ([`alt`]),
 //! * cumulative / partial non-influence probability computation with the
 //!   early-stopping rule of Lemma 4 ([`cumulative`]),
+//! * a block-bounded evaluation kernel over structure-of-arrays position
+//!   views — per-block `minDist`/`maxDist` bounds accumulated in log
+//!   space, exact refinement only for straddling blocks ([`block`]),
 //! * `minMaxRadius` itself plus the per-`n` memo cache (the HashMap `HM`
 //!   of Algorithm 1) in [`radius`].
 
@@ -21,11 +24,13 @@
 #![deny(missing_docs)]
 
 pub mod alt;
+pub mod block;
 pub mod cumulative;
 pub mod pf;
 pub mod radius;
 
 pub use alt::{ConcavePf, ConvexPf, LinearPf, LogsigPf};
+pub use block::{BlockScratch, BlockedOutcome, SoaBlocks};
 pub use cumulative::{CumulativeProbability, EarlyStopOutcome};
 pub use pf::{PowerLawPf, ProbabilityFunction};
 pub use radius::{min_max_radius, required_single_position_probability, MinMaxRadiusCache};

@@ -106,10 +106,30 @@ impl PowerLawPf {
     }
 }
 
+/// Bit pattern of `1.0_f64` — the exact-representation test for the
+/// unit-λ fast path below compares against this, not a float literal.
+const UNIT_LAMBDA_BITS: u64 = 1.0_f64.to_bits();
+
+impl PowerLawPf {
+    /// Whether `λ` is exactly `1.0` (the paper default), enabling the
+    /// division fast path: `x^(−1) = 1/x` and `x^(1/1) = x` exactly, so
+    /// the `powf` calls — by far the most expensive operation in the
+    /// validation hot loop — can be replaced by one division each.
+    /// Bit comparison rather than `==` keeps the check honest about
+    /// what it is: an exact-representation test, not a tolerance.
+    #[inline]
+    fn is_unit_lambda(&self) -> bool {
+        self.lambda.to_bits() == UNIT_LAMBDA_BITS
+    }
+}
+
 impl ProbabilityFunction for PowerLawPf {
     #[inline]
     fn prob(&self, d: f64) -> f64 {
         debug_assert!(d >= 0.0, "negative distance {d}");
+        if self.is_unit_lambda() {
+            return self.rho / (self.d0 + d);
+        }
         self.rho * (self.d0 + d).powf(-self.lambda)
     }
 
@@ -121,7 +141,11 @@ impl ProbabilityFunction for PowerLawPf {
             // only ask for p in (0, 1], so reject degenerate input.
             return None;
         }
-        let d = (self.rho / p).powf(1.0 / self.lambda) - self.d0;
+        let d = if self.is_unit_lambda() {
+            self.rho / p - self.d0
+        } else {
+            (self.rho / p).powf(1.0 / self.lambda) - self.d0
+        };
         if d < 0.0 {
             None // p > PF(0): unattainable even at distance zero
         } else {
@@ -193,6 +217,59 @@ mod tests {
         for d in [0.0, 1.0, 3.0] {
             assert!((hi.prob(d) / lo.prob(d) - 1.8).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn unit_lambda_fast_path_round_trips() {
+        // λ = 1 takes the division fast path in both directions; the
+        // round trip must still invert exactly (to within the usual
+        // analytic-inverse tolerance) across the whole distance range.
+        for rho in [0.5, 0.7, 0.9] {
+            let pf = PowerLawPf::new(rho, 1.0, 1.0);
+            for d in [0.0, 1e-6, 0.1, 1.0, 5.0, 42.0, 1e4] {
+                let p = pf.prob(d);
+                let d2 = pf.inverse(p).unwrap();
+                assert!(
+                    (d - d2).abs() <= 1e-9 * (1.0 + d),
+                    "rho={rho} d={d} p={p} d2={d2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_lambda_fast_path_matches_powf() {
+        // The division path may differ from `ρ·x^(−1)` only by the one
+        // extra rounding the powf path performs — i.e. at most 1 ulp.
+        // In practice they agree bitwise across this sweep; assert the
+        // tight relative bound so a real regression cannot hide.
+        let pf = PowerLawPf::paper_default();
+        for i in 0..1000 {
+            let d = i as f64 * 0.173;
+            let fast = pf.prob(d);
+            let slow = pf.rho() * (pf.d0() + d).powf(-1.0);
+            assert!(
+                (fast - slow).abs() <= slow * f64::EPSILON,
+                "d={d}: fast={fast:e} slow={slow:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn swept_lambda_still_uses_powf_semantics() {
+        // λ ≠ 1 must keep the general powf formula bit for bit.
+        for lambda in [0.75_f64, 1.25, 2.0] {
+            let pf = PowerLawPf::with_lambda(lambda);
+            for d in [0.0_f64, 0.5, 3.0, 27.0] {
+                let expect = 0.9 * (1.0 + d).powf(-lambda);
+                assert_eq!(pf.prob(d).to_bits(), expect.to_bits(), "λ={lambda} d={d}");
+            }
+        }
+        // A λ that is 1.0 only approximately must not take the fast path.
+        let near = PowerLawPf::with_lambda(1.0 + 1e-15);
+        let d = 2.0;
+        let expect = 0.9 * 3.0_f64.powf(-(1.0 + 1e-15));
+        assert_eq!(near.prob(d).to_bits(), expect.to_bits());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use pinocchio_prob as prob;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use pinocchio_core::{Algorithm, PrimeLs, PrimeLsBuilder, SolveResult};
+    pub use pinocchio_core::{Algorithm, EvalKernel, PrimeLs, PrimeLsBuilder, SolveResult};
     pub use pinocchio_data::{Dataset, MovingObject};
     pub use pinocchio_geo::{Mbr, Point};
     pub use pinocchio_prob::{CumulativeProbability, PowerLawPf, ProbabilityFunction};

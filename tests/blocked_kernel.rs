@@ -1,0 +1,208 @@
+//! Cross-kernel exactness: every solver, run with the blocked
+//! structure-of-arrays kernel, must reproduce the scalar kernel's
+//! results bit for bit — winner index, influence vectors, early-stop
+//! verdicts — across random worlds, thresholds, thread counts, and the
+//! adversarial tie-heavy / all-uninfluenceable corners.
+
+use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
+use pinocchio::prelude::*;
+
+fn world(users: usize, candidates: usize, seed: u64) -> (Vec<MovingObject>, Vec<Point>) {
+    let d = SyntheticGenerator::new(GeneratorConfig::small(users, seed)).generate();
+    let (_, cands) = sample_candidate_group(&d, candidates, seed ^ 0xABCD);
+    (d.objects().to_vec(), cands)
+}
+
+fn build(
+    objects: Vec<MovingObject>,
+    candidates: Vec<Point>,
+    tau: f64,
+    kernel: EvalKernel,
+) -> PrimeLs<PowerLawPf> {
+    PrimeLs::builder()
+        .objects(objects)
+        .candidates(candidates)
+        .probability_function(PowerLawPf::paper_default())
+        .tau(tau)
+        .evaluation_kernel(kernel)
+        .build()
+        .unwrap()
+}
+
+/// Runs every solver under both kernels and asserts exact agreement on
+/// everything answer-shaped (winners, influence counts, full influence
+/// vectors, top-k rankings, weighted optima) for 1/2/8 threads.
+fn assert_kernels_identical(
+    objects: Vec<MovingObject>,
+    candidates: Vec<Point>,
+    tau: f64,
+    ctx: &str,
+) {
+    let scalar = build(objects.clone(), candidates.clone(), tau, EvalKernel::Scalar);
+    let blocked = build(objects, candidates, tau, EvalKernel::Blocked);
+
+    for algorithm in Algorithm::ALL {
+        let s = scalar.solve(algorithm);
+        let b = blocked.solve(algorithm);
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (b.best_candidate, b.max_influence),
+            "{algorithm} winner diverges under the blocked kernel ({ctx})"
+        );
+        assert_eq!(
+            s.influences, b.influences,
+            "{algorithm} influence vector diverges ({ctx})"
+        );
+        assert_eq!(
+            s.stats.validated_pairs + s.stats.pairs_skipped_by_bounds,
+            b.stats.validated_pairs + b.stats.pairs_skipped_by_bounds,
+            "{algorithm}: identical verdicts must walk identical pair sequences ({ctx})"
+        );
+    }
+
+    for threads in [1usize, 2, 8] {
+        let s = pinocchio::core::parallel::solve_vo(&scalar, threads);
+        let b = pinocchio::core::parallel::solve_vo(&blocked, threads);
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (b.best_candidate, b.max_influence),
+            "parallel VO diverges (threads={threads}, {ctx})"
+        );
+        let s = pinocchio::core::parallel::solve_naive(&scalar, threads);
+        let b = pinocchio::core::parallel::solve_naive(&blocked, threads);
+        assert_eq!(
+            s.influences, b.influences,
+            "parallel NA (threads={threads}, {ctx})"
+        );
+        let s = pinocchio::core::parallel::solve_pinocchio(&scalar, threads);
+        let b = pinocchio::core::parallel::solve_pinocchio(&blocked, threads);
+        assert_eq!(
+            s.influences, b.influences,
+            "parallel PIN (threads={threads}, {ctx})"
+        );
+    }
+
+    for k in [1usize, 5] {
+        let s = pinocchio::core::solve_top_k(&scalar, k);
+        let b = pinocchio::core::solve_top_k(&blocked, k);
+        assert_eq!(s, b, "top-{k} ranking diverges ({ctx})");
+    }
+
+    let weights: Vec<f64> = (0..scalar.objects().len())
+        .map(|i| 0.5 + (i % 7) as f64)
+        .collect();
+    let s = pinocchio::core::solve_weighted(&scalar, &weights);
+    let b = pinocchio::core::solve_weighted(&blocked, &weights);
+    assert_eq!(
+        s.best_candidate, b.best_candidate,
+        "weighted winner ({ctx})"
+    );
+    assert_eq!(
+        s.weighted_influences, b.weighted_influences,
+        "weighted influence vector ({ctx})"
+    );
+}
+
+#[test]
+fn kernels_agree_on_random_worlds() {
+    for seed in [1u64, 7, 42, 1234] {
+        for tau in [0.3, 0.5, 0.7] {
+            let (objects, candidates) = world(70, 35, seed);
+            assert_kernels_identical(objects, candidates, tau, &format!("seed={seed} tau={tau}"));
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_tie_heavy_worlds() {
+    // Two mirror-image clusters with symmetric candidates: influence
+    // ties everywhere, so any kernel-induced verdict flip would move the
+    // smallest-index tie-break and fail loudly.
+    let mut objects = Vec::new();
+    for i in 0..12u64 {
+        let base = (i % 2) as f64 * 10.0;
+        objects.push(MovingObject::new(
+            i,
+            (0..20)
+                .map(|k| Point::new(base + (k % 5) as f64 * 0.1, (k / 5) as f64 * 0.1))
+                .collect(),
+        ));
+    }
+    let candidates = vec![
+        Point::new(10.2, 0.2),
+        Point::new(0.2, 0.2),
+        Point::new(10.2, 0.2),
+        Point::new(5.0, 5.0),
+    ];
+    for tau in [0.3, 0.5, 0.7] {
+        assert_kernels_identical(
+            objects.clone(),
+            candidates.clone(),
+            tau,
+            &format!("ties tau={tau}"),
+        );
+    }
+}
+
+#[test]
+fn kernels_agree_on_all_uninfluenceable_worlds() {
+    // τ = 0.95 > PF(0) = 0.9 with single-position objects: nothing can
+    // ever be influenced; both kernels must return influence 0 at
+    // candidate 0 through every solver.
+    let objects: Vec<MovingObject> = (0..10)
+        .map(|i| MovingObject::new(i, vec![Point::new(i as f64, -(i as f64))]))
+        .collect();
+    let candidates = vec![
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 2.0),
+        Point::new(3.0, 3.0),
+    ];
+    assert_kernels_identical(objects, candidates, 0.95, "all-uninfluenceable");
+}
+
+#[test]
+fn blocked_position_accounting_is_total() {
+    // Blocked-kernel invariant at solver level: for NA (which validates
+    // every pair exhaustively) evaluated + skipped must equal the full
+    // pair-position space, and some blocks must actually prune on a
+    // spread-out world.
+    let (objects, candidates) = world(60, 30, 9);
+    let total_pair_positions: u64 = objects
+        .iter()
+        .map(|o| o.position_count() as u64)
+        .sum::<u64>()
+        * candidates.len() as u64;
+    let blocked = build(objects, candidates, 0.7, EvalKernel::Blocked);
+    let r = blocked.solve(Algorithm::Naive);
+    assert_eq!(
+        r.stats.positions_evaluated + r.stats.positions_skipped_by_blocks,
+        total_pair_positions,
+        "skipped + evaluated must cover every (pair, position)"
+    );
+    assert!(
+        r.stats.blocks_pruned > 0,
+        "expected some block-level pruning"
+    );
+    assert!(
+        r.stats.positions_evaluated < total_pair_positions,
+        "blocked NA should skip a nonzero share of positions"
+    );
+}
+
+#[test]
+fn early_stop_toggle_is_irrelevant_under_blocked_kernel() {
+    // The blocked kernel subsumes Strategy 2; both toggle settings must
+    // produce identical verdicts *and identical costs* (the kernel
+    // ignores the flag), unlike the scalar path where the flag trades
+    // positions for exactness bookkeeping.
+    let (objects, candidates) = world(50, 25, 17);
+    let blocked = build(objects, candidates, 0.5, EvalKernel::Blocked);
+    let with_s2 = pinocchio::core::solve_with_options(&blocked, true, true);
+    let without_s2 = pinocchio::core::solve_with_options(&blocked, true, false);
+    assert_eq!(with_s2.best_candidate, without_s2.best_candidate);
+    assert_eq!(with_s2.max_influence, without_s2.max_influence);
+    assert_eq!(
+        with_s2.stats, without_s2.stats,
+        "the blocked kernel must ignore the early-stop flag entirely"
+    );
+}
