@@ -41,6 +41,7 @@
 pub mod approx;
 pub mod dynamic;
 pub mod eval;
+pub mod join;
 pub mod naive;
 pub mod parallel;
 pub mod pinocchio;

@@ -39,7 +39,6 @@
 
 use crate::problem::PrimeLs;
 use crate::result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
-use crate::state::A2d;
 use crate::vo;
 use pinocchio_prob::ProbabilityFunction;
 use std::cmp::Reverse;
@@ -53,7 +52,7 @@ use std::time::Instant;
 /// `resume_unwind` propagates the worker's original panic (message and
 /// all) instead of wrapping it in a second, less informative one — the
 /// solver itself never panics here, it only forwards.
-fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+pub(crate) fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
     handle
         .join()
         .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
@@ -112,12 +111,10 @@ pub fn solve_pinocchio<P: ProbabilityFunction + Clone + Sync>(
 ) -> SolveResult {
     assert!(threads > 0, "need at least one thread");
     let start = Instant::now();
-    let tau = problem.tau();
     let m = problem.candidates().len();
 
     let tree = problem.candidate_tree();
-    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
-    let entries = a2d.entries();
+    let entries = problem.a2d().entries();
     let chunk = entries.len().div_ceil(threads);
 
     let partials: Vec<(Vec<u32>, SolveStats)> = std::thread::scope(|scope| {
@@ -365,6 +362,7 @@ fn finish<P: ProbabilityFunction + Clone>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::A2d;
     use crate::{naive, pinocchio};
     use pinocchio_data::{GeneratorConfig, SyntheticGenerator};
     use pinocchio_prob::PowerLawPf;

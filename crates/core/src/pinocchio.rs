@@ -17,7 +17,6 @@
 
 use crate::problem::PrimeLs;
 use crate::result::{argmax_smallest_index, Algorithm, SolveResult, SolveStats};
-use crate::state::A2d;
 use pinocchio_geo::{InfluenceRegions, Mbr, Point, RegionVerdict};
 use pinocchio_prob::ProbabilityFunction;
 use std::time::Instant;
@@ -26,14 +25,13 @@ use std::time::Instant;
 pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResult {
     let start = Instant::now();
     let mut pair = problem.pair_eval();
-    let tau = problem.tau();
     let mut stats = SolveStats::default();
 
     // Candidate R-tree (cached on the problem instance); payload is the
     // dense candidate index.
     let tree = problem.candidate_tree();
 
-    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
+    let a2d = problem.a2d();
     let mut influences = vec![0u32; problem.candidates().len()];
     let mut undecided: Vec<usize> = Vec::new();
 
@@ -122,6 +120,7 @@ pub fn candidate_frame(candidates: &[Point]) -> Option<Mbr> {
 mod tests {
     use super::*;
     use crate::naive;
+    use crate::state::A2d;
     use pinocchio_data::{GeneratorConfig, MovingObject, SyntheticGenerator};
     use pinocchio_prob::PowerLawPf;
 

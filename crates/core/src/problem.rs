@@ -2,9 +2,10 @@
 
 use crate::eval::{EvalKernel, PairEval};
 use crate::result::{Algorithm, SolveResult};
+use crate::state::A2d;
 use pinocchio_data::{MovingObject, PositionArena};
 use pinocchio_geo::Point;
-use pinocchio_index::RTree;
+use pinocchio_index::{MbrTree, RTree};
 use pinocchio_prob::{CumulativeProbability, ProbabilityFunction};
 use std::fmt;
 use std::sync::OnceLock;
@@ -63,6 +64,15 @@ pub struct PrimeLs<P> {
     /// every solve on this instance (vo / parallel / topk / weighted all
     /// query the same tree; rebuilding it per solve was pure waste).
     candidate_tree: OnceLock<RTree<usize>>,
+    /// `A_2D` (Algorithm 1 output), built lazily on first use and shared
+    /// by every solve — previously each solver call rebuilt it from
+    /// scratch, double-counting the radius/region work in multi-solver
+    /// benches. Objects, `PF` and `τ` are immutable on `PrimeLs`, so the
+    /// cached state can never go stale.
+    a2d: OnceLock<A2d>,
+    /// μ-aggregate tree over the influenceable objects' MBRs, built
+    /// lazily for the join solver (and cached for the same reason).
+    object_tree: OnceLock<MbrTree<usize>>,
     /// Which evaluation path [`PairEval`] dispatches to.
     kernel: EvalKernel,
 }
@@ -119,6 +129,29 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
         })
     }
 
+    /// `A_2D` — per-object `minMaxRadius` and pruning-region geometry
+    /// (Algorithm 1), built on first call and cached for the lifetime of
+    /// the instance.
+    pub fn a2d(&self) -> &A2d {
+        self.a2d
+            .get_or_init(|| A2d::build(&self.objects, &self.pf, self.tau))
+    }
+
+    /// The μ-aggregate object tree the join solver traverses (payload:
+    /// dense object index), over exactly the influenceable entries of
+    /// [`Self::a2d`]; built on first call and cached.
+    pub fn object_tree(&self) -> &MbrTree<usize> {
+        self.object_tree.get_or_init(|| {
+            MbrTree::bulk_load(
+                self.a2d()
+                    .entries()
+                    .iter()
+                    .filter_map(|e| e.regions.map(|r| (r.mbr(), r.radius(), e.index)))
+                    .collect(),
+            )
+        })
+    }
+
     /// The active evaluation kernel.
     pub fn evaluation_kernel(&self) -> EvalKernel {
         self.kernel
@@ -152,6 +185,7 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
             Algorithm::Pinocchio => crate::pinocchio::solve(self),
             Algorithm::PinocchioVo => crate::vo::solve(self, true),
             Algorithm::PinocchioVoStar => crate::vo::solve(self, false),
+            Algorithm::PinocchioJoin => crate::join::solve(self),
         }
     }
 
@@ -246,6 +280,8 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
             tau,
             arena,
             candidate_tree: OnceLock::new(),
+            a2d: OnceLock::new(),
+            object_tree: OnceLock::new(),
             kernel: self.kernel,
         })
     }

@@ -4,7 +4,8 @@ use pinocchio_geo::Point;
 use std::fmt;
 use std::time::Duration;
 
-/// The four solvers evaluated in §6.
+/// The four solvers evaluated in §6, plus this repo's candidate-centric
+/// join extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// NA — exhaustive evaluation of all object–candidate pairs.
@@ -15,10 +16,16 @@ pub enum Algorithm {
     PinocchioVo,
     /// PIN-VO* — validation optimizations without the pruning phase.
     PinocchioVoStar,
+    /// PIN-JOIN — candidate-centric object join over the μ-aggregate
+    /// `MbrTree` (hierarchical subtree-IA/NIB pruning), an extension
+    /// beyond the paper.
+    PinocchioJoin,
 }
 
 impl Algorithm {
-    /// All four algorithms, in the paper's comparison order.
+    /// The paper's four algorithms, in its comparison order — the figure
+    /// reproductions iterate exactly these, so the extension solvers are
+    /// deliberately *not* included here.
     pub const ALL: [Algorithm; 4] = [
         Algorithm::Naive,
         Algorithm::Pinocchio,
@@ -26,13 +33,24 @@ impl Algorithm {
         Algorithm::PinocchioVoStar,
     ];
 
-    /// The label used in the paper's plots.
+    /// The paper's four algorithms plus this repo's extensions — what
+    /// the cross-solver exactness suites iterate.
+    pub const WITH_EXTENSIONS: [Algorithm; 5] = [
+        Algorithm::Naive,
+        Algorithm::Pinocchio,
+        Algorithm::PinocchioVo,
+        Algorithm::PinocchioVoStar,
+        Algorithm::PinocchioJoin,
+    ];
+
+    /// The label used in the paper's plots (and this repo's extensions).
     pub fn label(&self) -> &'static str {
         match self {
             Algorithm::Naive => "NA",
             Algorithm::Pinocchio => "PIN",
             Algorithm::PinocchioVo => "PIN-VO",
             Algorithm::PinocchioVoStar => "PIN-VO*",
+            Algorithm::PinocchioJoin => "PIN-JOIN",
         }
     }
 }
@@ -76,6 +94,18 @@ pub struct SolveStats {
     /// positions of the pair's object` holds, mirroring the scalar
     /// path's accounting where the two terms are `n'` and `n − n'`.
     pub positions_skipped_by_blocks: u64,
+    /// Subtrees of the object μ-aggregate tree accepted wholesale by the
+    /// node-level IA rule (join solver only). The objects below are
+    /// counted in `decided_by_ia` in bulk, so `decided_by_ia +
+    /// decided_by_nib + validated_pairs + pairs_skipped_by_bounds` still
+    /// equals the influenceable pair space.
+    pub subtrees_pruned_ia: u64,
+    /// Subtrees excluded wholesale by the node-level NIB rule (join
+    /// solver only); the objects below land in `decided_by_nib` in bulk.
+    pub subtrees_pruned_nib: u64,
+    /// Aggregate-tree nodes popped during join traversals (join solver
+    /// only) — the join-phase analogue of the R-tree query counters.
+    pub join_nodes_visited: u64,
 }
 
 impl std::ops::AddAssign for SolveStats {
@@ -93,6 +123,9 @@ impl std::ops::AddAssign for SolveStats {
         self.uninfluenceable_objects += rhs.uninfluenceable_objects;
         self.blocks_pruned += rhs.blocks_pruned;
         self.positions_skipped_by_blocks += rhs.positions_skipped_by_blocks;
+        self.subtrees_pruned_ia += rhs.subtrees_pruned_ia;
+        self.subtrees_pruned_nib += rhs.subtrees_pruned_nib;
+        self.join_nodes_visited += rhs.join_nodes_visited;
     }
 }
 
@@ -213,7 +246,10 @@ mod tests {
     fn labels() {
         assert_eq!(Algorithm::Naive.label(), "NA");
         assert_eq!(Algorithm::PinocchioVo.to_string(), "PIN-VO");
-        assert_eq!(Algorithm::ALL.len(), 4);
+        assert_eq!(Algorithm::PinocchioJoin.label(), "PIN-JOIN");
+        assert_eq!(Algorithm::ALL.len(), 4, "the paper's comparison set");
+        assert_eq!(Algorithm::WITH_EXTENSIONS.len(), 5);
+        assert!(Algorithm::WITH_EXTENSIONS.starts_with(&Algorithm::ALL));
     }
 
     #[test]
@@ -255,6 +291,9 @@ mod tests {
             uninfluenceable_objects: 8,
             blocks_pruned: 9,
             positions_skipped_by_blocks: 10,
+            subtrees_pruned_ia: 11,
+            subtrees_pruned_nib: 12,
+            join_nodes_visited: 13,
         };
         let mut merged = a;
         merged += a;
@@ -271,6 +310,9 @@ mod tests {
                 uninfluenceable_objects: 16,
                 blocks_pruned: 18,
                 positions_skipped_by_blocks: 20,
+                subtrees_pruned_ia: 22,
+                subtrees_pruned_nib: 24,
+                join_nodes_visited: 26,
             }
         );
         assert_eq!(merged.accounted_pairs(), 2 + 4 + 6 + 14);

@@ -27,6 +27,15 @@ pub struct ObjectEntry {
     pub regions: Option<InfluenceRegions>,
 }
 
+impl ObjectEntry {
+    /// The object's `minMaxRadius` μ (Def. 5), or `None` when it can
+    /// never be influenced — the per-entry radius the μ-aggregate object
+    /// tree indexes.
+    pub fn mu(&self) -> Option<f64> {
+        self.regions.map(|r| r.radius())
+    }
+}
+
 /// The full `A_2D` structure of Algorithm 1.
 #[derive(Debug, Clone)]
 pub struct A2d {
@@ -40,14 +49,14 @@ impl A2d {
     /// the pruning regions for every object.
     pub fn build<P: ProbabilityFunction>(objects: &[MovingObject], pf: &P, tau: f64) -> Self {
         let mut cache = MinMaxRadiusCache::new(tau);
+        let radii = cache.get_many(pf, objects.iter().map(|o| o.position_count()));
         let mut influenceable = 0;
         let entries = objects
             .iter()
+            .zip(radii)
             .enumerate()
-            .map(|(index, o)| {
-                let regions = cache
-                    .get(pf, o.position_count())
-                    .map(|mu| InfluenceRegions::new(o.mbr(), mu));
+            .map(|(index, (o, radius))| {
+                let regions = radius.map(|mu| InfluenceRegions::new(o.mbr(), mu));
                 if regions.is_some() {
                     influenceable += 1;
                 }

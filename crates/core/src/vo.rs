@@ -27,7 +27,6 @@
 use crate::eval::PairEval;
 use crate::problem::PrimeLs;
 use crate::result::{Algorithm, SolveError, SolveResult, SolveStats};
-use crate::state::A2d;
 use pinocchio_geo::Point;
 use pinocchio_prob::ProbabilityFunction;
 use std::collections::BinaryHeap;
@@ -58,11 +57,10 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
     problem: &PrimeLs<P>,
     with_pruning: bool,
 ) -> Prepared {
-    let tau = problem.tau();
     let m = problem.candidates().len();
     let mut stats = SolveStats::default();
 
-    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
+    let a2d = problem.a2d();
     let r_influenceable = a2d.influenceable() as u32;
     stats.uninfluenceable_objects = (a2d.entries().len() - a2d.influenceable()) as u64;
 
@@ -289,6 +287,7 @@ pub fn try_solve_with_options<P: ProbabilityFunction + Clone>(
 mod tests {
     use super::*;
     use crate::naive;
+    use crate::state::A2d;
     use pinocchio_data::{GeneratorConfig, MovingObject, SyntheticGenerator};
     use pinocchio_geo::Point;
     use pinocchio_prob::PowerLawPf;

@@ -17,7 +17,6 @@
 
 use crate::problem::PrimeLs;
 use crate::result::SolveStats;
-use crate::state::A2d;
 use pinocchio_geo::{Point, RegionVerdict};
 use pinocchio_prob::ProbabilityFunction;
 
@@ -59,10 +58,9 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
         "weights must be finite and non-negative"
     );
     let mut pair = problem.pair_eval();
-    let tau = problem.tau();
 
     let tree = problem.candidate_tree();
-    let a2d = A2d::build(problem.objects(), problem.pf(), tau);
+    let a2d = problem.a2d();
 
     let m = problem.candidates().len();
     let mut stats = SolveStats::default();
@@ -127,6 +125,7 @@ pub fn solve_weighted<P: ProbabilityFunction + Clone>(
 mod tests {
     use super::*;
     use crate::result::Algorithm;
+    use crate::state::A2d;
     use pinocchio_data::{
         sample_candidate_group, GeneratorConfig, MovingObject, SyntheticGenerator,
     };

@@ -155,6 +155,15 @@ impl Mbr {
     ///
     /// Zero when `p` is inside. Keeping the squared form avoids `sqrt` in
     /// pruning comparisons (`minDist > μ` ⇔ `minDistSq > μ²`).
+    ///
+    /// **Containment monotonicity (anti-monotone).** If `A ⊆ B` then
+    /// `minDist(p, B) ≤ minDist(p, A)`: `minDist(p, A)` is the infimum of
+    /// `dist(p, q)` over `q ∈ A`, and an infimum over the superset `B ⊇ A`
+    /// ranges over at least the same points, so it can only be smaller or
+    /// equal. This is what makes a node-level NIB test conservative: a
+    /// node MBR contains every child MBR, so `minDist(c, node) > μ`
+    /// implies `minDist(c, child) > μ` for every child (Theorem 2 lifted
+    /// to subtrees).
     #[inline]
     pub fn min_dist_sq(&self, p: &Point) -> f64 {
         let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
@@ -172,6 +181,16 @@ impl Mbr {
     ///
     /// Realised at the corner farthest from `p`: independently per axis,
     /// the farther of the two rectangle extents.
+    ///
+    /// **Containment monotonicity.** If `A ⊆ B` then
+    /// `maxDist(p, A) ≤ maxDist(p, B)`: `maxDist(p, A)` is the supremum
+    /// of `dist(p, q)` over `q ∈ A`, and the supremum over the superset
+    /// `B ⊇ A` ranges over at least the same points, so it can only be
+    /// larger or equal. This is what makes a node-level IA test
+    /// conservative: a node MBR contains every child MBR, so
+    /// `maxDist(c, node) ≤ μ` implies `maxDist(c, child) ≤ μ` for every
+    /// child (Theorem 1 lifted to subtrees). Both monotonicity claims are
+    /// property-tested in `tests/proptest_geometry.rs`.
     #[inline]
     pub fn max_dist_sq(&self, p: &Point) -> f64 {
         let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
@@ -307,6 +326,24 @@ mod tests {
         let m = rect().inflate(1.5);
         assert_eq!(m.lo(), Point::new(-1.5, -1.5));
         assert_eq!(m.hi(), Point::new(5.5, 3.5));
+    }
+
+    #[test]
+    fn dist_metrics_are_monotone_under_containment() {
+        // The subtree-IA / subtree-NIB soundness lemma: growing the
+        // rectangle can only grow maxDist and shrink minDist.
+        let inner = Mbr::new(Point::new(1.0, 0.5), Point::new(3.0, 1.5));
+        let outer = rect().union(&Mbr::new(Point::new(-2.0, -1.0), Point::new(5.0, 3.0)));
+        assert!(outer.contains_mbr(&inner));
+        for p in [
+            Point::new(2.0, 1.0), // inside both
+            Point::new(10.0, 10.0),
+            Point::new(-4.0, 0.0),
+            Point::new(0.0, -7.5),
+        ] {
+            assert!(outer.max_dist_sq(&p) >= inner.max_dist_sq(&p), "{p}");
+            assert!(outer.min_dist_sq(&p) <= inner.min_dist_sq(&p), "{p}");
+        }
     }
 
     #[test]

@@ -49,6 +49,22 @@ proptest! {
         prop_assert_eq!(mbr.min_dist(&q) == 0.0, mbr.contains_point(&q));
     }
 
+    /// Containment monotonicity of the two metrics — the soundness
+    /// lemma behind the object-join's subtree-IA / subtree-NIB rules:
+    /// for any `A ⊆ B` (here `B = A ∪ X` for arbitrary `X`),
+    /// `maxDist(p, B) ≥ maxDist(p, A)` and `minDist(p, B) ≤ minDist(p, A)`.
+    #[test]
+    fn dist_metrics_monotone_under_containment(
+        a in arb_mbr(),
+        x in arb_mbr(),
+        q in arb_point(),
+    ) {
+        let b = a.union(&x);
+        prop_assert!(b.contains_mbr(&a));
+        prop_assert!(b.max_dist_sq(&q) >= a.max_dist_sq(&q) - 1e-9);
+        prop_assert!(b.min_dist_sq(&q) <= a.min_dist_sq(&q) + 1e-9);
+    }
+
     /// Union contains both inputs; enlargement is non-negative.
     #[test]
     fn union_contains_inputs(a in arb_mbr(), b in arb_mbr()) {

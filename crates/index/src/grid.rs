@@ -119,12 +119,17 @@ impl<T: Clone> GridIndex<T> {
     }
 
     /// Visits every entry within `radius` of `center` (closed disc).
+    /// A negative radius matches nothing (squaring it naively would
+    /// silently query the disc of `|radius|` instead).
     pub fn query_circle(
         &self,
         center: &Point,
         radius: f64,
         mut visit: impl FnMut(&Point, &T),
     ) -> QueryStats {
+        if radius < 0.0 {
+            return QueryStats::default();
+        }
         let r_sq = radius * radius;
         let bbox = Mbr::new(
             Point::new(center.x - radius, center.y - radius),
@@ -222,6 +227,39 @@ mod tests {
     #[test]
     fn build_empty_returns_none() {
         assert!(GridIndex::<usize>::build(Vec::new(), 8).is_none());
+    }
+
+    #[test]
+    fn circle_query_degenerate_inputs() {
+        // Negative radius must match nothing — not the |radius| disc.
+        let frame = Mbr::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let mut grid = GridIndex::new(frame, 1.0);
+        let p = Point::new(5.0, 5.0);
+        grid.insert(p, 0usize);
+        grid.insert(Point::new(5.5, 5.0), 1usize);
+        let stats = grid.query_circle(&p, -1.0, |_, _| panic!("negative radius matched"));
+        assert_eq!(stats.matches, 0);
+        assert_eq!(stats.nodes_visited, 0);
+        // Zero radius: closed disc, so the exact point still matches.
+        let mut got = Vec::new();
+        grid.query_circle(&p, 0.0, |_, i| got.push(*i));
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn queries_entirely_outside_frame_are_safe() {
+        // Query regions beyond the frame clamp into the boundary cells:
+        // no panic, no false matches.
+        let frame = Mbr::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let mut grid = GridIndex::new(frame, 2.0);
+        grid.insert(Point::new(1.0, 1.0), 7usize);
+        let rect = Mbr::new(Point::new(50.0, 50.0), Point::new(60.0, 60.0));
+        let stats = grid.query_rect(&rect, |_, _| panic!("out-of-frame rect matched"));
+        assert_eq!(stats.matches, 0);
+        let stats = grid.query_circle(&Point::new(-100.0, -100.0), 3.0, |_, _| {
+            panic!("out-of-frame circle matched")
+        });
+        assert_eq!(stats.matches, 0);
     }
 
     #[test]

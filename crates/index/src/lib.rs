@@ -11,6 +11,9 @@
 //!   search (needed by the BRNN* baseline),
 //! * [`GridIndex`] — a uniform grid used by the `ablation_index`
 //!   benchmark to quantify the R-tree's contribution,
+//! * [`MbrTree`] — a μ-aggregate R-tree over *object* MBRs (INSQ-style
+//!   per-node summaries) powering the candidate-centric join solver's
+//!   hierarchical IA/NIB pruning,
 //! * query [`stats`] counters so experiments can report how many nodes a
 //!   query touched.
 //!
@@ -21,9 +24,11 @@
 #![deny(missing_docs)]
 
 pub mod grid;
+pub mod mbr_tree;
 pub mod rtree;
 pub mod stats;
 
 pub use grid::GridIndex;
+pub use mbr_tree::{JoinEvent, JoinTraversal, MbrTree};
 pub use rtree::{RTree, DEFAULT_MAX_ENTRIES};
 pub use stats::QueryStats;

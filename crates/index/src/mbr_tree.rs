@@ -1,0 +1,681 @@
+//! An aggregate R-tree over object MBRs for the candidate-centric join.
+//!
+//! §4.3 of the paper argues the *object* side should not be indexed by a
+//! plain spatial R-tree: activity MBRs overlap so heavily (~55 % of each
+//! axis) that purely spatial node MBRs degenerate. The [`MbrTree`] takes
+//! the INSQ route instead (Li et al., ICDE 2015: per-node influence
+//! summaries): every node carries **aggregate pruning bounds** over its
+//! subtree —
+//!
+//! * `min_mu` / `max_mu` — the extreme `minMaxRadius` values (Def. 5) of
+//!   the objects below,
+//! * `nib_mbr` — the union of the per-object non-influence-boundary
+//!   MBRs (`object.mbr.inflate(μ)`),
+//! * `count` — how many objects live below,
+//!
+//! so one traversal per candidate `c` can decide whole subtrees:
+//!
+//! * **subtree-IA** — `maxDist(c, node.mbr) ≤ node.min_mu` ⇒ `c` is
+//!   within `minMaxRadius` of every position of every object below
+//!   (Theorem 1 lifted to the node MBR, which contains each object MBR;
+//!   see `Mbr::max_dist_sq` for the containment-monotonicity argument),
+//!   so all `count` objects are influenced at once;
+//! * **subtree-NIB** — `minDist(c, node.mbr) > node.max_mu`, or `c`
+//!   outside `node.nib_mbr` ⇒ `c` is farther than `minMaxRadius` from
+//!   every position of every object below (Theorem 2 lifted the same
+//!   way), so none of the `count` objects can be influenced.
+//!
+//! Because μ varies over three orders of magnitude with the position
+//! count while the spatial extent of the dataset does not, the bulk
+//! loader groups objects by μ *first* (bands) and packs spatially (STR)
+//! only within a band — μ-homogeneous nodes are what make the aggregate
+//! bounds tight enough to fire. A purely spatial packing would put a
+//! 3-position object (small μ) next to a 600-position object (huge μ) and
+//! every node would inherit the useless `(tiny min_mu, huge max_mu)`
+//! spread.
+
+use crate::rtree::DEFAULT_MAX_ENTRIES;
+use pinocchio_geo::{Mbr, Point};
+
+/// Arena identifier of a node.
+type NodeId = usize;
+
+/// One indexed object: its MBR, its `minMaxRadius` μ, and a payload
+/// (typically the dense object index).
+#[derive(Debug, Clone)]
+struct MuEntry<T> {
+    mbr: Mbr,
+    mu_sq: f64,
+    nib_mbr: Mbr,
+    payload: T,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind<T> {
+    Internal { children: Vec<NodeId> },
+    Leaf { entries: Vec<MuEntry<T>> },
+}
+
+/// A node with its aggregate pruning bounds.
+#[derive(Debug, Clone)]
+struct Node<T> {
+    /// Union of the MBRs of all objects below.
+    mbr: Mbr,
+    /// Union of `object.mbr.inflate(μ)` over all objects below — a
+    /// rectangle certainly containing every point that could influence
+    /// any object of the subtree.
+    nib_mbr: Mbr,
+    /// Smallest μ below (drives subtree-IA).
+    min_mu: f64,
+    /// Largest μ below (drives subtree-NIB).
+    max_mu: f64,
+    /// Number of objects below.
+    count: u64,
+    kind: NodeKind<T>,
+}
+
+/// What the join traversal reports for each decided unit.
+#[derive(Debug)]
+pub enum JoinEvent<'a, T> {
+    /// Every object in a subtree is certainly influenced (Theorem 1 at
+    /// node level); `count` objects are decided in bulk.
+    SubtreeInfluenced {
+        /// Objects decided at once.
+        count: u64,
+    },
+    /// No object in a subtree can be influenced (Theorem 2 at node
+    /// level); `count` objects are excluded in bulk.
+    SubtreeExcluded {
+        /// Objects excluded at once.
+        count: u64,
+    },
+    /// A single object decided influenced at leaf level (Theorem 1).
+    EntryInfluenced(&'a T),
+    /// A single object excluded at leaf level (Theorem 2).
+    EntryExcluded(&'a T),
+    /// A single object the pruning rules cannot decide — the caller must
+    /// validate it exactly (cumulative probability).
+    EntryUndecided(&'a T),
+}
+
+/// Traversal-cost counters of one [`MbrTree::influence_join`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinTraversal {
+    /// Nodes popped from the traversal stack.
+    pub nodes_visited: u64,
+    /// Nodes decided wholesale by subtree-IA.
+    pub subtrees_ia: u64,
+    /// Nodes decided wholesale by subtree-NIB.
+    pub subtrees_nib: u64,
+}
+
+/// An aggregate R-tree over `(Mbr, μ, payload)` items (see the module
+/// docs for the pruning rules it supports).
+///
+/// ```
+/// use pinocchio_geo::{Mbr, Point};
+/// use pinocchio_index::{JoinEvent, MbrTree};
+///
+/// let tree = MbrTree::bulk_load(vec![
+///     (Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 5.0, "near"),
+///     (Mbr::new(Point::new(40.0, 0.0), Point::new(41.0, 1.0)), 0.5, "far"),
+/// ]);
+/// let mut influenced = 0u64;
+/// tree.influence_join(&Point::new(0.5, 0.5), |event| match event {
+///     JoinEvent::SubtreeInfluenced { count } => influenced += count,
+///     JoinEvent::EntryInfluenced(_) => influenced += 1,
+///     _ => {}
+/// });
+/// assert_eq!(influenced, 1); // "near" only: "far" is 40 km away, μ = 0.5
+/// ```
+#[derive(Debug, Clone)]
+pub struct MbrTree<T> {
+    nodes: Vec<Node<T>>,
+    root: Option<NodeId>,
+    max_entries: usize,
+    len: usize,
+}
+
+impl<T: Clone> MbrTree<T> {
+    /// Bulk loads the aggregate tree from `(mbr, μ, payload)` items with
+    /// the paper's default fan-out (8).
+    ///
+    /// # Panics
+    /// Panics if any μ is negative or non-finite, or any MBR corner is
+    /// non-finite — the aggregate bounds would be meaningless.
+    pub fn bulk_load(items: Vec<(Mbr, f64, T)>) -> Self {
+        Self::bulk_load_with_capacity(items, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// [`Self::bulk_load`] with a custom node fan-out.
+    ///
+    /// Packing strategy: items are sorted by μ and chopped into bands of
+    /// `max_entries²` items; within a band, leaves are packed spatially
+    /// with STR over the MBR centers. Upper levels chunk consecutive
+    /// (μ-ordered) nodes. See the module docs for why μ-homogeneity is
+    /// the primary key.
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 2` or on non-finite inputs (see
+    /// [`Self::bulk_load`]).
+    pub fn bulk_load_with_capacity(mut items: Vec<(Mbr, f64, T)>, max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "MbrTree fan-out must be at least 2");
+        for (mbr, mu, _) in &items {
+            assert!(
+                mu.is_finite() && *mu >= 0.0,
+                "minMaxRadius must be finite and non-negative, got {mu}"
+            );
+            assert!(
+                mbr.lo().is_finite() && mbr.hi().is_finite(),
+                "cannot index a non-finite MBR"
+            );
+        }
+        let mut tree = MbrTree {
+            nodes: Vec::new(),
+            root: None,
+            max_entries,
+            len: items.len(),
+        };
+        if items.is_empty() {
+            return tree;
+        }
+
+        // --- μ-banded STR leaf packing ----------------------------------
+        items.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let band_size = max_entries * max_entries;
+        let mut leaf_ids: Vec<NodeId> = Vec::new();
+        for band in items.chunks_mut(band_size) {
+            // STR within the band, over MBR centers: sort by x, chop into
+            // ~√(leaves) slices, sort each slice by y, emit fan-out runs.
+            band.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+            let leaves_in_band = band.len().div_ceil(max_entries);
+            let slices = (leaves_in_band as f64).sqrt().ceil() as usize;
+            let per_slice = band.len().div_ceil(slices.max(1)).max(1);
+            for slice in band.chunks_mut(per_slice) {
+                slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+                for run in slice.chunks(max_entries) {
+                    leaf_ids.push(tree.push_leaf(run));
+                }
+            }
+        }
+
+        // --- pack upper levels ------------------------------------------
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next: Vec<NodeId> = Vec::new();
+            for group in level.chunks(max_entries) {
+                next.push(tree.push_internal(group));
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    fn push_leaf(&mut self, run: &[(Mbr, f64, T)]) -> NodeId {
+        let entries: Vec<MuEntry<T>> = run
+            .iter()
+            .map(|(mbr, mu, payload)| MuEntry {
+                mbr: *mbr,
+                mu_sq: mu * mu,
+                nib_mbr: mbr.inflate(*mu),
+                payload: payload.clone(),
+            })
+            .collect();
+        let mbr = run
+            .iter()
+            .map(|(m, _, _)| *m)
+            .reduce(|a, b| a.union(&b))
+            .unwrap_or(Mbr::from_point(Point::ORIGIN)); // run is never empty (chunks)
+        let nib_mbr = entries
+            .iter()
+            .map(|e| e.nib_mbr)
+            .reduce(|a, b| a.union(&b))
+            .unwrap_or(mbr);
+        let min_mu = run
+            .iter()
+            .map(|(_, mu, _)| *mu)
+            .fold(f64::INFINITY, f64::min);
+        let max_mu = run.iter().map(|(_, mu, _)| *mu).fold(0.0, f64::max);
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            mbr,
+            nib_mbr,
+            min_mu,
+            max_mu,
+            count: run.len() as u64,
+            kind: NodeKind::Leaf { entries },
+        });
+        id
+    }
+
+    fn push_internal(&mut self, group: &[NodeId]) -> NodeId {
+        let mut mbr: Option<Mbr> = None;
+        let mut nib_mbr: Option<Mbr> = None;
+        let mut min_mu = f64::INFINITY;
+        let mut max_mu = 0.0f64;
+        let mut count = 0u64;
+        for &child in group {
+            let node = &self.nodes[child];
+            mbr = Some(mbr.map_or(node.mbr, |m| m.union(&node.mbr)));
+            nib_mbr = Some(nib_mbr.map_or(node.nib_mbr, |m| m.union(&node.nib_mbr)));
+            min_mu = min_mu.min(node.min_mu);
+            max_mu = max_mu.max(node.max_mu);
+            count += node.count;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            mbr: mbr.unwrap_or(Mbr::from_point(Point::ORIGIN)), // group is never empty (chunks)
+            nib_mbr: nib_mbr.unwrap_or(Mbr::from_point(Point::ORIGIN)),
+            min_mu,
+            max_mu,
+            count,
+            kind: NodeKind::Internal {
+                children: group.to_vec(),
+            },
+        });
+        id
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Union of all object MBRs, or `None` when empty.
+    pub fn bounds(&self) -> Option<Mbr> {
+        self.root.map(|r| self.nodes[r].mbr)
+    }
+
+    /// Height of the tree (a lone leaf has height 1; 0 when empty).
+    pub fn height(&self) -> usize {
+        let Some(mut id) = self.root else { return 0 };
+        let mut h = 1;
+        loop {
+            match &self.nodes[id].kind {
+                NodeKind::Leaf { .. } => return h,
+                NodeKind::Internal { children } => {
+                    h += 1;
+                    // Bulk loading never creates childless internals.
+                    let Some(&first) = children.first() else {
+                        return h;
+                    };
+                    id = first;
+                }
+            }
+        }
+    }
+
+    /// Runs the hierarchical IA/NIB join for one candidate.
+    ///
+    /// `visit` receives one [`JoinEvent`] per decided unit: bulk subtree
+    /// decisions carry object counts; leaf-level survivors are reported
+    /// per entry, with undecided entries left for exact validation by the
+    /// caller. Every indexed object is covered by exactly one event, so
+    /// `Σ counts + influenced + excluded + undecided = len()` — the
+    /// accounting invariant the solver-level tests check.
+    pub fn influence_join(
+        &self,
+        candidate: &Point,
+        mut visit: impl FnMut(JoinEvent<'_, T>),
+    ) -> JoinTraversal {
+        let mut t = JoinTraversal::default();
+        let Some(root) = self.root else {
+            return t;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            t.nodes_visited += 1;
+            // subtree-NIB (Theorem 2 at node level): either the candidate
+            // is outside the union of the per-object NIB rectangles, or it
+            // is farther than every μ below from the node MBR (which
+            // contains each object MBR, so minDist only shrinks towards
+            // children — see `Mbr::min_dist_sq`). Strict `>` mirrors the
+            // per-object exclusion rule exactly.
+            if !node.nib_mbr.contains_point(candidate)
+                || node.mbr.min_dist_sq(candidate) > node.max_mu * node.max_mu
+            {
+                t.subtrees_nib += 1;
+                visit(JoinEvent::SubtreeExcluded { count: node.count });
+                continue;
+            }
+            // subtree-IA (Theorem 1 at node level): within min_mu of the
+            // farthest point of the node MBR ⇒ within every object's μ of
+            // all its positions (maxDist only shrinks towards children).
+            if node.mbr.max_dist_sq(candidate) <= node.min_mu * node.min_mu {
+                t.subtrees_ia += 1;
+                visit(JoinEvent::SubtreeInfluenced { count: node.count });
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal { children } => stack.extend_from_slice(children),
+                NodeKind::Leaf { entries } => {
+                    for e in entries {
+                        // Exact per-object rules — identical semantics to
+                        // `InfluenceRegions::{in_influence_arcs,
+                        // in_non_influence_boundary}`.
+                        if e.mbr.min_dist_sq(candidate) > e.mu_sq {
+                            visit(JoinEvent::EntryExcluded(&e.payload));
+                        } else if e.mbr.max_dist_sq(candidate) <= e.mu_sq {
+                            visit(JoinEvent::EntryInfluenced(&e.payload));
+                        } else {
+                            visit(JoinEvent::EntryUndecided(&e.payload));
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Checks structural invariants; used by tests. Verifies that every
+    /// node's aggregates (`mbr`, `nib_mbr`, `min_mu`/`max_mu`, `count`)
+    /// bound its contents and that all leaves sit at the same depth.
+    /// Returns the number of objects reachable from the root.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<T: Clone>(
+            tree: &MbrTree<T>,
+            id: NodeId,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> u64 {
+            let node = &tree.nodes[id];
+            match &node.kind {
+                NodeKind::Leaf { entries } => {
+                    if let Some(ld) = *leaf_depth {
+                        assert_eq!(ld, depth, "leaves at different depths");
+                    } else {
+                        *leaf_depth = Some(depth);
+                    }
+                    assert!(!entries.is_empty(), "empty leaf");
+                    assert!(entries.len() <= tree.max_entries, "overfull leaf");
+                    for e in entries {
+                        assert!(node.mbr.contains_mbr(&e.mbr), "entry MBR escapes node");
+                        assert!(
+                            node.nib_mbr.contains_mbr(&e.nib_mbr),
+                            "entry NIB MBR escapes node"
+                        );
+                        let mu = e.mu_sq.sqrt();
+                        assert!(
+                            node.min_mu <= mu + 1e-9 && mu <= node.max_mu + 1e-9,
+                            "entry μ outside node bounds"
+                        );
+                    }
+                    assert_eq!(node.count, entries.len() as u64, "leaf count wrong");
+                    node.count
+                }
+                NodeKind::Internal { children } => {
+                    assert!(!children.is_empty(), "internal node with no children");
+                    assert!(children.len() <= tree.max_entries, "overfull internal");
+                    let mut count = 0;
+                    for &c in children {
+                        count += walk(tree, c, depth + 1, leaf_depth);
+                        let child = &tree.nodes[c];
+                        assert!(node.mbr.contains_mbr(&child.mbr), "child MBR escapes");
+                        assert!(
+                            node.nib_mbr.contains_mbr(&child.nib_mbr),
+                            "child NIB MBR escapes"
+                        );
+                        assert!(node.min_mu <= child.min_mu, "min_mu not a lower bound");
+                        assert!(node.max_mu >= child.max_mu, "max_mu not an upper bound");
+                    }
+                    assert_eq!(node.count, count, "internal count wrong");
+                    count
+                }
+            }
+        }
+        let Some(root) = self.root else {
+            assert_eq!(self.len, 0, "empty tree with nonzero len");
+            return 0;
+        };
+        let mut leaf_depth = None;
+        let count = walk(self, root, 0, &mut leaf_depth) as usize;
+        assert_eq!(count, self.len, "len out of sync with contents");
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random `(mbr, μ, id)` items.
+    fn pseudo_items(n: usize, seed: u64) -> Vec<(Mbr, f64, usize)> {
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                let cx = next() * 40.0;
+                let cy = next() * 25.0;
+                let w = next() * 20.0;
+                let h = next() * 12.0;
+                let mbr = Mbr::new(Point::new(cx, cy), Point::new(cx + w, cy + h));
+                // μ spread over three orders of magnitude, like
+                // minMaxRadius across position counts 3..600.
+                let mu = 0.5 * (1000.0f64).powf(next());
+                (mbr, mu, i)
+            })
+            .collect()
+    }
+
+    /// Per-item ground truth of the three-way classification.
+    fn classify(items: &[(Mbr, f64, usize)], c: &Point) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let (mut inf, mut exc, mut und) = (Vec::new(), Vec::new(), Vec::new());
+        for (mbr, mu, i) in items {
+            if mbr.min_dist_sq(c) > mu * mu {
+                exc.push(*i);
+            } else if mbr.max_dist_sq(c) <= mu * mu {
+                inf.push(*i);
+            } else {
+                und.push(*i);
+            }
+        }
+        (inf, exc, und)
+    }
+
+    /// Runs the join and returns (influenced count, excluded count,
+    /// undecided ids, per-entry influenced ids available at leaf level).
+    fn run_join(tree: &MbrTree<usize>, c: &Point) -> (u64, u64, Vec<usize>, JoinTraversal) {
+        let (mut inf, mut exc, mut und) = (0u64, 0u64, Vec::new());
+        let t = tree.influence_join(c, |e| match e {
+            JoinEvent::SubtreeInfluenced { count } => inf += count,
+            JoinEvent::SubtreeExcluded { count } => exc += count,
+            JoinEvent::EntryInfluenced(_) => inf += 1,
+            JoinEvent::EntryExcluded(_) => exc += 1,
+            JoinEvent::EntryUndecided(&i) => und.push(i),
+        });
+        und.sort_unstable();
+        (inf, exc, und, t)
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree: MbrTree<usize> = MbrTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.bounds(), None);
+        assert_eq!(tree.height(), 0);
+        let t = tree.influence_join(&Point::ORIGIN, |_| panic!("no events on empty tree"));
+        assert_eq!(t, JoinTraversal::default());
+        assert_eq!(tree.check_invariants(), 0);
+    }
+
+    #[test]
+    fn join_matches_per_item_classification() {
+        // The traversal must agree with the brute-force per-object rules
+        // exactly: same influenced/excluded totals, same undecided set.
+        // Bulk decisions are conservative (only fire when uniform), so an
+        // item can never migrate between classes.
+        let items = pseudo_items(300, 7);
+        let tree = MbrTree::bulk_load(items.clone());
+        assert_eq!(tree.check_invariants(), 300);
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..60 {
+            let c = Point::new(next() * 60.0 - 10.0, next() * 40.0 - 8.0);
+            let (want_inf, want_exc, want_und) = classify(&items, &c);
+            let (inf, exc, und, t) = run_join(&tree, &c);
+            assert_eq!(inf, want_inf.len() as u64, "influenced at {c}");
+            assert_eq!(exc, want_exc.len() as u64, "excluded at {c}");
+            assert_eq!(und, want_und, "undecided at {c}");
+            assert!(t.nodes_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn subtree_rules_fire_on_homogeneous_bands() {
+        // All-huge-μ items: a candidate in the middle is within μ of
+        // everything, and the root alone should decide it (subtree-IA at
+        // the root, one node visited). All-tiny-μ far items: excluded in
+        // bulk high up.
+        let huge: Vec<(Mbr, f64, usize)> = (0..64)
+            .map(|i| {
+                let x = (i % 8) as f64;
+                let y = (i / 8) as f64;
+                (
+                    Mbr::new(Point::new(x, y), Point::new(x + 1.0, y + 1.0)),
+                    500.0,
+                    i,
+                )
+            })
+            .collect();
+        let tree = MbrTree::bulk_load(huge);
+        let (inf, _, und, t) = run_join(&tree, &Point::new(4.0, 4.0));
+        assert_eq!(inf, 64);
+        assert!(und.is_empty());
+        assert_eq!(t.subtrees_ia, 1, "root should decide everything");
+        assert_eq!(t.nodes_visited, 1);
+
+        let tiny: Vec<(Mbr, f64, usize)> = (0..64)
+            .map(|i| {
+                let x = (i % 8) as f64;
+                let y = (i / 8) as f64;
+                (
+                    Mbr::new(Point::new(x, y), Point::new(x + 0.2, y + 0.2)),
+                    0.1,
+                    i,
+                )
+            })
+            .collect();
+        let tree = MbrTree::bulk_load(tiny);
+        let (inf, exc, und, t) = run_join(&tree, &Point::new(500.0, 500.0));
+        assert_eq!((inf, exc), (0, 64));
+        assert!(und.is_empty());
+        assert_eq!(t.subtrees_nib, 1, "root should exclude everything");
+    }
+
+    #[test]
+    fn mixed_mu_bands_stay_separable() {
+        // Half tiny-μ, half huge-μ, spatially interleaved: μ-banded
+        // packing must keep the halves in disjoint subtrees so that a
+        // central candidate bulk-accepts the huge-μ half instead of
+        // descending to every leaf.
+        let items: Vec<(Mbr, f64, usize)> = (0..128)
+            .map(|i| {
+                let x = (i % 16) as f64;
+                let y = (i / 16) as f64;
+                let mu = if i % 2 == 0 { 0.05 } else { 400.0 };
+                (
+                    Mbr::new(Point::new(x, y), Point::new(x + 0.5, y + 0.5)),
+                    mu,
+                    i,
+                )
+            })
+            .collect();
+        let tree = MbrTree::bulk_load(items.clone());
+        tree.check_invariants();
+        let c = Point::new(8.0, 4.0);
+        let (want_inf, want_exc, want_und) = classify(&items, &c);
+        let (inf, exc, und, t) = run_join(&tree, &c);
+        assert_eq!(inf, want_inf.len() as u64);
+        assert_eq!(exc, want_exc.len() as u64);
+        assert_eq!(und, want_und);
+        assert!(
+            t.subtrees_ia >= 1,
+            "huge-μ band should be accepted in bulk: {t:?}"
+        );
+    }
+
+    #[test]
+    fn zero_mu_entries_are_handled() {
+        // μ = 0 (degenerate: influenced only exactly on the MBR, and only
+        // if the MBR is a point) must not panic or misclassify.
+        let items = vec![
+            (Mbr::from_point(Point::new(1.0, 1.0)), 0.0, 0usize),
+            (Mbr::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0)), 0.0, 1),
+        ];
+        let tree = MbrTree::bulk_load(items);
+        tree.check_invariants();
+        // On the point MBR with μ = 0: minDist = maxDist = 0 ⇒ influenced.
+        let (inf, exc, und, _) = run_join(&tree, &Point::new(1.0, 1.0));
+        assert_eq!((inf, exc), (1, 1));
+        assert!(und.is_empty());
+        // Inside the extended MBR: minDist 0 ≤ 0, maxDist > 0 ⇒ undecided.
+        let (_, _, und, _) = run_join(&tree, &Point::new(3.5, 3.5));
+        assert_eq!(und, vec![1]);
+    }
+
+    #[test]
+    fn single_item_and_exact_capacity() {
+        let tree = MbrTree::bulk_load(vec![(
+            Mbr::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)),
+            1.5,
+            42usize,
+        )]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        tree.check_invariants();
+
+        let tree = MbrTree::bulk_load(pseudo_items(DEFAULT_MAX_ENTRIES, 3));
+        assert_eq!(tree.height(), 1, "exactly one full leaf");
+        tree.check_invariants();
+
+        let tree = MbrTree::bulk_load_with_capacity(pseudo_items(100, 5), 4);
+        assert!(tree.height() >= 3);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn traversal_prunes_nodes() {
+        // With μ-banded packing and a far-away candidate, the traversal
+        // must touch far fewer nodes than a full walk.
+        let items = pseudo_items(1000, 11);
+        let tree = MbrTree::bulk_load(items);
+        let total_nodes = tree.nodes.len() as u64;
+        let (_, _, _, t) = run_join(&tree, &Point::new(-4000.0, -4000.0));
+        assert!(
+            t.nodes_visited < total_nodes / 2,
+            "expected pruning: visited {} of {}",
+            t.nodes_visited,
+            total_nodes
+        );
+        assert!(t.subtrees_nib >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_mu_rejected() {
+        let _ = MbrTree::bulk_load(vec![(Mbr::from_point(Point::ORIGIN), -1.0, 0usize)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn degenerate_capacity_rejected() {
+        let _: MbrTree<usize> = MbrTree::bulk_load_with_capacity(Vec::new(), 1);
+    }
+}

@@ -396,12 +396,17 @@ impl<T: Clone> RTree<T> {
     }
 
     /// Visits every entry within `radius` of `center` (closed disc).
+    /// A negative radius matches nothing (squaring it naively would
+    /// silently query the disc of `|radius|` instead).
     pub fn query_circle(
         &self,
         center: &Point,
         radius: f64,
         mut visit: impl FnMut(&Point, &T),
     ) -> QueryStats {
+        if radius < 0.0 {
+            return QueryStats::default();
+        }
         let r_sq = radius * radius;
         self.query_region(
             |node_mbr| node_mbr.min_dist_sq(center) <= r_sq,
@@ -935,6 +940,49 @@ mod tests {
         let tree: RTree<usize> = pseudo_points(100, 2).into_iter().collect();
         assert_eq!(tree.len(), 100);
         tree.check_invariants();
+    }
+
+    #[test]
+    fn knn_degenerate_inputs() {
+        // k = 0 and the empty tree, in all combinations, plus a query far
+        // outside the indexed frame — none may panic.
+        let empty: RTree<usize> = RTree::new();
+        assert!(empty.k_nearest_neighbors(&Point::ORIGIN, 0).is_empty());
+        assert!(empty.k_nearest_neighbors(&Point::ORIGIN, 5).is_empty());
+        assert_eq!(empty.nearest_neighbor(&Point::ORIGIN), None);
+
+        let items = pseudo_points(50, 23);
+        let tree = RTree::bulk_load(items.clone());
+        assert!(tree
+            .k_nearest_neighbors(&Point::new(50.0, 30.0), 0)
+            .is_empty());
+        // Query far outside the frame: all entries still reachable, with
+        // distances measured from the outside point.
+        let far = Point::new(-1e6, 1e6);
+        let got = tree.k_nearest_neighbors(&far, 3);
+        assert_eq!(got.len(), 3);
+        let mut all: Vec<f64> = items.iter().map(|(p, _)| p.euclidean(&far)).collect();
+        all.sort_by(f64::total_cmp);
+        assert!((got[0].2 - all[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circle_query_degenerate_inputs() {
+        // Negative radius must match nothing — not the |radius| disc.
+        let p = Point::new(1.0, 1.0);
+        let tree = RTree::bulk_load(vec![(p, 0usize), (Point::new(1.5, 1.0), 1usize)]);
+        let stats = tree.query_circle(&p, -1.0, |_, _| panic!("negative radius matched"));
+        assert_eq!(stats.matches, 0);
+        assert_eq!(stats.nodes_visited, 0);
+        // Empty tree: no matches, no panic.
+        let empty: RTree<usize> = RTree::new();
+        let stats = empty.query_circle(&p, 10.0, |_, _| panic!("empty tree matched"));
+        assert_eq!(stats.matches, 0);
+        // Center far outside the indexed frame with a small radius.
+        let stats = tree.query_circle(&Point::new(1e9, -1e9), 0.5, |_, _| {
+            panic!("far query matched")
+        });
+        assert_eq!(stats.matches, 0);
     }
 
     #[test]

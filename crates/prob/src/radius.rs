@@ -85,6 +85,22 @@ impl MinMaxRadiusCache {
         value
     }
 
+    /// `minMaxRadius(τ, n)` for every position count in `counts`, in
+    /// order, memoised through the same per-`n` map as [`Self::get`].
+    ///
+    /// This is the bulk form Algorithm 1 effectively runs (one lookup
+    /// per object, one computation per *distinct* `n`), and it is what
+    /// the object-side μ-aggregate index builds its per-entry radii
+    /// from: `None` entries are uninfluenceable objects that never enter
+    /// the tree.
+    pub fn get_many<P: ProbabilityFunction + ?Sized>(
+        &mut self,
+        pf: &P,
+        counts: impl IntoIterator<Item = usize>,
+    ) -> Vec<Option<f64>> {
+        counts.into_iter().map(|n| self.get(pf, n)).collect()
+    }
+
     /// `(hits, misses)` counters, for the instrumentation experiments.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]
-//! pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*]
+//! pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*|pin-join]
 //!                        [--tau T] [--candidates M] [--seed N] [--top K]
 //!                        [--threads N]
 //! pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M]
@@ -24,7 +24,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]\n  \
-         pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*] [--tau T] [--candidates M] [--seed N] [--top K] [--threads N]\n  \
+         pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*|pin-join] [--tau T] [--candidates M] [--seed N] [--top K] [--threads N]\n  \
          pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M] [--epsilon E] [--delta D] [--seed N]\n  \
          pinocchio-cli generate --out DIR [--dataset ...] [--seed N]"
     );
@@ -105,6 +105,7 @@ fn main() -> ExitCode {
                 "pin" => Algorithm::Pinocchio,
                 "pin-vo" => Algorithm::PinocchioVo,
                 "pin-vo*" => Algorithm::PinocchioVoStar,
+                "pin-join" => Algorithm::PinocchioJoin,
                 other => {
                     eprintln!("error: unknown algorithm '{other}'");
                     return ExitCode::from(2);
@@ -156,13 +157,14 @@ fn main() -> ExitCode {
                 }
             };
             let r = if threads > 1 {
-                use pinocchio::core::parallel;
+                use pinocchio::core::{join, parallel};
                 match algorithm {
                     Algorithm::Naive => parallel::solve_naive(&problem, threads),
                     Algorithm::Pinocchio => parallel::solve_pinocchio(&problem, threads),
                     Algorithm::PinocchioVo => parallel::solve_vo(&problem, threads),
+                    Algorithm::PinocchioJoin => join::solve_par(&problem, threads),
                     Algorithm::PinocchioVoStar => {
-                        eprintln!("error: --threads supports na, pin and pin-vo (pin-vo* has no parallel driver)");
+                        eprintln!("error: --threads supports na, pin, pin-vo and pin-join (pin-vo* has no parallel driver)");
                         return ExitCode::from(2);
                     }
                 }

@@ -2,7 +2,8 @@
 //! structure-of-arrays kernel, must reproduce the scalar kernel's
 //! results bit for bit — winner index, influence vectors, early-stop
 //! verdicts — across random worlds, thresholds, thread counts, and the
-//! adversarial tie-heavy / all-uninfluenceable corners.
+//! adversarial tie-heavy / all-uninfluenceable corners. The solver loop
+//! covers the paper's four algorithms plus the PIN-JOIN extension.
 
 use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
 use pinocchio::prelude::*;
@@ -41,7 +42,7 @@ fn assert_kernels_identical(
     let scalar = build(objects.clone(), candidates.clone(), tau, EvalKernel::Scalar);
     let blocked = build(objects, candidates, tau, EvalKernel::Blocked);
 
-    for algorithm in Algorithm::ALL {
+    for algorithm in Algorithm::WITH_EXTENSIONS {
         let s = scalar.solve(algorithm);
         let b = blocked.solve(algorithm);
         assert_eq!(
@@ -79,6 +80,13 @@ fn assert_kernels_identical(
         assert_eq!(
             s.influences, b.influences,
             "parallel PIN (threads={threads}, {ctx})"
+        );
+        let s = pinocchio::core::join::solve_par(&scalar, threads);
+        let b = pinocchio::core::join::solve_par(&blocked, threads);
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (b.best_candidate, b.max_influence),
+            "parallel PIN-JOIN diverges (threads={threads}, {ctx})"
         );
     }
 

@@ -1,6 +1,6 @@
-//! Cross-crate integration: all four solvers agree with the exhaustive
-//! oracle on realistic generated worlds, across thresholds and
-//! probability functions.
+//! Cross-crate integration: all four paper solvers plus the PIN-JOIN
+//! extension agree with the exhaustive oracle on realistic generated
+//! worlds, across thresholds and probability functions.
 
 use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
 use pinocchio::prelude::*;
@@ -31,6 +31,7 @@ fn assert_all_agree<P: ProbabilityFunction + Clone>(
         Algorithm::Pinocchio,
         Algorithm::PinocchioVo,
         Algorithm::PinocchioVoStar,
+        Algorithm::PinocchioJoin,
     ] {
         let r = problem.solve(algorithm);
         assert_eq!(
@@ -122,6 +123,9 @@ fn influence_vectors_match_between_na_and_pin() {
     let pin = problem.solve(Algorithm::Pinocchio);
     assert_eq!(na.influences, pin.influences);
     assert_eq!(na.ranking(), pin.ranking());
+    let join = problem.solve(Algorithm::PinocchioJoin);
+    assert_eq!(na.influences, join.influences);
+    assert_eq!(na.ranking(), join.ranking());
 }
 
 #[test]
@@ -166,6 +170,11 @@ fn parallel_solvers_agree_with_sequential() {
     assert_eq!(par.stats, seq.stats, "parallel PIN must not drop counters");
     let seq = problem.solve(Algorithm::PinocchioVo);
     let par = pinocchio::core::parallel::solve_vo(&problem, 4);
+    assert_eq!(
+        (par.best_candidate, par.max_influence),
+        (seq.best_candidate, seq.max_influence)
+    );
+    let par = pinocchio::core::join::solve_par(&problem, 4);
     assert_eq!(
         (par.best_candidate, par.max_influence),
         (seq.best_candidate, seq.max_influence)
@@ -223,6 +232,67 @@ mod parallel_vo_property {
     }
 }
 
+mod join_property {
+    use super::*;
+    use pinocchio::core::EvalKernel;
+    use proptest::prelude::*;
+
+    fn check_join_agreement(
+        users: usize,
+        cands: usize,
+        seed: u64,
+        tau: f64,
+    ) -> Result<(), TestCaseError> {
+        let (objects, candidates) = world(users, cands, seed);
+        for kernel in [EvalKernel::Scalar, EvalKernel::Blocked] {
+            let problem = PrimeLs::builder()
+                .objects(objects.clone())
+                .candidates(candidates.clone())
+                .probability_function(PowerLawPf::paper_default())
+                .tau(tau)
+                .evaluation_kernel(kernel)
+                .build()
+                .unwrap();
+            let oracle = problem.solve(Algorithm::Naive);
+            let seq = problem.solve(Algorithm::PinocchioJoin);
+            prop_assert_eq!(
+                &seq.influences,
+                &oracle.influences,
+                "sequential PIN-JOIN vs NA (seed={} tau={} kernel={:?})",
+                seed,
+                tau,
+                kernel
+            );
+            prop_assert_eq!(
+                (seq.best_candidate, seq.max_influence),
+                (oracle.best_candidate, oracle.max_influence)
+            );
+            for threads in [1, 2, 8] {
+                let par = pinocchio::core::join::solve_par(&problem, threads);
+                prop_assert_eq!(
+                    (par.best_candidate, par.max_influence),
+                    (oracle.best_candidate, oracle.max_influence),
+                    "parallel PIN-JOIN vs NA (seed={} tau={} threads={} kernel={:?})",
+                    seed,
+                    tau,
+                    threads,
+                    kernel
+                );
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn agrees_on_random_worlds(seed in 0u64..10_000, tau_idx in 0usize..3) {
+            let tau = [0.3, 0.5, 0.7][tau_idx];
+            check_join_agreement(60, 30, seed, tau)?;
+        }
+    }
+}
+
 #[test]
 fn parallel_vo_handles_all_uninfluenceable_worlds() {
     // τ = 0.95 > PF(0) with single-position objects: nothing can be
@@ -246,6 +316,9 @@ fn parallel_vo_handles_all_uninfluenceable_worlds() {
         let r = pinocchio::core::parallel::solve_vo(&problem, threads);
         assert_eq!(r.max_influence, 0, "threads={threads}");
         assert_eq!(r.best_candidate, 0, "ties break to the smallest index");
+        let r = pinocchio::core::join::solve_par(&problem, threads);
+        assert_eq!(r.max_influence, 0, "join threads={threads}");
+        assert_eq!(r.best_candidate, 0, "join ties break to the smallest index");
     }
 }
 
@@ -272,6 +345,12 @@ fn parallel_vo_breaks_ties_towards_smallest_index() {
             (r.best_candidate, r.max_influence),
             (0, 1),
             "threads={threads}"
+        );
+        let r = pinocchio::core::join::solve_par(&problem, threads);
+        assert_eq!(
+            (r.best_candidate, r.max_influence),
+            (0, 1),
+            "join threads={threads}"
         );
     }
 }
