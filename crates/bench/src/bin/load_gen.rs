@@ -1,0 +1,292 @@
+//! Load generator for the `pinocchio-serve` query service.
+//!
+//! Boots a real server over TCP, hammers it with pipelined concurrent
+//! clients while a writer connection streams position updates, and
+//! measures end-to-end throughput plus the queue-to-response latency
+//! histogram — once per configured `batch_max`, so the checked-in
+//! record shows what per-epoch request batching buys (shared
+//! from-scratch solves, fewer snapshot loads) against the batching-off
+//! baseline.
+//!
+//! The run doubles as an exactness gate: after the load drains, the
+//! final `best` and `solve` answers over the wire must **bit-match** a
+//! from-scratch computation on a locally mirrored copy of the final
+//! state (same updates applied through the same [`World::apply`]
+//! codepath), and the server's final counters must satisfy the
+//! `ServeStats` accounting identity. Any disagreement aborts the run
+//! before a record is written.
+//!
+//! Emits `BENCH_PR5.json` at the workspace root (checked in, so the PR
+//! carries its own evidence) with one row per batch size. Runs at
+//! `PINOCCHIO_SCALE=small` in CI (the `serve-smoke` job).
+
+use pinocchio_bench::*;
+use pinocchio_core::Algorithm;
+use pinocchio_data::sample_candidate_group;
+use pinocchio_geo::Point;
+use pinocchio_serve::{serve, ServerConfig, UpdateOp, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread;
+use std::time::Instant;
+
+/// Concurrent query connections.
+const CLIENTS: usize = 4;
+/// Queries sent by each client.
+const QUERIES_PER_CLIENT: usize = 200;
+/// Requests each client keeps in flight (pipelining keeps the admission
+/// queue non-empty, which is what gives `batch_max` something to do).
+const PIPELINE: usize = 32;
+/// Updates streamed by the writer connection during the query load.
+const UPDATES: usize = 50;
+/// The benchmarked batch sizes: batching off vs. the server default ×2.
+const BATCH_SIZES: [usize; 2] = [1, 32];
+/// Candidate-set size (smaller than the solver benches: every `solve`
+/// query is a full from-scratch run).
+const CANDIDATES: usize = 60;
+
+/// A blocking line client for the serial (writer / verification) roles.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn round_trip(&mut self, request: &str) -> Value {
+        writeln!(self.stream, "{request}").expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        serde_json::from_str(line.trim_end()).expect("response is JSON")
+    }
+}
+
+fn uint(v: &Value, field: &str) -> u64 {
+    v.get(field)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {field} in {v}"))
+}
+
+fn float_bits(v: &Value, field: &str) -> u64 {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("missing f64 field {field} in {v}"))
+        .to_bits()
+}
+
+/// The query mix one client cycles through; solves rotate over the
+/// pruning solvers so batch mates can share runs per (epoch, algo).
+fn request_for(i: usize, client: usize, candidate_ids: &[u64]) -> String {
+    match i % 4 {
+        0 => r#"{"v":1,"op":"best"}"#.to_string(),
+        1 => format!(r#"{{"v":1,"op":"top_k","k":{}}}"#, 1 + (i + client) % 5),
+        2 => format!(
+            r#"{{"v":1,"op":"influence_of","candidate":{}}}"#,
+            candidate_ids[(i + client) % candidate_ids.len()]
+        ),
+        _ => {
+            let algo = ["pin-vo", "pin", "pin-join"][(i / 4 + client) % 3];
+            format!(r#"{{"v":1,"op":"solve","algo":"{algo}"}}"#)
+        }
+    }
+}
+
+/// Runs the full load against one server instance and returns the row.
+fn run_one(initial: &World, batch_max: usize) -> serde_json::Value {
+    let handle = serve(
+        initial.clone(),
+        ServerConfig {
+            queue_capacity: 2 * CLIENTS * PIPELINE,
+            batch_max,
+            workers: 4,
+            solve_threads: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let candidate_ids = initial.candidate_ids();
+    let object_ids = initial.object_ids();
+
+    println!("  batch_max={batch_max}: {CLIENTS} clients x {QUERIES_PER_CLIENT} queries, {UPDATES} updates");
+    let started = Instant::now();
+
+    // Writer: serial acked updates, mirrored locally for the final gate.
+    let mut mirror = initial.clone();
+    let writer = {
+        let mut rng = StdRng::seed_from_u64(0x10AD + batch_max as u64);
+        let mut client = Client::connect(addr);
+        let ops: Vec<UpdateOp> = (0..UPDATES)
+            .map(|_| UpdateOp::AppendPosition {
+                object: object_ids[rng.gen_range(0..object_ids.len())],
+                position: Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)),
+            })
+            .collect();
+        for op in &ops {
+            mirror.apply(op).expect("mirror accepts its own updates");
+        }
+        thread::spawn(move || {
+            for op in ops {
+                let UpdateOp::AppendPosition { object, position } = &op else {
+                    unreachable!("writer only appends");
+                };
+                let ack = client.round_trip(&format!(
+                    r#"{{"v":1,"op":"append_position","object":{object},"x":{},"y":{}}}"#,
+                    position.x, position.y
+                ));
+                assert_eq!(
+                    ack.get("applied").and_then(Value::as_bool),
+                    Some(true),
+                    "update rejected: {ack}"
+                );
+            }
+        })
+    };
+
+    // Query clients: pipelined chunks keep PIPELINE requests in flight.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let candidate_ids = candidate_ids.clone();
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut stream = stream;
+                let mut sent = 0usize;
+                while sent < QUERIES_PER_CLIENT {
+                    let chunk = PIPELINE.min(QUERIES_PER_CLIENT - sent);
+                    let mut burst = String::new();
+                    for i in sent..sent + chunk {
+                        burst.push_str(&request_for(i, c, &candidate_ids));
+                        burst.push('\n');
+                    }
+                    stream.write_all(burst.as_bytes()).expect("send burst");
+                    for _ in 0..chunk {
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        let v: Value =
+                            serde_json::from_str(line.trim_end()).expect("response is JSON");
+                        assert_eq!(
+                            v.get("ok").and_then(Value::as_bool),
+                            Some(true),
+                            "query failed under load: {v}"
+                        );
+                    }
+                    sent += chunk;
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer thread");
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let seconds = started.elapsed().as_secs_f64();
+
+    // Exactness gate: the served final state must bit-match the mirror.
+    let mut check = Client::connect(addr);
+    let best = check.round_trip(r#"{"v":1,"op":"best"}"#);
+    let (id, loc, inf) = mirror.best().unwrap().expect("non-empty world");
+    assert_eq!(uint(&best, "epoch"), UPDATES as u64, "stale final epoch");
+    assert_eq!(uint(&best, "candidate"), id, "served best diverged");
+    assert_eq!(float_bits(&best, "x"), loc.x.to_bits());
+    assert_eq!(float_bits(&best, "y"), loc.y.to_bits());
+    assert_eq!(uint(&best, "influence"), u64::from(inf));
+    let solved = check.round_trip(r#"{"v":1,"op":"solve","algo":"pin-vo"}"#);
+    let outcome = mirror.solve(Algorithm::PinocchioVo, 1).expect("solvable");
+    assert_eq!(uint(&solved, "candidate"), outcome.candidate);
+    assert_eq!(uint(&solved, "influence"), u64::from(outcome.influence));
+    assert_eq!(float_bits(&solved, "x"), outcome.location.x.to_bits());
+    assert_eq!(float_bits(&solved, "y"), outcome.location.y.to_bits());
+
+    let ack = check.round_trip(r#"{"v":1,"op":"shutdown"}"#);
+    assert_eq!(ack.get("draining").and_then(Value::as_bool), Some(true));
+    drop(check);
+    let stats = handle.join();
+
+    let queries = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    assert_eq!(stats.shed, 0, "the load must fit the admission queue");
+    assert_eq!(stats.updates_applied, UPDATES as u64);
+    assert_eq!(stats.queries_completed(), queries + 2);
+    assert_eq!(stats.queries_completed(), stats.latency_total());
+    assert_eq!(
+        stats.lines_received,
+        stats.accounted_lines(),
+        "accounting identity violated: {stats:?}"
+    );
+
+    let throughput = queries as f64 / seconds;
+    let shared = stats.queries_solve - stats.solve_runs;
+    println!(
+        "  batch_max={batch_max}: {throughput:.0} q/s in {}, batches={} jobs/batch={:.2} \
+         solves={} shared={} high_water={}",
+        fmt_secs(seconds),
+        stats.batches,
+        stats.batched_jobs as f64 / stats.batches.max(1) as f64,
+        stats.solve_runs,
+        shared,
+        stats.queue_high_water,
+    );
+    serde_json::json!({
+        "batch_max": batch_max,
+        "clients": CLIENTS,
+        "pipeline": PIPELINE,
+        "queries": queries,
+        "updates": UPDATES,
+        "seconds": seconds,
+        "throughput_qps": throughput,
+        "batches": stats.batches,
+        "batched_jobs": stats.batched_jobs,
+        "jobs_per_batch": stats.batched_jobs as f64 / stats.batches.max(1) as f64,
+        "queries_solve": stats.queries_solve,
+        "solve_runs": stats.solve_runs,
+        "shared_solves": shared,
+        "epochs_published": stats.epochs_published,
+        "queue_high_water": stats.queue_high_water,
+        "stats": stats.to_json(),
+    })
+}
+
+fn main() {
+    let d = dataset(DatasetKind::Foursquare);
+    let m = CANDIDATES.min(d.venues().len());
+    let (_, candidates) = sample_candidate_group(&d, m, 8);
+    let world = World::from_parts(d.objects().to_vec(), candidates, defaults::TAU)
+        .expect("well-formed world");
+    println!(
+        "load-gen: {} objects x {} candidates, tau={}",
+        world.object_count(),
+        world.candidate_count(),
+        defaults::TAU
+    );
+
+    let rows: Vec<serde_json::Value> = BATCH_SIZES
+        .iter()
+        .map(|&batch_max| run_one(&world, batch_max))
+        .collect();
+
+    let record = serde_json::json!({
+        "id": "load_gen_pr5",
+        "scale": if is_small_scale() { "small" } else { "full" },
+        "tau": defaults::TAU,
+        "candidates": m,
+        "rows": rows,
+    });
+    write_record("load_gen_pr5", &record);
+
+    // Checked-in copy at the workspace root so the PR carries the
+    // measured numbers alongside the code.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialisable record");
+    std::fs::write(&root, body + "\n").expect("can write BENCH_PR5.json");
+    println!("[record written to {}]", root.display());
+}

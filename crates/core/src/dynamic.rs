@@ -139,6 +139,49 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
         self.influences[c.0]
     }
 
+    /// Every live candidate as `(handle, location, influence)`, in slot
+    /// order — the snapshot hook the serving layer's `top_k` and
+    /// `influence_of` queries read. Slot order matches the candidate
+    /// order of [`Self::to_prime_ls`], so rankings derived from either
+    /// agree on ties.
+    pub fn live_candidates(&self) -> Vec<(CandidateHandle, Point, u32)> {
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(j, c)| c.map(|point| (CandidateHandle(j), point, self.influences[j])))
+            .collect()
+    }
+
+    /// Iterates over the live moving objects (slot order).
+    pub fn objects(&self) -> impl Iterator<Item = &MovingObject> {
+        self.objects.iter().flatten().map(|row| &row.object)
+    }
+
+    /// Freezes the current state into a static [`PrimeLs`] problem — the
+    /// from-scratch solve entry used by the serving layer's `solve`
+    /// requests and exactness gates. The returned handles give, for each
+    /// candidate index of the static problem, the corresponding live
+    /// slot; index order equals slot order, so the static solvers'
+    /// smallest-index tie-break reproduces [`Self::best`]'s
+    /// smallest-slot tie-break.
+    ///
+    /// Fails with [`BuildError::NoObjects`] / [`BuildError::NoCandidates`]
+    /// when either live set is empty (`PF` and `τ` were validated at
+    /// construction and cannot fail here).
+    pub fn to_prime_ls(
+        &self,
+    ) -> Result<(crate::problem::PrimeLs<P>, Vec<CandidateHandle>), crate::problem::BuildError>
+    {
+        let live = self.live_candidates();
+        let problem = crate::problem::PrimeLs::builder()
+            .objects(self.objects().cloned().collect())
+            .candidates(live.iter().map(|&(_, p, _)| p).collect())
+            .probability_function(self.pf.clone())
+            .tau(self.tau)
+            .build()?;
+        Ok((problem, live.into_iter().map(|(h, _, _)| h).collect()))
+    }
+
     /// The current optimum `(handle, location, influence)`, ties broken
     /// towards the older (smaller-slot) candidate; `None` when no live
     /// candidate exists.
@@ -579,6 +622,61 @@ mod tests {
         // Two positions at ~0.1 km: 1 − (1 − 0.9/1.1)² ≈ 0.967 ≥ 0.95.
         assert_eq!(d.influence(c), 1);
         d.verify_against_static();
+    }
+
+    #[test]
+    fn to_prime_ls_freezes_current_state() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = fresh(0.7);
+        let cands: Vec<_> = (0..6)
+            .map(|_| {
+                d.insert_candidate(Point::new(
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.0..20.0),
+                ))
+            })
+            .collect();
+        let objs: Vec<_> = (0..15)
+            .map(|i| d.insert_object(rng_object(&mut rng, i)))
+            .collect();
+        // Punch holes so slot order and index order genuinely differ
+        // from insertion order.
+        d.remove_candidate(cands[1]);
+        d.remove_object(objs[3]);
+
+        let (problem, slots) = d.to_prime_ls().expect("non-empty live sets");
+        assert_eq!(problem.candidates().len(), 5);
+        assert_eq!(problem.objects().len(), 14);
+        let influences = problem.all_influences();
+        for (k, h) in slots.iter().enumerate() {
+            assert_eq!(influences[k], d.influence(*h), "candidate index {k}");
+        }
+        // The static winner maps back to the incremental optimum, ties
+        // included (index order == slot order).
+        let r = problem.solve(Algorithm::PinocchioVo);
+        let (bh, _, bi) = d.best().expect("live candidates");
+        assert_eq!(slots[r.best_candidate], bh);
+        assert_eq!(r.max_influence, bi);
+        // live_candidates mirrors the same slot order and counts.
+        let live = d.live_candidates();
+        assert_eq!(live.len(), slots.len());
+        for ((h, _, inf), slot) in live.iter().zip(&slots) {
+            assert_eq!(h, slot);
+            assert_eq!(*inf, d.influence(*h));
+        }
+    }
+
+    #[test]
+    fn to_prime_ls_rejects_empty_live_sets() {
+        let mut d = fresh(0.7);
+        assert!(d.to_prime_ls().is_err(), "empty state");
+        d.insert_candidate(Point::ORIGIN);
+        assert!(d.to_prime_ls().is_err(), "candidates but no objects");
+        let o = d.insert_object(MovingObject::new(0, vec![Point::ORIGIN]));
+        assert!(d.to_prime_ls().is_ok());
+        assert_eq!(d.objects().count(), 1);
+        d.remove_object(o);
+        assert!(d.to_prime_ls().is_err(), "objects all removed again");
     }
 
     #[test]

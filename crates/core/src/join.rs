@@ -229,8 +229,10 @@ pub fn try_solve_par<P: ProbabilityFunction + Clone + Sync>(
         handles.into_iter().map(join_worker).collect()
     });
 
-    let mut stats = SolveStats::default();
-    stats.uninfluenceable_objects = uninfluenceable;
+    let mut stats = SolveStats {
+        uninfluenceable_objects: uninfluenceable,
+        ..SolveStats::default()
+    };
     let mut best: Option<(u32, usize)> = None;
     for (partial, local_best) in worker_results {
         stats += partial;

@@ -55,6 +55,8 @@ pub mod weighted;
 pub use approx::{solve_approx, ApproxConfig, ApproxResult};
 pub use dynamic::{CandidateHandle, DynamicPrimeLs, ObjectHandle};
 pub use eval::{EvalKernel, PairEval};
+pub use parallel::{solve_naive as solve_naive_par, solve_pinocchio as solve_pinocchio_par};
+pub use parallel::{solve_vo as solve_vo_par, try_solve_vo as try_solve_vo_par};
 pub use problem::{BuildError, PrimeLs, PrimeLsBuilder};
 pub use result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
 pub use state::{A2d, ObjectEntry};

@@ -11,7 +11,13 @@ use std::fmt;
 use std::sync::OnceLock;
 
 /// Errors detected when assembling a [`PrimeLs`] instance.
+///
+/// `#[non_exhaustive]` for the same stability contract as
+/// [`SolveError`](crate::SolveError): downstream protocol layers match
+/// with a wildcard arm and render through [`fmt::Display`], never
+/// `Debug`, so new validation rules are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BuildError {
     /// No moving objects were supplied.
     NoObjects,

@@ -159,7 +159,13 @@ impl SolveStats {
 /// The panicking entry points keep their historical signatures by
 /// wrapping these; callers that prefer to handle degenerate inputs
 /// themselves use the `try_*` variants instead.
+///
+/// `#[non_exhaustive]`: downstream layers (the wire protocol in
+/// `pinocchio-serve` in particular) must translate through [`fmt::Display`]
+/// or a wildcard arm, so adding a solver error variant is never a
+/// breaking change and never leaks a `Debug` rendering onto the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SolveError {
     /// A parallel driver was asked to run with zero worker threads.
     ZeroThreads,

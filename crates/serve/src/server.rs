@@ -1,0 +1,787 @@
+//! The TCP server: accept loop, per-connection reader/writer threads,
+//! the single state-writer thread, and the query worker pool.
+//!
+//! ## Thread topology
+//!
+//! ```text
+//! accept ──spawns──► connection reader ──try_submit──► AdmissionQueue ──► workers (N)
+//!                        │        ▲                                          │
+//!                        │        └────────── reply mpsc ◄───────────────────┘
+//!                        │ try_send
+//!                        ▼
+//!                    ingest sync_channel ──► writer (1) ──publish──► epoch chain
+//! ```
+//!
+//! * **Readers never block on admission**: a full queue sheds the
+//!   request with a typed `overloaded` response.
+//! * **Workers batch**: each drained batch is answered against one
+//!   epoch snapshot; from-scratch solves are shared across the batch.
+//! * **The writer is unique**: updates apply in arrival order to a
+//!   clone of the current world, published as the next epoch.
+//! * **Shutdown drains**: the `shutdown` wire command (or
+//!   [`ServerHandle::shutdown`]) stops admission; every already-admitted
+//!   request is still answered before [`ServerHandle::join`] returns.
+//!   Worker panics propagate to `join` via `resume_unwind`, mirroring
+//!   the discipline of `pinocchio_core::parallel`.
+
+use crate::ingest::{SolveOutcome, World};
+use crate::scheduler::{AdmissionQueue, Job, SubmitError};
+use crate::stats::ServeStats;
+use crate::store::{Publisher, Reader, Snapshot};
+use crate::wire::{self, ErrorCode, QueryOp, Request, UpdateOp, WireError};
+use pinocchio_core::Algorithm;
+use serde_json::{json, Map};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const POLL_QUANTUM: Duration = Duration::from_millis(25);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
+
+/// Server tunables. `Default` gives sensible test/CI values; the CLI
+/// exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (reported by
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Bounded admission-queue capacity (also the ingest channel bound).
+    pub queue_capacity: usize,
+    /// Maximum jobs a worker drains per batch.
+    pub batch_max: usize,
+    /// Query worker threads.
+    pub workers: usize,
+    /// Threads handed to the parallel solvers for `solve` requests.
+    pub solve_threads: usize,
+    /// A connection with no complete request line for this long is
+    /// closed.
+    pub idle_timeout: Duration,
+    /// Write timeout on response sockets.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 256,
+            batch_max: 16,
+            workers: 2,
+            solve_threads: 2,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    queue: AdmissionQueue,
+    stats: Mutex<ServeStats>,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn bump(&self, f: impl FnOnce(&mut ServeStats)) {
+        let mut guard = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard);
+    }
+
+    fn draining(&self) -> bool {
+        // ordering: pairs with the Release store in `begin_shutdown`; the
+        // flag only gates admission — consistency of served state comes
+        // from the epoch chain, not from this flag.
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        // ordering: Release so that threads observing the flag (Acquire
+        // loads in `draining`) also observe everything done before the
+        // shutdown request; see `draining` for why nothing else rides on
+        // this flag.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// One admitted update travelling to the writer thread.
+struct UpdateMsg {
+    id: Option<u64>,
+    op: UpdateOp,
+    reply: Sender<String>,
+}
+
+/// A running server. Obtain with [`serve`]; stop with
+/// [`ServerHandle::shutdown`] + [`ServerHandle::join`] (or a client's
+/// `shutdown` wire command followed by `join`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ingest: Option<SyncSender<UpdateMsg>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts draining: no new requests are admitted. Idempotent;
+    /// equivalent to a client sending the `shutdown` wire command.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits until a drain is triggered — by a client's `shutdown` wire
+    /// command or a prior [`Self::shutdown`] call — then waits for it to
+    /// finish and returns the final merged counters. Joins, in order:
+    /// the accept thread (which joins every connection), the worker pool
+    /// (after closing the admission queue), and the writer. A panic on
+    /// any server thread resumes here.
+    pub fn join(mut self) -> ServeStats {
+        if let Some(accept) = self.accept.take() {
+            join_thread(accept);
+        }
+        // Connections are gone, so no submission can race the close; the
+        // workers drain what was admitted and then see `None`.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            join_thread(worker);
+        }
+        // Dropping the last ingest sender disconnects the writer's
+        // channel once it has drained every queued update.
+        drop(self.ingest.take());
+        if let Some(writer) = self.writer.take() {
+            join_thread(writer);
+        }
+        let mut stats = *self.shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+        stats.queue_high_water = stats.queue_high_water.max(self.shared.queue.high_water());
+        stats
+    }
+}
+
+fn join_thread<T>(handle: JoinHandle<T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+/// Binds and spawns the full server over `world`. Returns once the
+/// listener is live; all serving happens on background threads.
+pub fn serve(world: World, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let (publisher, reader) = Publisher::new(world);
+    let shared = Arc::new(Shared {
+        queue: AdmissionQueue::new(config.queue_capacity),
+        stats: Mutex::new(ServeStats::default()),
+        shutdown: AtomicBool::new(false),
+        config: config.clone(),
+    });
+
+    let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || writer_loop(publisher, ingest_rx, &shared))
+    };
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let reader = reader.clone();
+            std::thread::spawn(move || worker_loop(&shared, reader))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let ingest = ingest_tx.clone();
+        let reader = reader.clone();
+        std::thread::spawn(move || accept_loop(&listener, &shared, &ingest, &reader))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        ingest: Some(ingest_tx),
+        accept: Some(accept),
+        workers,
+        writer: Some(writer),
+    })
+}
+
+// ---- accept + connections ---------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    ingest: &SyncSender<UpdateMsg>,
+    reader: &Reader<World>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let ingest = ingest.clone();
+                let reader = reader.clone();
+                connections.push(std::thread::spawn(move || {
+                    connection_loop(stream, &shared, &ingest, reader);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_QUANTUM),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for connection in connections {
+        join_thread(connection);
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    ingest: &SyncSender<UpdateMsg>,
+    mut epoch_reader: Reader<World>,
+) {
+    if stream.set_read_timeout(Some(POLL_QUANTUM)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = write_half.set_write_timeout(Some(shared.config.write_timeout));
+
+    // All responses for this connection funnel through one writer
+    // thread, so pipelined requests cannot interleave partial lines.
+    let (reply_tx, reply_rx) = channel::<String>();
+    let response_writer = std::thread::spawn(move || write_loop(write_half, &reply_rx));
+
+    let mut buf_reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    while !shared.draining() {
+        // `line` persists across timeouts: a poll wake-up mid-line keeps
+        // the partial bytes and keeps appending.
+        match buf_reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, shared, ingest, &mut epoch_reader, &reply_tx);
+                }
+                line.clear();
+                last_activity = Instant::now();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // In-flight jobs still hold reply senders; the response writer exits
+    // only after the last of them is answered, so draining never drops
+    // an admitted request's response.
+    drop(reply_tx);
+    join_thread(response_writer);
+}
+
+fn write_loop(mut stream: TcpStream, replies: &Receiver<String>) {
+    while let Ok(response) = replies.recv() {
+        if stream
+            .write_all(response.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn handle_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    ingest: &SyncSender<UpdateMsg>,
+    epoch_reader: &mut Reader<World>,
+    reply: &Sender<String>,
+) {
+    shared.bump(|s| s.lines_received += 1);
+    let request = match wire::parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.bump(|s| s.malformed += 1);
+            let _ = reply.send(wire::response_err(None, &e));
+            return;
+        }
+    };
+    match request {
+        Request::Shutdown { id } => {
+            shared.bump(|s| s.control += 1);
+            shared.begin_shutdown();
+            let mut body = Map::new();
+            body.insert("draining".to_string(), json!(true));
+            let _ = reply.send(wire::response_ok(id, epoch_reader.latest().epoch, body));
+        }
+        Request::Update { id, op } => {
+            if shared.draining() {
+                reject_draining(shared, reply, id);
+                return;
+            }
+            let msg = UpdateMsg {
+                id,
+                op,
+                reply: reply.clone(),
+            };
+            match ingest.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    shared.bump(|s| s.shed += 1);
+                    let e = WireError::new(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "ingest queue full ({} pending updates); retry later",
+                            shared.config.queue_capacity
+                        ),
+                    );
+                    let _ = reply.send(wire::response_err(msg.id, &e));
+                }
+                Err(TrySendError::Disconnected(msg)) => {
+                    let _ = msg; // writer is gone: the server is draining
+                    reject_draining(shared, reply, id);
+                }
+            }
+        }
+        Request::Query { id, op } => {
+            if shared.draining() {
+                reject_draining(shared, reply, id);
+                return;
+            }
+            let job = Job {
+                id,
+                op,
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            };
+            match shared.queue.try_submit(job) {
+                Ok(()) => {}
+                Err(e @ SubmitError::Overloaded { .. }) => {
+                    shared.bump(|s| s.shed += 1);
+                    let _ = reply.send(wire::response_err(id, &WireError::from(e)));
+                }
+                Err(SubmitError::Closed) => reject_draining(shared, reply, id),
+            }
+        }
+    }
+}
+
+fn reject_draining(shared: &Arc<Shared>, reply: &Sender<String>, id: Option<u64>) {
+    shared.bump(|s| s.rejected_shutdown += 1);
+    let e = WireError::new(ErrorCode::ShuttingDown, "server is draining".to_string());
+    let _ = reply.send(wire::response_err(id, &e));
+}
+
+// ---- the writer thread -------------------------------------------------
+
+fn writer_loop(mut publisher: Publisher<World>, updates: Receiver<UpdateMsg>, shared: &Shared) {
+    while let Ok(first) = updates.recv() {
+        // Batch whatever else is already queued (bounded by batch_max)
+        // so one world clone and one epoch publication cover them all.
+        let mut batch = vec![first];
+        while batch.len() < shared.config.batch_max.max(1) {
+            match updates.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let mut world = publisher.current().state.clone();
+        let mut applied = 0u64;
+        let mut errors = 0u64;
+        let outcomes: Vec<Result<(), WireError>> = batch
+            .iter()
+            .map(|msg| {
+                let outcome = world.apply(&msg.op);
+                match outcome {
+                    Ok(()) => applied += 1,
+                    Err(_) => errors += 1,
+                }
+                outcome
+            })
+            .collect();
+        // Publish once per batch; a batch of pure failures changes
+        // nothing and publishes nothing.
+        let epoch = if applied > 0 {
+            publisher.publish(world)
+        } else {
+            publisher.epoch()
+        };
+        for (msg, outcome) in batch.into_iter().zip(outcomes) {
+            let response = match outcome {
+                Ok(()) => {
+                    let mut body = Map::new();
+                    body.insert("applied".to_string(), json!(true));
+                    wire::response_ok(msg.id, epoch, body)
+                }
+                Err(e) => wire::response_err(msg.id, &e),
+            };
+            let _ = msg.reply.send(response);
+        }
+        shared.bump(|s| {
+            s.updates_applied += applied;
+            s.update_errors += errors;
+            if applied > 0 {
+                s.epochs_published += 1;
+            }
+        });
+    }
+}
+
+// ---- the worker pool ---------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, mut reader: Reader<World>) {
+    while let Some(batch) = shared.queue.next_batch(shared.config.batch_max) {
+        // One snapshot per batch: every job in it is answered on the
+        // same epoch, and `solve` results are shared across the batch.
+        let snapshot = reader.latest();
+        let mut local = ServeStats {
+            batches: 1,
+            batched_jobs: batch.len() as u64,
+            ..ServeStats::default()
+        };
+        let mut solve_memo: Vec<(Algorithm, Result<SolveOutcome, WireError>)> = Vec::new();
+        for job in batch {
+            let response = answer(&job, &snapshot, &mut solve_memo, &mut local, shared);
+            let micros = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+            local.record_latency(micros);
+            let _ = job.reply.send(response);
+        }
+        shared.bump(|s| *s += local);
+    }
+}
+
+fn answer(
+    job: &Job,
+    snapshot: &Snapshot<World>,
+    solve_memo: &mut Vec<(Algorithm, Result<SolveOutcome, WireError>)>,
+    local: &mut ServeStats,
+    shared: &Arc<Shared>,
+) -> String {
+    let world = &snapshot.state;
+    let outcome: Result<Map, WireError> = match job.op {
+        QueryOp::Best => {
+            local.queries_best += 1;
+            world.best().and_then(|best| match best {
+                Some((candidate, location, influence)) => {
+                    let mut body = Map::new();
+                    body.insert("candidate".to_string(), json!(candidate));
+                    body.insert("x".to_string(), json!(location.x));
+                    body.insert("y".to_string(), json!(location.y));
+                    body.insert("influence".to_string(), json!(influence));
+                    Ok(body)
+                }
+                None => Err(WireError::new(
+                    ErrorCode::Empty,
+                    "no live candidates".to_string(),
+                )),
+            })
+        }
+        QueryOp::TopK { k } => {
+            local.queries_top_k += 1;
+            world.top_k(k).map(|entries| {
+                let rendered: Vec<serde_json::Value> = entries
+                    .into_iter()
+                    .map(|(candidate, location, influence)| {
+                        json!({
+                            "candidate": candidate,
+                            "x": location.x,
+                            "y": location.y,
+                            "influence": influence,
+                        })
+                    })
+                    .collect();
+                let mut body = Map::new();
+                body.insert("entries".to_string(), serde_json::Value::Array(rendered));
+                body
+            })
+        }
+        QueryOp::InfluenceOf { candidate } => {
+            local.queries_influence_of += 1;
+            world.influence_of(candidate).map(|influence| {
+                let mut body = Map::new();
+                body.insert("candidate".to_string(), json!(candidate));
+                body.insert("influence".to_string(), json!(influence));
+                body
+            })
+        }
+        QueryOp::Solve { algorithm } => {
+            local.queries_solve += 1;
+            let memoised = solve_memo.iter().find(|(a, _)| *a == algorithm);
+            let (result, from_batch_mate) = match memoised {
+                Some((_, result)) => (result.clone(), true),
+                None => {
+                    let result = world.solve(algorithm, shared.config.solve_threads);
+                    local.solve_runs += 1;
+                    solve_memo.push((algorithm, result.clone()));
+                    (result, false)
+                }
+            };
+            result.map(|o| {
+                let mut body = Map::new();
+                body.insert("algorithm".to_string(), json!(format!("{:?}", o.algorithm)));
+                body.insert("candidate".to_string(), json!(o.candidate));
+                body.insert("x".to_string(), json!(o.location.x));
+                body.insert("y".to_string(), json!(o.location.y));
+                body.insert("influence".to_string(), json!(o.influence));
+                body.insert("shared".to_string(), json!(from_batch_mate));
+                body
+            })
+        }
+        QueryOp::Stats => {
+            local.queries_stats += 1;
+            // Flush this worker's partial first so the report includes
+            // the current batch up to this job.
+            let view = {
+                let mut guard = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+                *guard += std::mem::take(local);
+                *guard
+            };
+            let mut view = view;
+            view.queue_high_water = view.queue_high_water.max(shared.queue.high_water());
+            let mut body = Map::new();
+            body.insert("stats".to_string(), view.to_json());
+            body.insert("queue_depth".to_string(), json!(shared.queue.depth()));
+            Ok(body)
+        }
+        QueryOp::Ping => {
+            local.queries_ping += 1;
+            Ok(Map::new())
+        }
+    };
+    match outcome {
+        Ok(body) => wire::response_ok(job.id, snapshot.epoch, body),
+        Err(e) => wire::response_err(job.id, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_geo::Point;
+    use serde_json::Value;
+    use std::io::BufRead;
+
+    /// Lockstep NDJSON client: one request out, one response in.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone");
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
+        }
+
+        fn roundtrip(&mut self, request: &str) -> Value {
+            self.writer
+                .write_all(request.as_bytes())
+                .and_then(|()| self.writer.write_all(b"\n"))
+                .expect("write request");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read response");
+            serde_json::from_str(line.trim()).expect("valid response JSON")
+        }
+    }
+
+    fn test_world() -> World {
+        let mut world = World::new(0.7);
+        for (id, (x, y)) in [(0.0, 0.0), (10.0, 0.0), (0.2, 0.1)].iter().enumerate() {
+            world
+                .apply(&UpdateOp::InsertCandidate {
+                    candidate: id as u64,
+                    location: Point::new(*x, *y),
+                })
+                .expect("insert candidate");
+        }
+        for id in 0..4u64 {
+            world
+                .apply(&UpdateOp::InsertObject {
+                    object: id,
+                    positions: vec![Point::new(0.05 * id as f64, 0.0)],
+                })
+                .expect("insert object");
+        }
+        world
+    }
+
+    fn get_u64(v: &Value, key: &str) -> u64 {
+        v.get(key).and_then(Value::as_u64).unwrap_or_else(|| {
+            panic!("missing u64 field {key} in {v}");
+        })
+    }
+
+    #[test]
+    fn end_to_end_queries_updates_and_shutdown() {
+        let handle = serve(test_world(), ServerConfig::default()).expect("bind");
+        let mut client = Client::connect(handle.addr());
+
+        let pong = client.roundtrip(r#"{"v":1,"id":1,"op":"ping"}"#);
+        assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(get_u64(&pong, "epoch"), 0);
+
+        let best = client.roundtrip(r#"{"v":1,"id":2,"op":"best"}"#);
+        let initial_best = get_u64(&best, "candidate");
+        let initial_influence = get_u64(&best, "influence");
+        assert!(initial_influence >= 1);
+
+        // Every algorithm agrees with `best`, bit for bit.
+        for algo in ["na", "pin", "pin-vo", "pin-vo*", "pin-join"] {
+            let solved = client.roundtrip(&format!(r#"{{"v":1,"op":"solve","algo":"{algo}"}}"#));
+            assert_eq!(get_u64(&solved, "candidate"), initial_best, "{algo}");
+            assert_eq!(get_u64(&solved, "influence"), initial_influence, "{algo}");
+        }
+
+        // A burst of objects near candidate 1 flips the optimum.
+        for id in 10..16u64 {
+            let ack = client.roundtrip(&format!(
+                r#"{{"v":1,"id":{id},"op":"insert_object","object":{id},"positions":[[10.0,0.05]]}}"#
+            ));
+            assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true), "{ack}");
+            assert!(get_u64(&ack, "epoch") >= 1);
+        }
+        let best = client.roundtrip(r#"{"v":1,"op":"best"}"#);
+        assert_eq!(get_u64(&best, "candidate"), 1);
+        assert_eq!(get_u64(&best, "influence"), 6);
+
+        // top_k sees all three candidates, ranked.
+        let ranking = client.roundtrip(r#"{"v":1,"op":"top_k","k":10}"#);
+        let entries = ranking
+            .get("entries")
+            .and_then(Value::as_array)
+            .expect("entries");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(get_u64(&entries[0], "candidate"), 1);
+
+        // Typed errors reach the client.
+        let unknown = client.roundtrip(r#"{"v":1,"op":"influence_of","candidate":99}"#);
+        assert_eq!(unknown.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            unknown
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("unknown_candidate")
+        );
+        let dup =
+            client.roundtrip(r#"{"v":1,"op":"insert_object","object":10,"positions":[[0.0,0.0]]}"#);
+        assert_eq!(
+            dup.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("duplicate_object")
+        );
+        let garbage = client.roundtrip("not json at all");
+        assert_eq!(
+            garbage
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("malformed")
+        );
+
+        // In-band stats reflect the traffic so far.
+        let stats = client.roundtrip(r#"{"v":1,"op":"stats"}"#);
+        let block = stats.get("stats").expect("stats body");
+        assert!(get_u64(block, "lines_received") >= 15);
+        assert_eq!(get_u64(block, "updates_applied"), 6);
+        assert_eq!(get_u64(block, "update_errors"), 1);
+        assert_eq!(get_u64(block, "malformed"), 1);
+        assert!(get_u64(block, "epochs_published") >= 1);
+
+        // Graceful shutdown: the command acks, then the server drains.
+        let ack = client.roundtrip(r#"{"v":1,"id":99,"op":"shutdown"}"#);
+        assert_eq!(ack.get("draining").and_then(Value::as_bool), Some(true));
+        let final_stats = handle.join();
+        assert_eq!(final_stats.accounted_lines(), final_stats.lines_received);
+        assert_eq!(final_stats.queries_completed(), final_stats.latency_total());
+        assert_eq!(final_stats.control, 1);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_rejections() {
+        // One worker, tiny queue: a pipelined burst must shed some
+        // requests, and shed + completed must account for the burst.
+        let config = ServerConfig {
+            queue_capacity: 2,
+            workers: 1,
+            batch_max: 1,
+            ..ServerConfig::default()
+        };
+        let handle = serve(test_world(), config).expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let burst = 64;
+        for i in 0..burst {
+            // `solve` is the slowest op, keeping the worker busy.
+            writeln!(writer, r#"{{"v":1,"id":{i},"op":"solve","algo":"na"}}"#).expect("write");
+        }
+        let mut reader = BufReader::new(stream);
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..burst {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response");
+            let v: Value = serde_json::from_str(line.trim()).expect("json");
+            if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                completed += 1;
+            } else {
+                assert_eq!(
+                    v.get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str),
+                    Some("overloaded")
+                );
+                shed += 1;
+            }
+        }
+        assert_eq!(completed + shed, burst);
+        assert!(shed > 0, "a 64-deep burst into a 2-slot queue must shed");
+        assert!(completed >= 2, "admitted work still completes");
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.shed, shed);
+        assert_eq!(stats.queries_solve, completed);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+    }
+
+    #[test]
+    fn draining_rejects_new_requests_but_join_accounts_everything() {
+        let handle = serve(test_world(), ServerConfig::default()).expect("bind");
+        let mut client = Client::connect(handle.addr());
+        let ack = client.roundtrip(r#"{"v":1,"op":"shutdown"}"#);
+        assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true));
+        let stats = handle.join();
+        assert_eq!(stats.control, 1);
+        assert_eq!(stats.lines_received, 1);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+    }
+}

@@ -1,0 +1,203 @@
+//! Epoch-snapshot state store: single writer, lock-free readers.
+//!
+//! The store is a publication chain of immutable snapshots. Each
+//! [`Node`] owns one `Arc<Snapshot>` and a [`OnceLock`] link to its
+//! successor. The single [`Publisher`] appends by setting the tail's
+//! link; every [`Reader`] holds a cursor into the chain and advances it
+//! by chasing links.
+//!
+//! ## Happens-before
+//!
+//! `OnceLock::set` publishes with release semantics and `OnceLock::get`
+//! observes with acquire semantics, so everything the writer did before
+//! `publish` — in particular, building the snapshot's state — is
+//! visible to any reader that observes the link. A reader therefore
+//! always sees a fully constructed snapshot for whichever epoch its
+//! cursor reaches, and never a torn or in-progress one. The query path
+//! takes no lock anywhere: `Reader::latest` is a bounded walk of
+//! already-published `Arc`s (the full argument is in DESIGN.md §12).
+//!
+//! Dropped prefixes of the chain are reclaimed automatically: once every
+//! reader has advanced past a node and the publisher no longer
+//! references it, its `Arc` count reaches zero. Readers pin at most the
+//! suffix from the oldest cursor onward.
+
+use std::sync::{Arc, OnceLock};
+
+/// One immutable published state, tagged with its epoch.
+///
+/// Epoch 0 is the initial state the store was created with; every
+/// `publish` increments the epoch by exactly one.
+#[derive(Debug)]
+pub struct Snapshot<T> {
+    /// Monotone publication counter (0 = initial state).
+    pub epoch: u64,
+    /// The state frozen at this epoch.
+    pub state: T,
+}
+
+/// A link of the publication chain.
+#[derive(Debug)]
+struct Node<T> {
+    snapshot: Arc<Snapshot<T>>,
+    next: OnceLock<Arc<Node<T>>>,
+}
+
+/// The writing half: owned by exactly one thread (not `Clone`), appends
+/// snapshots to the chain.
+#[derive(Debug)]
+pub struct Publisher<T> {
+    tail: Arc<Node<T>>,
+}
+
+/// The reading half: a cheap-to-clone cursor into the chain. `latest`
+/// advances the cursor to the newest published snapshot without taking
+/// any lock.
+#[derive(Debug, Clone)]
+pub struct Reader<T> {
+    cursor: Arc<Node<T>>,
+}
+
+impl<T> Publisher<T> {
+    /// Creates a store holding `initial` as epoch 0, returning the
+    /// unique publisher and a reader positioned at epoch 0.
+    pub fn new(initial: T) -> (Publisher<T>, Reader<T>) {
+        let node = Arc::new(Node {
+            snapshot: Arc::new(Snapshot {
+                epoch: 0,
+                state: initial,
+            }),
+            next: OnceLock::new(),
+        });
+        (
+            Publisher {
+                tail: Arc::clone(&node),
+            },
+            Reader { cursor: node },
+        )
+    }
+
+    /// Publishes `state` as the next epoch and returns that epoch.
+    ///
+    /// This is the linearisation point of an update batch: after
+    /// `publish` returns, every reader that calls `latest` observes this
+    /// epoch (or a later one), fully constructed.
+    pub fn publish(&mut self, state: T) -> u64 {
+        let epoch = self.tail.snapshot.epoch + 1;
+        let node = Arc::new(Node {
+            snapshot: Arc::new(Snapshot { epoch, state }),
+            next: OnceLock::new(),
+        });
+        // `set` can only fail if the link was already taken, which would
+        // require a second publisher — impossible: `Publisher` is not
+        // `Clone` and `publish` takes `&mut self`.
+        let published = self.tail.next.set(Arc::clone(&node)).is_ok();
+        debug_assert!(published, "single-writer invariant violated");
+        self.tail = node;
+        epoch
+    }
+
+    /// The most recently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.tail.snapshot.epoch
+    }
+
+    /// A snapshot of the most recently published state.
+    pub fn current(&self) -> Arc<Snapshot<T>> {
+        Arc::clone(&self.tail.snapshot)
+    }
+}
+
+impl<T> Reader<T> {
+    /// Advances to, and returns, the newest published snapshot.
+    ///
+    /// Lock-free: a finite chase of `OnceLock::get` loads — at most one
+    /// hop per epoch published since this reader last looked.
+    pub fn latest(&mut self) -> Arc<Snapshot<T>> {
+        while let Some(next) = self.cursor.next.get() {
+            self.cursor = Arc::clone(next);
+        }
+        Arc::clone(&self.cursor.snapshot)
+    }
+
+    /// The snapshot at the reader's current cursor, without advancing.
+    pub fn current(&self) -> Arc<Snapshot<T>> {
+        Arc::clone(&self.cursor.snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn epochs_are_dense_and_monotone() {
+        let (mut publisher, mut reader) = Publisher::new("genesis");
+        assert_eq!(reader.latest().epoch, 0);
+        assert_eq!(reader.latest().state, "genesis");
+        assert_eq!(publisher.publish("one"), 1);
+        assert_eq!(publisher.publish("two"), 2);
+        assert_eq!(publisher.epoch(), 2);
+        let snap = reader.latest();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.state, "two");
+        // A stale clone still sees its own epoch until it looks again.
+        let stale = reader.clone();
+        assert_eq!(publisher.publish("three"), 3);
+        assert_eq!(stale.current().epoch, 2);
+        assert_eq!(stale.clone().latest().epoch, 3);
+    }
+
+    #[test]
+    fn every_reader_sees_a_consistent_snapshot_under_concurrency() {
+        // The writer publishes vectors whose entries all equal the
+        // epoch; readers assert they never observe a mixed state.
+        let (mut publisher, reader) = Publisher::new(vec![0u64; 64]);
+        let rounds = 200u64;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let mut r = reader.clone();
+                thread::spawn(move || {
+                    let mut max_seen = 0;
+                    loop {
+                        let snap = r.latest();
+                        assert!(
+                            snap.state.iter().all(|&v| v == snap.epoch),
+                            "torn snapshot at epoch {}",
+                            snap.epoch
+                        );
+                        assert!(snap.epoch >= max_seen, "epoch went backwards");
+                        max_seen = snap.epoch;
+                        if snap.epoch == rounds {
+                            return max_seen;
+                        }
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for epoch in 1..=rounds {
+            publisher.publish(vec![epoch; 64]);
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("reader panicked"), rounds);
+        }
+    }
+
+    #[test]
+    fn old_nodes_are_reclaimed_once_readers_advance() {
+        let (mut publisher, mut reader) = Publisher::new(Arc::new(0u64));
+        let first = reader.latest();
+        let probe = Arc::downgrade(&first.state);
+        drop(first);
+        publisher.publish(Arc::new(1));
+        publisher.publish(Arc::new(2));
+        assert!(probe.upgrade().is_some(), "reader still pins epoch 0");
+        reader.latest();
+        assert!(
+            probe.upgrade().is_none(),
+            "epoch 0 must be freed once nothing references it"
+        );
+    }
+}

@@ -9,8 +9,10 @@
 //!   can mask the very race the test exists to catch.
 //! * `crate-hygiene` applies to library crate roots (`src/lib.rs`);
 //!   binary roots are exempt.
-//! * `stats-accounting` applies to `crates/core` files that define a
-//!   top-level solver entry point (a column-0 `pub fn solve…`).
+//! * `stats-accounting` applies to files that define a top-level entry
+//!   point into an instrumented subsystem: a column-0 `pub fn solve…`
+//!   in `crates/core` must account into `SolveStats`, and a column-0
+//!   `pub fn serve…` in `crates/serve` must account into `ServeStats`.
 
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
@@ -380,29 +382,48 @@ fn crate_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 // ---- stats-accounting --------------------------------------------------
 
+/// Per-crate accounting contracts: a column-0 `pub fn <prefix>…` is an
+/// entry point into an instrumented subsystem, and the file defining it
+/// must reference the crate's counter block.
+const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 2] = [
+    (
+        "core",
+        "pub fn solve",
+        "SolveStats",
+        "solver entry point in a file that never references `SolveStats`",
+    ),
+    (
+        "serve",
+        "pub fn serve",
+        "ServeStats",
+        "service entry point in a file that never references `ServeStats`",
+    ),
+];
+
 fn stats_accounting(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if crate_of(&file.path) != Some("core") || !file.path.contains("/src/") {
+    if !file.path.contains("/src/") {
         return;
     }
-    let references_stats = file.code_contains("SolveStats");
+    let Some((_, prefix, stats_type, message)) = ACCOUNTED_ENTRY_POINTS
+        .iter()
+        .find(|(krate, ..)| crate_of(&file.path) == Some(krate))
+    else {
+        return;
+    };
+    let references_stats = file.code_contains(stats_type);
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
-        // A column-0 `pub fn solve…` is a solver entry point; methods
-        // are indented and dispatch to these.
-        if line.code.starts_with("pub fn solve") && !references_stats {
+        // A column-0 `pub fn solve…`/`pub fn serve…` is an entry point;
+        // methods are indented and dispatch to these.
+        if line.code.starts_with(prefix) && !references_stats {
             out.push(
-                Diagnostic::deny(
-                    "stats-accounting",
-                    &file.path,
-                    idx + 1,
-                    "solver entry point in a file that never references `SolveStats`".to_string(),
-                )
-                .with_suggestion(
-                    "account the solver's work in `SolveStats` (see the PR-1 accounting tests) \
-                     so cost experiments keep covering it",
-                ),
+                Diagnostic::deny("stats-accounting", &file.path, idx + 1, message.to_string())
+                    .with_suggestion(format!(
+                        "account the work in `{stats_type}` (see the accounting tests) so cost \
+                     experiments keep covering it",
+                    )),
             );
             return; // one diagnostic per file is enough
         }
@@ -506,5 +527,24 @@ mod tests {
         assert!(lint_as("crates/core/src/x.rs", method, "stats-accounting").is_empty());
         // Other crates are out of scope.
         assert!(lint_as("crates/eval/src/fast.rs", bad, "stats-accounting").is_empty());
+    }
+
+    #[test]
+    fn stats_accounting_covers_the_serve_entry_point() {
+        let bad = "pub fn serve_forever() -> u32 {\n    1\n}\n";
+        let d = lint_as("crates/serve/src/entry.rs", bad, "stats-accounting");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("ServeStats"));
+        let good = "use crate::stats::ServeStats;\npub fn serve_forever() -> ServeStats {\n    ServeStats::default()\n}\n";
+        assert!(lint_as("crates/serve/src/entry.rs", good, "stats-accounting").is_empty());
+        // The serve contract wants ServeStats, not core's SolveStats.
+        let wrong_block = "use crate::SolveStats;\npub fn serve_forever() {}\n";
+        assert_eq!(
+            lint_as("crates/serve/src/entry.rs", wrong_block, "stats-accounting").len(),
+            1
+        );
+        // `pub fn solve…` in serve is not an entry point there.
+        let solver = "pub fn solve_fast() -> u32 {\n    1\n}\n";
+        assert!(lint_as("crates/serve/src/entry.rs", solver, "stats-accounting").is_empty());
     }
 }

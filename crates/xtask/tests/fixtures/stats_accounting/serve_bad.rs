@@ -1,0 +1,6 @@
+//! Fixture: a service entry point that ignores the observability block.
+
+/// Serves forever without counting anything.
+pub fn serve_requests() -> u32 {
+    0
+}

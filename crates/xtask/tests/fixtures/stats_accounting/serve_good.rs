@@ -1,0 +1,16 @@
+//! Fixture: a service entry point wired into `ServeStats`.
+//!
+//! Mirrors the real server's discipline: workers accumulate batch-local
+//! counters and merge them under the shared lock at batch boundaries,
+//! so the accounting identity (`lines_received` equals the sum of every
+//! terminal outcome) holds at quiescence.
+
+use crate::stats::ServeStats;
+
+/// Serves and reports the merged counters on drain.
+pub fn serve_requests() -> ServeStats {
+    let mut stats = ServeStats::default();
+    stats.lines_received += 1;
+    stats.queries_best += 1;
+    stats
+}

@@ -160,6 +160,44 @@ fn stats_accounting_bad_trips_good_passes() {
 }
 
 #[test]
+fn stats_accounting_covers_serve_entry_points() {
+    let bad = lint_fixture(
+        "sa-serve-bad",
+        "crates/serve/src/fixture_server.rs",
+        "stats_accounting/serve_bad.rs",
+    );
+    assert!(
+        rule_ids(&bad).contains(&"stats-accounting"),
+        "a service entry point without ServeStats must trip: {bad:?}"
+    );
+    assert!(
+        bad.diagnostics
+            .iter()
+            .any(|d| d.rule == "stats-accounting" && d.message.contains("ServeStats")),
+        "the diagnostic must name the serve counter block: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "sa-serve-good",
+        "crates/serve/src/fixture_server.rs",
+        "stats_accounting/serve_good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+
+    // The core fixture placed in serve is out of scope there: serve's
+    // contract is about `pub fn serve…`, not solver entry points.
+    let cross = lint_fixture(
+        "sa-serve-scope",
+        "crates/serve/src/fixture_server.rs",
+        "stats_accounting/bad.rs",
+    );
+    assert!(
+        !rule_ids(&cross).contains(&"stats-accounting"),
+        "`pub fn solve…` in serve is not a serve entry point: {cross:?}"
+    );
+}
+
+#[test]
 fn suppression_hygiene_bad_trips_good_passes() {
     let bad = lint_fixture(
         "sh-bad",

@@ -8,15 +8,27 @@
 //! pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M]
 //!                        [--epsilon E] [--delta D] [--seed N]
 //! pinocchio-cli generate --out DIR [--dataset ...] [--seed N]
+//! pinocchio-cli serve    [--dataset ...] [--tau T] [--candidates M] [--seed N]
+//!                        [--addr HOST:PORT] [--queue N] [--batch N]
+//!                        [--workers N] [--threads N]
+//! pinocchio-cli replay   [--dataset ...] [--tau T] [--candidates M] [--seed N]
+//!                        [--rounds N] [--every N]
 //! ```
 //!
 //! `--dataset small` (the default) builds a fast 300-user world;
 //! `foursquare` / `gowalla` build the full paper-calibrated datasets.
+//!
+//! `serve` runs the epoch-snapshot query service over the dataset until
+//! a client sends the `shutdown` wire command. `replay` streams the
+//! dataset's positions through the *same* ingest codepath in timestamp
+//! order, printing the evolving optimum — what the server's writer
+//! thread would compute for the identical stream.
 
 use pinocchio::data::{
     io, sample_candidate_group, DatasetStats, GeneratorConfig, SyntheticGenerator,
 };
 use pinocchio::prelude::*;
+use pinocchio::serve::{serve, ServerConfig, UpdateOp, World};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,9 +38,26 @@ fn usage() -> ExitCode {
         "usage:\n  pinocchio-cli stats    [--dataset foursquare|gowalla|small] [--seed N]\n  \
          pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*|pin-join] [--tau T] [--candidates M] [--seed N] [--top K] [--threads N]\n  \
          pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M] [--epsilon E] [--delta D] [--seed N]\n  \
-         pinocchio-cli generate --out DIR [--dataset ...] [--seed N]"
+         pinocchio-cli generate --out DIR [--dataset ...] [--seed N]\n  \
+         pinocchio-cli serve    [--dataset ...] [--tau T] [--candidates M] [--seed N] [--addr HOST:PORT] [--queue N] [--batch N] [--workers N] [--threads N]\n  \
+         pinocchio-cli replay   [--dataset ...] [--tau T] [--candidates M] [--seed N] [--rounds N] [--every N]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `--key` as `T`, defaulting when absent.
+fn flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flags
+        .get(key)
+        .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+        .unwrap_or(Ok(default))
 }
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
@@ -265,6 +294,146 @@ fn main() -> ExitCode {
                 checkins.display(),
                 dataset.venues().len(),
                 venues.display()
+            );
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let parsed = (|| -> Result<(f64, usize, ServerConfig), String> {
+                let tau = flag_or(&flags, "tau", 0.7)?;
+                let m = flag_or(&flags, "candidates", 200usize)?;
+                let config = ServerConfig {
+                    addr: flags
+                        .get("addr")
+                        .cloned()
+                        .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                    queue_capacity: flag_or(&flags, "queue", 256usize)?,
+                    batch_max: flag_or(&flags, "batch", 16usize)?,
+                    workers: flag_or(&flags, "workers", 2usize)?,
+                    solve_threads: flag_or(&flags, "threads", 2usize)?,
+                    ..ServerConfig::default()
+                };
+                Ok((tau, m, config))
+            })();
+            let (tau, m, config) = match parsed {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (_, candidates) =
+                sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
+            let world = match World::from_parts(dataset.objects().to_vec(), candidates, tau) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "serving {} objects x {} candidates at tau={tau}",
+                world.object_count(),
+                world.candidate_count()
+            );
+            let handle = match serve(world, config) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: cannot bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("listening on {}", handle.addr());
+            println!("send {{\"v\":1,\"op\":\"shutdown\"}} to stop");
+            let stats = handle.join();
+            println!(
+                "drained: {} lines, {} queries, {} updates, {} epochs, {} shed",
+                stats.lines_received,
+                stats.queries_completed(),
+                stats.updates_applied,
+                stats.epochs_published,
+                stats.shed
+            );
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let parsed = (|| -> Result<(f64, usize, usize, usize), String> {
+                Ok((
+                    flag_or(&flags, "tau", 0.7)?,
+                    flag_or(&flags, "candidates", 50usize)?,
+                    flag_or(&flags, "rounds", usize::MAX)?,
+                    flag_or(&flags, "every", 1usize)?,
+                ))
+            })();
+            let (tau, m, rounds, every) = match parsed {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (_, candidates) =
+                sample_candidate_group(&dataset, m.min(dataset.venues().len()), 1);
+            // The replay drives the exact codepath the server's writer
+            // thread runs: every event goes through `World::apply`.
+            let mut world = World::new(tau);
+            for (j, location) in candidates.into_iter().enumerate() {
+                if let Err(e) = world.apply(&UpdateOp::InsertCandidate {
+                    candidate: j as u64,
+                    location,
+                }) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let objects = dataset.objects();
+            let horizon = objects
+                .iter()
+                .map(|o| o.positions().len())
+                .max()
+                .unwrap_or(0)
+                .min(rounds.max(1));
+            let mut events = 0u64;
+            let report = |world: &World, t: usize, events: u64| {
+                match world.best() {
+                    Ok(Some((candidate, location, influence))) => println!(
+                        "t={t:4}  events={events:7}  best=#{candidate} at {location} influence={influence}"
+                    ),
+                    Ok(None) => println!("t={t:4}  events={events:7}  best=<none>"),
+                    Err(e) => println!("t={t:4}  events={events:7}  error: {e}"),
+                }
+            };
+            // t = 0: each object appears at its first observed position;
+            // t = k: the k-th position streams in, in timestamp order.
+            for t in 0..horizon {
+                for object in objects {
+                    let Some(&position) = object.positions().get(t) else {
+                        continue;
+                    };
+                    let op = if t == 0 {
+                        UpdateOp::InsertObject {
+                            object: object.id(),
+                            positions: vec![position],
+                        }
+                    } else {
+                        UpdateOp::AppendPosition {
+                            object: object.id(),
+                            position,
+                        }
+                    };
+                    if let Err(e) = world.apply(&op) {
+                        eprintln!("error at t={t}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    events += 1;
+                }
+                if t % every.max(1) == 0 || t + 1 == horizon {
+                    report(&world, t, events);
+                }
+            }
+            println!(
+                "replayed {events} events over {horizon} rounds: {} objects, {} candidates",
+                world.object_count(),
+                world.candidate_count()
             );
             ExitCode::SUCCESS
         }

@@ -12,7 +12,9 @@
 //! * [`data`] — moving-object datasets, generators and ground truth,
 //! * [`core`] — the PRIME-LS solvers (NA, PINOCCHIO, PINOCCHIO-VO),
 //! * [`baselines`] — the BRNN* and RANGE baselines from the evaluation,
-//! * [`eval`] — Precision@K / AP@K metrics and experiment utilities.
+//! * [`eval`] — Precision@K / AP@K metrics and experiment utilities,
+//! * [`serve`] — the epoch-snapshot query service (streaming ingest,
+//!   request batching, in-band metrics) over the incremental engine.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use pinocchio_eval as eval;
 pub use pinocchio_geo as geo;
 pub use pinocchio_index as index;
 pub use pinocchio_prob as prob;
+pub use pinocchio_serve as serve;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

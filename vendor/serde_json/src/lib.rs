@@ -524,6 +524,24 @@ impl Value {
         }
     }
 
+    /// The value as an `f64`, for any JSON number (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The element list, if this is a `Value::Array`.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
