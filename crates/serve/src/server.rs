@@ -25,7 +25,7 @@
 //!   the discipline of `pinocchio_core::parallel`.
 
 use crate::ingest::{SolveOutcome, World};
-use crate::scheduler::{AdmissionQueue, Job, SubmitError};
+use crate::scheduler::{AdmissionQueue, BatchWait, Job, SubmitError};
 use crate::stats::ServeStats;
 use crate::store::{Publisher, Reader, Snapshot};
 use crate::wire::{self, ErrorCode, QueryOp, Request, UpdateOp, WireError};
@@ -44,6 +44,16 @@ const POLL_QUANTUM: Duration = Duration::from_millis(25);
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
+
+/// How long an idle worker waits for jobs before waking to advance its
+/// epoch cursor (and re-check for queue closure).
+const WORKER_IDLE_QUANTUM: Duration = Duration::from_millis(100);
+
+/// Hard cap on one request line's byte length. A connection that exceeds
+/// it without sending a newline gets a `malformed` rejection and is
+/// closed (framing past the cap is unrecoverable), so a client streaming
+/// newline-free bytes cannot grow a buffer without bound.
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Server tunables. `Default` gives sensible test/CI values; the CLI
 /// exposes each as a flag.
@@ -205,7 +215,7 @@ pub fn serve(world: World, config: ServerConfig) -> std::io::Result<ServerHandle
         let shared = Arc::clone(&shared);
         let ingest = ingest_tx.clone();
         let reader = reader.clone();
-        std::thread::spawn(move || accept_loop(&listener, &shared, &ingest, &reader))
+        std::thread::spawn(move || accept_loop(&listener, &shared, &ingest, reader))
     };
 
     Ok(ServerHandle {
@@ -224,13 +234,19 @@ fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     ingest: &SyncSender<UpdateMsg>,
-    reader: &Reader<World>,
+    mut reader: Reader<World>,
 ) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !shared.draining() {
+        // Keep this long-lived cursor at the chain head: the store
+        // reclaims snapshots only behind the oldest cursor, so a parked
+        // cursor would pin every epoch published for the server's
+        // lifetime. Advancing here also hands new connections a reader
+        // that starts at the newest epoch instead of epoch 0.
+        let _ = reader.latest();
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let shared = Arc::clone(shared);
@@ -270,22 +286,54 @@ fn connection_loop(
     let response_writer = std::thread::spawn(move || write_loop(write_half, &reply_rx));
 
     let mut buf_reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     let mut last_activity = Instant::now();
     while !shared.draining() {
         // `line` persists across timeouts: a poll wake-up mid-line keeps
-        // the partial bytes and keeps appending.
-        match buf_reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    handle_line(trimmed, shared, ingest, &mut epoch_reader, &reply_tx);
+        // the partial bytes — raw, so a timeout landing inside a
+        // multi-byte UTF-8 character cannot discard them — and keeps
+        // appending.
+        match read_bounded_line(&mut buf_reader, &mut line) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line) => {
+                match std::str::from_utf8(&line) {
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        if !trimmed.is_empty() {
+                            handle_line(trimmed, shared, ingest, &mut epoch_reader, &reply_tx);
+                        }
+                    }
+                    Err(_) => {
+                        shared.bump(|s| {
+                            s.lines_received += 1;
+                            s.malformed += 1;
+                        });
+                        let e = WireError::new(
+                            ErrorCode::Malformed,
+                            "request line is not valid UTF-8".to_string(),
+                        );
+                        let _ = reply_tx.send(wire::response_err(None, &e));
+                    }
                 }
                 line.clear();
                 last_activity = Instant::now();
             }
+            Ok(LineRead::TooLong) => {
+                shared.bump(|s| {
+                    s.lines_received += 1;
+                    s.malformed += 1;
+                });
+                let e = WireError::new(
+                    ErrorCode::Malformed,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = reply_tx.send(wire::response_err(None, &e));
+                break;
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Advance this connection's cursor while idle so it never
+                // pins old epochs (reclamation trails the oldest cursor).
+                let _ = epoch_reader.latest();
                 if last_activity.elapsed() >= shared.config.idle_timeout {
                     break;
                 }
@@ -299,6 +347,58 @@ fn connection_loop(
     // an admitted request's response.
     drop(reply_tx);
     join_thread(response_writer);
+}
+
+/// Outcome of one [`read_bounded_line`] call.
+enum LineRead {
+    /// A complete `\n`-terminated line (or the final unterminated line
+    /// before EOF) is in the buffer.
+    Line,
+    /// Clean EOF with no buffered bytes.
+    Eof,
+    /// The buffer exceeded [`MAX_LINE_BYTES`] before a newline arrived.
+    TooLong,
+}
+
+/// Reads one newline-terminated line into `line` as raw bytes.
+///
+/// Unlike `BufRead::read_line`, a read timeout leaves every byte read so
+/// far in `line` for the next poll — even mid UTF-8 character — and the
+/// buffer is capped: growth past [`MAX_LINE_BYTES`] reports `TooLong`
+/// instead of continuing unbounded.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    loop {
+        let (used, complete) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(newline) => {
+                    line.extend_from_slice(&available[..=newline]);
+                    (newline + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        if complete {
+            return Ok(LineRead::Line);
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::TooLong);
+        }
+    }
 }
 
 fn write_loop(mut stream: TcpStream, replies: &Receiver<String>) {
@@ -454,7 +554,21 @@ fn writer_loop(mut publisher: Publisher<World>, updates: Receiver<UpdateMsg>, sh
 // ---- the worker pool ---------------------------------------------------
 
 fn worker_loop(shared: &Arc<Shared>, mut reader: Reader<World>) {
-    while let Some(batch) = shared.queue.next_batch(shared.config.batch_max) {
+    loop {
+        let batch = match shared
+            .queue
+            .next_batch_timeout(shared.config.batch_max, WORKER_IDLE_QUANTUM)
+        {
+            BatchWait::Batch(batch) => batch,
+            BatchWait::TimedOut => {
+                // A worker parked between batches would otherwise pin
+                // every epoch published since its last one; keep its
+                // cursor at the head while the queue is quiet.
+                let _ = reader.latest();
+                continue;
+            }
+            BatchWait::Closed => break,
+        };
         // One snapshot per batch: every job in it is answered on the
         // same epoch, and `solve` results are shared across the batch.
         let snapshot = reader.latest();
@@ -770,6 +884,70 @@ mod tests {
         let stats = handle.join();
         assert_eq!(stats.shed, shed);
         assert_eq!(stats.queries_solve, completed);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_connection_closed() {
+        let handle = serve(test_world(), ServerConfig::default()).expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        // A newline-free flood past the cap: the server must answer with
+        // a bounded `malformed` rejection and close, not buffer forever.
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut sent = 0usize;
+        while sent <= MAX_LINE_BYTES {
+            if writer.write_all(&chunk).is_err() {
+                break; // server already closed the socket on us
+            }
+            sent += chunk.len();
+        }
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("rejection line");
+        let v: Value = serde_json::from_str(line.trim()).expect("json");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("malformed")
+        );
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0, "must close");
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+    }
+
+    #[test]
+    fn read_timeout_mid_utf8_character_preserves_the_partial_line() {
+        let handle = serve(test_world(), ServerConfig::default()).expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        // Split a request inside the two-byte "é": several 25ms poll
+        // timeouts fire on the server before the rest arrives. The old
+        // `read_line` path dropped the partial bytes (they fail the
+        // UTF-8 check alone), corrupting framing; byte-wise reads keep
+        // them.
+        let request = r#"{"v":1,"id":7,"op":"ping","note":"héllo"}"#.as_bytes();
+        let split = request.iter().position(|&b| b == 0xc3).expect("é") + 1;
+        writer.write_all(&request[..split]).expect("first half");
+        writer.flush().expect("flush");
+        std::thread::sleep(POLL_QUANTUM * 4);
+        writer.write_all(&request[split..]).expect("second half");
+        writer.write_all(b"\n").expect("newline");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        let v: Value = serde_json::from_str(line.trim()).expect("json");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.queries_ping, 1);
+        assert_eq!(stats.malformed, 0);
         assert_eq!(stats.accounted_lines(), stats.lines_received);
     }
 
