@@ -24,7 +24,7 @@ use pinocchio_bench::*;
 use pinocchio_core::Algorithm;
 use pinocchio_data::sample_candidate_group;
 use pinocchio_geo::Point;
-use pinocchio_serve::{serve, ServerConfig, UpdateOp, World};
+use pinocchio_serve::{serve, MaintenanceMode, ServerConfig, UpdateOp, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -256,6 +256,217 @@ fn run_one(initial: &World, batch_max: usize) -> serde_json::Value {
     })
 }
 
+/// Side of the square frame (km) for the update-heavy scenario. Much
+/// larger than the trajectories (~±1 km around a per-object centre), so
+/// the per-object NIB regions cover a small fraction of the frame and
+/// spatial pruning has room to work — the regime the paper's datasets
+/// are in (city-sized frames, venue-sized activity regions).
+const UPDATE_FRAME_KM: f64 = 400.0;
+
+/// Generates an update-heavy op stream (~70 % position appends, the
+/// rest churn on both populations) plus the setup ops that build the
+/// initial world. Every op is valid at its point in the stream.
+fn update_heavy_ops(
+    objects: usize,
+    candidates: usize,
+    op_count: usize,
+) -> (Vec<UpdateOp>, Vec<UpdateOp>) {
+    let mut rng = StdRng::seed_from_u64(0x9126);
+    let random_center = |rng: &mut StdRng| -> Point {
+        Point::new(
+            rng.gen_range(0.0..UPDATE_FRAME_KM),
+            rng.gen_range(0.0..UPDATE_FRAME_KM),
+        )
+    };
+    let jitter = |rng: &mut StdRng, center: Point| -> Point {
+        Point::new(
+            center.x + rng.gen_range(-1.0..1.0),
+            center.y + rng.gen_range(-1.0..1.0),
+        )
+    };
+
+    // Live bookkeeping so removals / appends always target live ids.
+    let mut live_objects: Vec<(u64, Point)> = Vec::new();
+    let mut live_candidates: Vec<u64> = Vec::new();
+    let mut next_object = 0u64;
+    let mut next_candidate = 0u64;
+
+    let mut setup = Vec::with_capacity(objects + candidates);
+    for _ in 0..candidates {
+        setup.push(UpdateOp::InsertCandidate {
+            candidate: next_candidate,
+            location: random_center(&mut rng),
+        });
+        live_candidates.push(next_candidate);
+        next_candidate += 1;
+    }
+    for _ in 0..objects {
+        let center = random_center(&mut rng);
+        let n = rng.gen_range(3..9);
+        setup.push(UpdateOp::InsertObject {
+            object: next_object,
+            positions: (0..n).map(|_| jitter(&mut rng, center)).collect(),
+        });
+        live_objects.push((next_object, center));
+        next_object += 1;
+    }
+
+    let mut ops = Vec::with_capacity(op_count);
+    while ops.len() < op_count {
+        match rng.gen_range(0..100) {
+            0..=69 => {
+                let (object, center) = live_objects[rng.gen_range(0..live_objects.len())];
+                ops.push(UpdateOp::AppendPosition {
+                    object,
+                    position: jitter(&mut rng, center),
+                });
+            }
+            70..=79 => {
+                let center = random_center(&mut rng);
+                let n = rng.gen_range(3..9);
+                ops.push(UpdateOp::InsertObject {
+                    object: next_object,
+                    positions: (0..n).map(|_| jitter(&mut rng, center)).collect(),
+                });
+                live_objects.push((next_object, center));
+                next_object += 1;
+            }
+            80..=84 if live_objects.len() > objects / 2 => {
+                let (object, _) = live_objects.swap_remove(rng.gen_range(0..live_objects.len()));
+                ops.push(UpdateOp::RemoveObject { object });
+            }
+            85..=94 => {
+                ops.push(UpdateOp::InsertCandidate {
+                    candidate: next_candidate,
+                    location: random_center(&mut rng),
+                });
+                live_candidates.push(next_candidate);
+                next_candidate += 1;
+            }
+            _ if live_candidates.len() > candidates / 2 => {
+                let candidate =
+                    live_candidates.swap_remove(rng.gen_range(0..live_candidates.len()));
+                ops.push(UpdateOp::RemoveCandidate { candidate });
+            }
+            _ => {} // removal floor hit: reroll
+        }
+    }
+    (setup, ops)
+}
+
+/// Applies the stream and returns the wall-clock seconds it took.
+fn apply_timed(world: &mut World, ops: &[UpdateOp]) -> f64 {
+    let started = Instant::now();
+    for op in ops {
+        world.apply(op).expect("op stream is valid");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// The update-heavy scenario: the same op stream through the delta path
+/// and the full-scan reference path, exactness-gated three ways (static
+/// re-solve, cross-mode bit-match, from-scratch world rebuilt from the
+/// final live sets), plus the epoch-publish (world-clone) cost the
+/// serve writer pays per published batch.
+fn run_update_heavy() -> serde_json::Value {
+    // Candidate sets are venue-scale (the paper's datasets carry
+    // thousands of venues): the full-scan path pays O(m) per append,
+    // the delta path only pays for the NIB neighbourhood.
+    let (objects, candidates, op_count) = if is_small_scale() {
+        (160, 600, 4_000)
+    } else {
+        (400, 1_200, 12_000)
+    };
+    println!(
+        "update-heavy: {objects} objects x {candidates} candidates, {op_count} ops, \
+         frame {UPDATE_FRAME_KM} km"
+    );
+    let (setup, ops) = update_heavy_ops(objects, candidates, op_count);
+    let appends = ops
+        .iter()
+        .filter(|op| matches!(op, UpdateOp::AppendPosition { .. }))
+        .count();
+
+    let mut delta = World::new(defaults::TAU);
+    for op in &setup {
+        delta.apply(op).expect("setup is valid");
+    }
+    let mut full = delta.clone();
+    full.set_maintenance_mode(MaintenanceMode::FullScan);
+
+    let delta_secs = apply_timed(&mut delta, &ops);
+    let full_secs = apply_timed(&mut full, &ops);
+    let delta_ups = op_count as f64 / delta_secs;
+    let full_ups = op_count as f64 / full_secs;
+    let speedup = full_secs / delta_secs;
+    println!(
+        "  delta: {delta_ups:.0} updates/s ({}), full-scan: {full_ups:.0} updates/s ({}), \
+         speedup {speedup:.1}x [{appends} appends]",
+        fmt_secs(delta_secs),
+        fmt_secs(full_secs),
+    );
+
+    // Exactness gates. (1) Both paths against a from-scratch static
+    // solve of their own final state (also audits the cached argmax and
+    // the challenger bound).
+    delta.verify_against_static();
+    full.verify_against_static();
+    // (2) The two paths against each other, bit-for-bit in wire-id
+    // space: same live sets, same influence for every candidate, same
+    // optimum, same from-scratch solve outcome.
+    assert_eq!(delta.best().unwrap(), full.best().unwrap(), "best diverged");
+    assert_eq!(delta.candidate_ids(), full.candidate_ids());
+    assert_eq!(delta.object_ids(), full.object_ids());
+    for id in delta.candidate_ids() {
+        assert_eq!(
+            delta.influence_of(id).unwrap(),
+            full.influence_of(id).unwrap(),
+            "influence of candidate {id} diverged"
+        );
+    }
+    let a = delta.solve(Algorithm::PinocchioVo, 1).expect("solvable");
+    let b = full.solve(Algorithm::PinocchioVo, 1).expect("solvable");
+    assert_eq!(a.candidate, b.candidate, "solve winner diverged");
+    assert_eq!(a.influence, b.influence);
+    assert_eq!(a.location.x.to_bits(), b.location.x.to_bits());
+    assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
+
+    // (3) Epoch-publish cost: the serve writer clones the whole world
+    // once per published epoch. With structurally shared position logs
+    // this copies Arc spines, not trajectories.
+    let reps = 200u32;
+    let clone_started = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(delta.clone());
+    }
+    let epoch_clone_us = clone_started.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    println!("  epoch publish (world clone): {epoch_clone_us:.0} us");
+
+    // The tentpole's acceptance gate: sustained update throughput must
+    // be at least 2x the pre-delta (full-scan) path on this stream.
+    assert!(
+        speedup >= 2.0,
+        "delta maintenance must sustain >= 2x the full-scan update rate, got {speedup:.2}x \
+         ({delta_ups:.0} vs {full_ups:.0} updates/s)"
+    );
+
+    serde_json::json!({
+        "objects": objects,
+        "candidates": candidates,
+        "ops": op_count,
+        "appends": appends,
+        "frame_km": UPDATE_FRAME_KM,
+        "delta_seconds": delta_secs,
+        "delta_updates_per_sec": delta_ups,
+        "full_scan_seconds": full_secs,
+        "full_scan_updates_per_sec": full_ups,
+        "speedup": speedup,
+        "epoch_clone_us": epoch_clone_us,
+        "final_objects": delta.object_count(),
+        "final_candidates": delta.candidate_count(),
+    })
+}
+
 fn main() {
     let d = dataset(DatasetKind::Foursquare);
     let m = CANDIDATES.min(d.venues().len());
@@ -288,5 +499,20 @@ fn main() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
     let body = serde_json::to_string_pretty(&record).expect("serialisable record");
     std::fs::write(&root, body + "\n").expect("can write BENCH_PR5.json");
+    println!("[record written to {}]", root.display());
+
+    // The PR 6 update-heavy scenario: delta-validated maintenance vs the
+    // full-scan reference, gated on exactness and the 2x speedup floor.
+    let update_heavy = run_update_heavy();
+    let record = serde_json::json!({
+        "id": "load_gen_pr6",
+        "scale": if is_small_scale() { "small" } else { "full" },
+        "tau": defaults::TAU,
+        "update_heavy": update_heavy,
+    });
+    write_record("load_gen_pr6", &record);
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialisable record");
+    std::fs::write(&root, body + "\n").expect("can write BENCH_PR6.json");
     println!("[record written to {}]", root.display());
 }

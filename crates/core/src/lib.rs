@@ -53,7 +53,7 @@ pub mod vo;
 pub mod weighted;
 
 pub use approx::{solve_approx, ApproxConfig, ApproxResult};
-pub use dynamic::{CandidateHandle, DynamicPrimeLs, ObjectHandle};
+pub use dynamic::{CandidateHandle, DynamicPrimeLs, MaintenanceMode, ObjectHandle};
 pub use eval::{EvalKernel, PairEval};
 pub use parallel::{solve_naive as solve_naive_par, solve_pinocchio as solve_pinocchio_par};
 pub use parallel::{solve_vo as solve_vo_par, try_solve_vo as try_solve_vo_par};

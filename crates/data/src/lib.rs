@@ -16,6 +16,9 @@
 //!   effectiveness experiments (Tables 3–4),
 //! * [`arena`] — the flat structure-of-arrays [`PositionArena`] with
 //!   per-block MBRs that backs the blocked evaluation kernel,
+//! * [`poslog`] — the structurally shared, append-friendly
+//!   [`PositionLog`] backing the dynamic maintenance path (O(1)
+//!   amortised append, chunk-sharing clone),
 //! * [`gen`] — the `FoursquareLike` / `GowallaLike` generators,
 //! * [`stats`] — dataset statistics (regenerates Table 2),
 //! * [`sampling`] — deterministic sub-sampling of objects, positions and
@@ -32,6 +35,7 @@ pub mod dataset;
 pub mod gen;
 pub mod io;
 pub mod object;
+pub mod poslog;
 pub mod sampling;
 pub mod stats;
 pub mod trajectory;
@@ -40,6 +44,7 @@ pub use arena::{PositionArena, BLOCK_SIZE};
 pub use dataset::{Dataset, Venue};
 pub use gen::{GeneratorConfig, SyntheticGenerator};
 pub use object::MovingObject;
+pub use poslog::{PositionLog, POSITION_CHUNK};
 pub use sampling::{
     group_by_position_count, resample_positions, sample_candidate_group, sample_objects,
     PositionCountGroup, TABLE5_BOUNDS,

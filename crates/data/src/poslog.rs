@@ -1,0 +1,249 @@
+//! Structurally shared, append-friendly position storage.
+//!
+//! The dynamic maintenance path ([`DynamicPrimeLs`] in
+//! `pinocchio-core`) and the serving layer's epoch-snapshot writer both
+//! need two things the flat `Vec<Point>` of [`MovingObject`] cannot
+//! give them at the same time:
+//!
+//! * **O(1) amortised append** — a position stream appends one
+//!   observation at a time; rebuilding the whole vector per append is
+//!   O(n) each, O(n²) over the stream;
+//! * **O(n / chunk) clone** — the serve writer clones the entire world
+//!   once per published epoch, and deep-copying every trajectory makes
+//!   the epoch-publish cost proportional to the total position count.
+//!
+//! [`PositionLog`] stores positions in fixed-capacity chunks behind
+//! [`Arc`]s. Cloning a log clones only the `Arc` spine (one pointer per
+//! chunk); appending uses [`Arc::make_mut`] on the last chunk, which
+//! mutates in place when the chunk is unshared and copies **at most one
+//! chunk** when an older snapshot still holds it (copy-on-write). The
+//! bounding box is maintained incrementally, so `mbr()` is O(1) rather
+//! than a scan.
+//!
+//! Iteration order is arrival order, exactly as the flat `A_1D` layout:
+//! [`PositionLog::chunks`] yields the positions as consecutive slices,
+//! so an evaluation that folds over the chunks in order performs the
+//! **bit-identical** float sequence as one over a contiguous slice —
+//! the property the dynamic state's exactness gates rely on.
+//!
+//! [`DynamicPrimeLs`]: ../pinocchio_core/dynamic/struct.DynamicPrimeLs.html
+
+use crate::object::MovingObject;
+use pinocchio_geo::{Mbr, Point};
+use std::sync::Arc;
+
+/// Number of positions per chunk. Chosen so the per-clone cost is
+/// `len / 64` pointer copies while a copy-on-write append touches at
+/// most 64 positions — both far below the O(n) they replace.
+pub const POSITION_CHUNK: usize = 64;
+
+/// An append-only position sequence stored in structurally shared
+/// chunks (see the module docs for the cost model).
+///
+/// Invariants: never empty; every chunk except the last is exactly
+/// [`POSITION_CHUNK`] long; all positions are finite; `mbr` is the
+/// tight bounding box of all positions.
+#[derive(Debug, Clone)]
+pub struct PositionLog {
+    chunks: Vec<Arc<Vec<Point>>>,
+    len: usize,
+    mbr: Mbr,
+}
+
+impl PositionLog {
+    /// Builds a log from an initial position sequence, in order.
+    ///
+    /// # Panics
+    /// Panics when `positions` is empty or contains a non-finite
+    /// coordinate — the same contract as [`MovingObject::new`].
+    pub fn from_positions(positions: &[Point]) -> PositionLog {
+        assert!(
+            !positions.is_empty(),
+            "a position log needs at least one position"
+        );
+        assert!(
+            positions.iter().all(Point::is_finite),
+            "position log has a non-finite position"
+        );
+        let chunks = positions
+            .chunks(POSITION_CHUNK)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect();
+        let mbr = Mbr::from_points(positions).unwrap_or(Mbr::from_point(positions[0]));
+        PositionLog {
+            chunks,
+            len: positions.len(),
+            mbr,
+        }
+    }
+
+    /// Builds a log holding a [`MovingObject`]'s positions.
+    pub fn from_object(object: &MovingObject) -> PositionLog {
+        PositionLog::from_positions(object.positions())
+    }
+
+    /// Appends one position in O(1) amortised time. When an older clone
+    /// still shares the last chunk, at most that one chunk is copied
+    /// (copy-on-write); the shared full chunks are never touched.
+    ///
+    /// # Panics
+    /// Panics on a non-finite position.
+    pub fn push(&mut self, position: Point) {
+        assert!(position.is_finite(), "non-finite position");
+        match self.chunks.last_mut() {
+            Some(last) if last.len() < POSITION_CHUNK => {
+                Arc::make_mut(last).push(position);
+            }
+            _ => {
+                let mut chunk = Vec::with_capacity(POSITION_CHUNK);
+                chunk.push(position);
+                self.chunks.push(Arc::new(chunk));
+            }
+        }
+        self.len += 1;
+        self.mbr.expand_to(&position);
+    }
+
+    /// Number of stored positions (always ≥ 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false` — kept for API symmetry with the usual
+    /// `len`/`is_empty` pairing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tight bounding box of all positions, maintained incrementally
+    /// (O(1), no scan).
+    #[inline]
+    pub fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+
+    /// The positions as consecutive chunk slices, in arrival order.
+    /// Concatenating the slices reproduces the flat `A_1D` layout
+    /// exactly.
+    pub fn chunks(&self) -> impl Iterator<Item = &[Point]> {
+        self.chunks.iter().map(|c| c.as_slice())
+    }
+
+    /// Iterates over all positions in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Point> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Materialises the positions into a contiguous vector (O(n); used
+    /// only by from-scratch solve paths, never by the update path).
+    pub fn to_positions(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in &self.chunks {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+
+    /// Materialises a [`MovingObject`] with the given id (O(n); the
+    /// from-scratch freeze path).
+    pub fn to_object(&self, id: u64) -> MovingObject {
+        MovingObject::new(id, self.to_positions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_and_chunk_shape() {
+        for n in [
+            1,
+            2,
+            POSITION_CHUNK - 1,
+            POSITION_CHUNK,
+            POSITION_CHUNK + 1,
+            300,
+        ] {
+            let positions = pts(n);
+            let log = PositionLog::from_positions(&positions);
+            assert_eq!(log.len(), n);
+            assert!(!log.is_empty());
+            assert_eq!(log.to_positions(), positions);
+            assert_eq!(log.iter().copied().collect::<Vec<_>>(), positions);
+            // All chunks full except possibly the last.
+            let chunks: Vec<&[Point]> = log.chunks().collect();
+            for c in &chunks[..chunks.len() - 1] {
+                assert_eq!(c.len(), POSITION_CHUNK);
+            }
+            assert_eq!(log.mbr(), Mbr::from_points(&positions).unwrap());
+        }
+    }
+
+    #[test]
+    fn push_crosses_chunk_boundaries() {
+        let mut log = PositionLog::from_positions(&pts(1));
+        let mut expect = pts(1);
+        for i in 1..(3 * POSITION_CHUNK + 5) {
+            let p = Point::new(i as f64 * 0.5, -(i as f64));
+            log.push(p);
+            expect.push(p);
+        }
+        assert_eq!(log.to_positions(), expect);
+        assert_eq!(log.mbr(), Mbr::from_points(&expect).unwrap());
+    }
+
+    #[test]
+    fn clone_shares_chunks_structurally() {
+        let mut log = PositionLog::from_positions(&pts(2 * POSITION_CHUNK + 3));
+        let snapshot = log.clone();
+        // Full chunks are shared, not copied.
+        let a: Vec<&[Point]> = log.chunks().collect();
+        let b: Vec<&[Point]> = snapshot.chunks().collect();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&log.chunks[0], &snapshot.chunks[0]));
+        assert!(Arc::ptr_eq(&log.chunks[2], &snapshot.chunks[2]));
+
+        // Appending to the live log copies at most the last (shared)
+        // chunk; the snapshot is untouched.
+        log.push(Point::new(1000.0, 1000.0));
+        assert_eq!(snapshot.len(), 2 * POSITION_CHUNK + 3);
+        assert_eq!(log.len(), 2 * POSITION_CHUNK + 4);
+        assert!(Arc::ptr_eq(&log.chunks[0], &snapshot.chunks[0]));
+        assert!(!Arc::ptr_eq(&log.chunks[2], &snapshot.chunks[2]));
+        assert!(snapshot.iter().all(|p| *p != Point::new(1000.0, 1000.0)));
+
+        // Unshared appends mutate in place (no chunk churn).
+        let spine_before = log.chunks[2].as_ptr();
+        log.push(Point::new(5.0, 5.0));
+        assert_eq!(log.chunks[2].as_ptr(), spine_before);
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let object = MovingObject::new(42, pts(10));
+        let log = PositionLog::from_object(&object);
+        assert_eq!(log.to_object(42), object);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one position")]
+    fn empty_log_rejected() {
+        let _ = PositionLog::from_positions(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_push_rejected() {
+        let mut log = PositionLog::from_positions(&pts(1));
+        log.push(Point::new(f64::NAN, 0.0));
+    }
+}

@@ -204,6 +204,34 @@ impl Mbr {
         self.max_dist_sq(p).sqrt()
     }
 
+    /// Squared `minDist` between two rectangles: the smallest possible
+    /// distance between any point of `self` and any point of `other`
+    /// (zero when they intersect).
+    ///
+    /// Per axis the gap is the distance between the projected intervals
+    /// (zero when they overlap), and the rectangle distance is the
+    /// Euclidean combination of the two gaps.
+    ///
+    /// **Containment monotonicity.** Shrinking either rectangle can only
+    /// grow the gap, so for `A ⊆ B`:
+    /// `minDistSq(B, Q) ≤ minDistSq(A, Q)` — the same anti-monotonicity
+    /// as [`Mbr::min_dist_sq`], which this generalises (a degenerate
+    /// `other` reproduces the point form exactly). This is what makes it
+    /// sound as an R-tree node admission test: a node MBR contains every
+    /// candidate point below it, so `minDistSq(obj, node) > μ²` implies
+    /// `minDistSq(obj, c) > μ²` for every candidate `c` in the subtree
+    /// (Theorem 2 lifted to candidate subtrees).
+    #[inline]
+    pub fn min_dist_sq_mbr(&self, other: &Mbr) -> f64 {
+        let dx = (self.lo.x - other.hi.x)
+            .max(0.0)
+            .max(other.lo.x - self.hi.x);
+        let dy = (self.lo.y - other.hi.y)
+            .max(0.0)
+            .max(other.lo.y - self.hi.y);
+        dx * dx + dy * dy
+    }
+
     /// The MBR inflated by `r` on every side (the Minkowski sum with an
     /// axis-aligned square of half-width `r`). This is the rectangular
     /// over-approximation of the non-influence boundary that Algorithm 1
@@ -344,6 +372,43 @@ mod tests {
             assert!(outer.max_dist_sq(&p) >= inner.max_dist_sq(&p), "{p}");
             assert!(outer.min_dist_sq(&p) <= inner.min_dist_sq(&p), "{p}");
         }
+    }
+
+    #[test]
+    fn mbr_to_mbr_min_dist() {
+        let a = rect(); // (0,0)..(4,2)
+                        // Overlapping: zero.
+        assert_eq!(
+            a.min_dist_sq_mbr(&Mbr::new(Point::new(3.0, 1.0), Point::new(6.0, 5.0))),
+            0.0
+        );
+        // Touching edge: zero.
+        assert_eq!(
+            a.min_dist_sq_mbr(&Mbr::new(Point::new(4.0, 0.0), Point::new(5.0, 1.0))),
+            0.0
+        );
+        // Separated along x only.
+        assert_eq!(
+            a.min_dist_sq_mbr(&Mbr::new(Point::new(7.0, 1.0), Point::new(8.0, 3.0))),
+            9.0
+        );
+        // Diagonal separation: 3-4-5 triangle.
+        let far = Mbr::new(Point::new(7.0, 6.0), Point::new(9.0, 9.0));
+        assert_eq!(a.min_dist_sq_mbr(&far), 25.0);
+        // Symmetric.
+        assert_eq!(far.min_dist_sq_mbr(&a), 25.0);
+        // Degenerate `other` reproduces the point metric.
+        for p in [
+            Point::new(7.0, 6.0),
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 0.5),
+        ] {
+            assert_eq!(a.min_dist_sq_mbr(&Mbr::from_point(p)), a.min_dist_sq(&p));
+        }
+        // Anti-monotone under containment of either side.
+        let inner = Mbr::new(Point::new(7.5, 6.5), Point::new(8.0, 8.0));
+        assert!(far.contains_mbr(&inner));
+        assert!(a.min_dist_sq_mbr(&far) <= a.min_dist_sq_mbr(&inner));
     }
 
     #[test]

@@ -374,6 +374,80 @@ impl<T: Clone> MbrTree<T> {
         t
     }
 
+    /// [`Self::influence_join`] variant that enumerates the *payloads*
+    /// of bulk-influenced subtrees instead of reporting only counts.
+    ///
+    /// `on_influenced` fires once per object certainly influenced
+    /// (Theorem 1, at subtree or entry level); `on_undecided` fires once
+    /// per object the pruning rules cannot decide. Excluded objects —
+    /// subtree-NIB bulk decisions and per-entry exclusions — produce no
+    /// callback at all: the caller's per-object state is expected to
+    /// already encode "not influenced" (the dynamic maintenance path
+    /// inserts candidates into slots whose bits are all zero, so
+    /// exclusions need no work, which is exactly what makes the
+    /// traversal O(reachable) instead of O(objects)).
+    ///
+    /// Same pruning rules and verdicts as [`Self::influence_join`]; only
+    /// the reporting differs (influenced subtrees are walked to hand out
+    /// payloads, without re-testing their entries).
+    pub fn influence_join_entries(
+        &self,
+        candidate: &Point,
+        mut on_influenced: impl FnMut(&T),
+        mut on_undecided: impl FnMut(&T),
+    ) -> JoinTraversal {
+        let mut t = JoinTraversal::default();
+        let Some(root) = self.root else {
+            return t;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            t.nodes_visited += 1;
+            if !node.nib_mbr.contains_point(candidate)
+                || node.mbr.min_dist_sq(candidate) > node.max_mu * node.max_mu
+            {
+                t.subtrees_nib += 1;
+                continue;
+            }
+            if node.mbr.max_dist_sq(candidate) <= node.min_mu * node.min_mu {
+                t.subtrees_ia += 1;
+                self.for_each_payload(id, &mut on_influenced);
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal { children } => stack.extend_from_slice(children),
+                NodeKind::Leaf { entries } => {
+                    for e in entries {
+                        if e.mbr.min_dist_sq(candidate) > e.mu_sq {
+                            // excluded: no callback by design
+                        } else if e.mbr.max_dist_sq(candidate) <= e.mu_sq {
+                            on_influenced(&e.payload);
+                        } else {
+                            on_undecided(&e.payload);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Hands every payload of the subtree rooted at `id` to `f`.
+    fn for_each_payload(&self, id: NodeId, f: &mut impl FnMut(&T)) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id].kind {
+                NodeKind::Internal { children } => stack.extend_from_slice(children),
+                NodeKind::Leaf { entries } => {
+                    for e in entries {
+                        f(&e.payload);
+                    }
+                }
+            }
+        }
+    }
+
     /// Checks structural invariants; used by tests. Verifies that every
     /// node's aggregates (`mbr`, `nib_mbr`, `min_mu`/`max_mu`, `count`)
     /// bound its contents and that all leaves sit at the same depth.
@@ -609,6 +683,45 @@ mod tests {
             t.subtrees_ia >= 1,
             "huge-μ band should be accepted in bulk: {t:?}"
         );
+    }
+
+    #[test]
+    fn entry_join_enumerates_what_count_join_counts() {
+        // The payload-enumerating traversal must agree with both the
+        // count-reporting traversal and the brute-force classification:
+        // same influenced set, same undecided set, exclusions silent.
+        let items = pseudo_items(300, 13);
+        let tree = MbrTree::bulk_load(items.clone());
+        let mut state = 0xBEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..40 {
+            let c = Point::new(next() * 60.0 - 10.0, next() * 40.0 - 8.0);
+            let (want_inf, want_exc, want_und) = classify(&items, &c);
+            let (mut inf, mut und) = (Vec::new(), Vec::new());
+            let t = tree.influence_join_entries(&c, |&i| inf.push(i), |&i| und.push(i));
+            inf.sort_unstable();
+            und.sort_unstable();
+            let mut want_inf = want_inf;
+            want_inf.sort_unstable();
+            assert_eq!(inf, want_inf, "influenced at {c}");
+            assert_eq!(und, want_und, "undecided at {c}");
+            assert_eq!(
+                inf.len() + und.len() + want_exc.len(),
+                items.len(),
+                "accounting at {c}"
+            );
+            // Count-join totals agree.
+            let (cinf, cexc, cund, _) = run_join(&tree, &c);
+            assert_eq!(cinf as usize, inf.len());
+            assert_eq!(cexc as usize, want_exc.len());
+            assert_eq!(cund, und);
+            assert!(t.nodes_visited >= 1);
+        }
     }
 
     #[test]

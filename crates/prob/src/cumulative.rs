@@ -116,21 +116,45 @@ impl<P: ProbabilityFunction, M: DistanceMetric> CumulativeProbability<P, M> {
         positions: &[Point],
         tau: f64,
     ) -> EarlyStopOutcome {
+        self.influences_early_stop_chunked(candidate, std::iter::once(positions), tau)
+    }
+
+    /// [`Self::influences_early_stop`] over a chunked position sequence.
+    ///
+    /// Folds the chunks in iteration order, multiplying factors exactly
+    /// as the contiguous scan does over the concatenation of the chunks
+    /// — the same float operations in the same order, so verdict,
+    /// evaluated count and product are **bit-identical** to the
+    /// contiguous form. This is what lets the dynamic maintenance path
+    /// evaluate straight out of `PositionLog`'s shared chunks while
+    /// staying exactly comparable to a from-scratch solve over the
+    /// flattened positions (the contiguous method delegates here, so
+    /// the two cannot drift apart).
+    pub fn influences_early_stop_chunked<'a>(
+        &self,
+        candidate: &Point,
+        chunks: impl IntoIterator<Item = &'a [Point]>,
+        tau: f64,
+    ) -> EarlyStopOutcome {
         let threshold = 1.0 - tau;
         let mut non_influence = 1.0_f64;
-        for (i, p) in positions.iter().enumerate() {
-            non_influence *= 1.0 - self.position_probability(candidate, p);
-            if non_influence <= threshold {
-                return EarlyStopOutcome {
-                    influenced: true,
-                    positions_evaluated: i + 1,
-                    non_influence_product: Some(non_influence),
-                };
+        let mut evaluated = 0usize;
+        for chunk in chunks {
+            for p in chunk {
+                non_influence *= 1.0 - self.position_probability(candidate, p);
+                evaluated += 1;
+                if non_influence <= threshold {
+                    return EarlyStopOutcome {
+                        influenced: true,
+                        positions_evaluated: evaluated,
+                        non_influence_product: Some(non_influence),
+                    };
+                }
             }
         }
         EarlyStopOutcome {
             influenced: 1.0 - non_influence >= tau,
-            positions_evaluated: positions.len(),
+            positions_evaluated: evaluated,
             non_influence_product: Some(non_influence),
         }
     }
@@ -266,6 +290,43 @@ mod tests {
         let es = eval.influences_early_stop(&Point::ORIGIN, &positions, 0.7);
         assert!(es.influenced);
         assert_eq!(es.positions_evaluated, 1);
+    }
+
+    #[test]
+    fn chunked_scan_is_bit_identical_to_contiguous() {
+        let eval = CumulativeProbability::new(PowerLawPf::paper_default(), Euclidean);
+        let positions = pts(50);
+        for tau in [0.1, 0.5, 0.7, 0.99] {
+            for cx in [0.0, 5.0, 25.0, 100.0] {
+                let c = Point::new(cx, 2.0);
+                let flat = eval.influences_early_stop(&c, &positions, tau);
+                for chunk_size in [1, 3, 7, 50, 64] {
+                    let chunked =
+                        eval.influences_early_stop_chunked(&c, positions.chunks(chunk_size), tau);
+                    assert_eq!(chunked.influenced, flat.influenced);
+                    assert_eq!(chunked.positions_evaluated, flat.positions_evaluated);
+                    // Bit-identical product, not approximately equal.
+                    assert_eq!(
+                        chunked.non_influence_product.map(f64::to_bits),
+                        flat.non_influence_product.map(f64::to_bits),
+                        "tau={tau} cx={cx} chunk={chunk_size}"
+                    );
+                }
+            }
+        }
+        // Degenerate chunkings: empty chunk list and empty chunks.
+        let empty = eval.influences_early_stop_chunked(&Point::ORIGIN, std::iter::empty(), 0.5);
+        assert!(!empty.influenced);
+        assert_eq!(empty.positions_evaluated, 0);
+        let with_gaps = eval.influences_early_stop_chunked(
+            &Point::ORIGIN,
+            vec![&positions[..0], &positions[..5], &positions[5..5]],
+            0.999,
+        );
+        assert_eq!(
+            with_gaps,
+            eval.influences_early_stop(&Point::ORIGIN, &positions[..5], 0.999)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! the previous epoch's snapshot untouched for in-flight readers.
 
 use crate::wire::{ErrorCode, UpdateOp, WireError};
-use pinocchio_core::{Algorithm, CandidateHandle, DynamicPrimeLs, ObjectHandle};
+use pinocchio_core::{Algorithm, CandidateHandle, DynamicPrimeLs, MaintenanceMode, ObjectHandle};
 use pinocchio_data::MovingObject;
 use pinocchio_geo::Point;
 use pinocchio_prob::PowerLawPf;
@@ -81,6 +81,25 @@ impl World {
             })?;
         }
         Ok(world)
+    }
+
+    /// The active maintenance mode of the underlying dynamic state.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.state.maintenance_mode()
+    }
+
+    /// Switches how the underlying [`DynamicPrimeLs`] revalidates pairs
+    /// on updates. Answers are identical in both modes; benchmarks use
+    /// [`MaintenanceMode::FullScan`] as the reference cost.
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        self.state.set_maintenance_mode(mode);
+    }
+
+    /// Rebuilds the influence counts from scratch and asserts they match
+    /// the incremental state (see
+    /// [`DynamicPrimeLs::verify_against_static`]). Test/benchmark gate.
+    pub fn verify_against_static(&self) {
+        self.state.verify_against_static();
     }
 
     /// Number of live objects.
@@ -218,13 +237,33 @@ impl World {
     /// slot (creation) order — the same order a ranking derived from the
     /// static solvers' influence vector would produce.
     pub fn top_k(&self, k: usize) -> Result<Vec<(u64, Point, u32)>, WireError> {
-        let mut live = self.state.live_candidates();
-        // `live_candidates` yields slot order; the stable sort keeps
-        // that order among equal influences.
-        live.sort_by_key(|entry| std::cmp::Reverse(entry.2));
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // `live_candidates` yields slot order, so the enumeration index
+        // is the tie rank; carrying it explicitly lets the unstable
+        // partial selection reproduce what a stable full sort gave.
+        let mut live: Vec<(usize, (CandidateHandle, Point, u32))> = self
+            .state
+            .live_candidates()
+            .into_iter()
+            .enumerate()
+            .collect();
+        let rank = |a: &(usize, (CandidateHandle, Point, u32)),
+                    b: &(usize, (CandidateHandle, Point, u32))| {
+            (std::cmp::Reverse(a.1 .2), a.0).cmp(&(std::cmp::Reverse(b.1 .2), b.0))
+        };
+        // O(m + k log k) partial selection instead of an O(m log m)
+        // full sort: move the top k into the front, then order them.
+        if k < live.len() {
+            live.select_nth_unstable_by(k - 1, rank);
+            live.truncate(k);
+        }
+        live.sort_unstable_by(rank);
         live.into_iter()
-            .take(k)
-            .map(|(handle, location, influence)| Ok((self.wire_id(handle)?, location, influence)))
+            .map(|(_, (handle, location, influence))| {
+                Ok((self.wire_id(handle)?, location, influence))
+            })
             .collect()
     }
 
@@ -381,6 +420,48 @@ mod tests {
         assert_eq!(ranking[0].2, ranking[1].2);
         assert_eq!(ranking[2], (8, Point::new(50.0, 50.0), 0));
         assert_eq!(w.top_k(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn top_k_partial_selection_matches_full_stable_sort() {
+        // The partial selection must reproduce the old full stable sort
+        // for every k, including heavy influence ties.
+        let w = random_world(17, 40, 23);
+        // Build the reference ranking the pre-selection way: stable
+        // sort of the slot-ordered live list by descending influence.
+        let mut reference: Vec<(u64, Point, u32)> = w
+            .state
+            .live_candidates()
+            .into_iter()
+            .map(|(handle, location, influence)| (w.candidate_ids[&handle], location, influence))
+            .collect();
+        reference.sort_by_key(|entry| std::cmp::Reverse(entry.2));
+        for k in [0, 1, 2, 5, 22, 23, 24, 100] {
+            let got = w.top_k(k).unwrap();
+            assert_eq!(got.len(), k.min(reference.len()), "k = {k}");
+            assert_eq!(got, reference[..got.len()], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn maintenance_mode_round_trips_and_keeps_answers() {
+        let mut w = random_world(19, 25, 9);
+        assert_eq!(w.maintenance_mode(), MaintenanceMode::Delta);
+        let before = w.top_k(9).unwrap();
+        w.set_maintenance_mode(MaintenanceMode::FullScan);
+        assert_eq!(w.maintenance_mode(), MaintenanceMode::FullScan);
+        for i in 25..30 {
+            w.apply(&insert_object(i, vec![Point::new(1.0, 1.0)]))
+                .unwrap();
+        }
+        w.verify_against_static();
+        w.set_maintenance_mode(MaintenanceMode::Delta);
+        for i in 30..35 {
+            w.apply(&insert_object(i, vec![Point::new(1.0, 1.0)]))
+                .unwrap();
+        }
+        w.verify_against_static();
+        assert_eq!(w.top_k(9).unwrap().len(), before.len());
     }
 
     #[test]

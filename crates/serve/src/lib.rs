@@ -42,6 +42,7 @@ pub mod store;
 pub mod wire;
 
 pub use ingest::{SolveOutcome, World};
+pub use pinocchio_core::MaintenanceMode;
 pub use scheduler::{AdmissionQueue, Job, SubmitError};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::{ServeStats, LATENCY_BUCKETS, LATENCY_BUCKET_BOUNDS_US};

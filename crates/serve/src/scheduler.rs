@@ -177,7 +177,9 @@ impl AdmissionQueue {
                 return BatchWait::Closed;
             }
             let now = Instant::now();
-            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
             else {
                 return BatchWait::TimedOut;
             };
