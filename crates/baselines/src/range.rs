@@ -85,8 +85,9 @@ pub fn range_baseline(
                 in_range[j] += 1;
             });
         }
-        let needed = (config.proportion * object.position_count() as f64).ceil() as u32;
-        let needed = needed.max(1);
+        let needed = (config.proportion * object.position_count() as f64).ceil();
+        // pinocchio-lint: allow(cast-truncation) -- clamped into [1, u32::MAX] in the float domain
+        let needed = needed.clamp(1.0, u32::MAX as f64) as u32;
         for &j in &touched {
             if in_range[j] >= needed {
                 influence[j] += 1;

@@ -37,8 +37,11 @@ fn main() {
                 .map(|c| {
                     let density = bins[r * COLS + c] as f64 / max;
                     // Log-ish scaling: the distribution is heavily skewed.
-                    let level = ((density.sqrt()) * (SHADES.len() - 1) as f64).round() as usize;
-                    SHADES[level.min(SHADES.len() - 1)]
+                    let level = ((density.sqrt()) * (SHADES.len() - 1) as f64)
+                        .round()
+                        .clamp(0.0, (SHADES.len() - 1) as f64)
+                        as usize;
+                    SHADES[level]
                 })
                 .collect()
         })

@@ -65,6 +65,7 @@ impl Client {
     fn round_trip(&mut self, request: &str) -> Value {
         writeln!(self.stream, "{request}").expect("send");
         let mut line = String::new();
+        // pinocchio-lint: allow(bounded-io) -- in-process harness reading its own server's length-bounded response lines
         self.reader.read_line(&mut line).expect("recv");
         serde_json::from_str(line.trim_end()).expect("response is JSON")
     }
@@ -171,6 +172,7 @@ fn run_one(initial: &World, batch_max: usize) -> serde_json::Value {
                     stream.write_all(burst.as_bytes()).expect("send burst");
                     for _ in 0..chunk {
                         let mut line = String::new();
+                        // pinocchio-lint: allow(bounded-io) -- in-process harness reading its own server's length-bounded response lines
                         reader.read_line(&mut line).expect("recv");
                         let v: Value =
                             serde_json::from_str(line.trim_end()).expect("response is JSON");

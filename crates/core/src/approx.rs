@@ -65,7 +65,13 @@ impl ApproxConfig {
     /// The Hoeffding sample size for `m` candidates.
     pub fn sample_size(&self, m: usize) -> usize {
         assert!(m > 0);
-        ((2.0 * m as f64 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize
+        #[allow(clippy::cast_possible_truncation)]
+        // `.max(1.0)` keeps it in [1, 2^52): ε, δ are sanity-checked at construction
+        {
+            ((2.0 * m as f64 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon))
+                .ceil()
+                .max(1.0) as usize
+        }
     }
 }
 
@@ -129,11 +135,13 @@ pub fn solve_approx<P: ProbabilityFunction + Clone>(
     let result = sub.solve(Algorithm::Pinocchio);
 
     let fraction = result.max_influence as f64 / s as f64;
+    #[allow(clippy::cast_possible_truncation)]
+    let estimated_influence = (fraction * r as f64).round() as u32; // pinocchio-lint: allow(cast-truncation) -- fraction is in [0, 1] and r is an in-memory object count, so the product fits u32
     ApproxResult {
         best_candidate: result.best_candidate,
         best_location: result.best_location,
         estimated_fraction: fraction,
-        estimated_influence: (fraction * r as f64).round() as u32,
+        estimated_influence,
         sample_size: s,
         exact: false,
         stats: result.stats,

@@ -177,6 +177,10 @@ pub struct DynamicPrimeLs<P> {
     /// Reusable previous-mask buffer for `append_position` (avoids one
     /// allocation per append).
     scratch_mask: Vec<u64>,
+    /// Reusable slot buffers for `validate_candidate_delta` (avoids two
+    /// allocations per candidate insert).
+    delta_influenced: Vec<usize>,
+    delta_undecided: Vec<usize>,
     /// Cached argmax slot (always live when any candidate is live;
     /// smallest slot among maxima, matching the static tie-break).
     best_slot: Option<usize>,
@@ -219,6 +223,8 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
             obj_dirty_list: Vec::new(),
             mu_by_n: Vec::new(),
             scratch_mask: Vec::new(),
+            delta_influenced: Vec::new(),
+            delta_undecided: Vec::new(),
             best_slot: None,
             challenger_bound: 0,
         }
@@ -568,6 +574,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
     ///
     /// # Panics
     /// Panics on a stale handle or a non-finite position.
+    // pinocchio-hot: per-update entry point of the streaming maintenance path
     pub fn append_position(&mut self, handle: ObjectHandle, position: Point) {
         assert!(position.is_finite(), "non-finite position");
         // pinocchio-lint: allow(panic-path) -- documented `# Panics` contract: a stale handle is caller error, not a recoverable state
@@ -653,6 +660,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
     /// object (monotonicity) and therefore sits inside the new NIB
     /// (contrapositive of Theorem 2), so the kept bits are all visited
     /// and re-set from `skip_influenced` without re-validation.
+    // pinocchio-hot: per-update candidate reclassification
     fn classify_candidates_delta(&self, row: &mut ObjectRow, skip_influenced: Option<&[u64]>) {
         let words = self.mask_words();
         row.influenced_by.resize(words, 0);
@@ -767,10 +775,14 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
     /// 0 because the slot is fresh), and the bounded set of rows
     /// changed since the last index build falls back to the exact
     /// per-row rules.
+    // pinocchio-hot: per-insert delta influence computation
     fn validate_candidate_delta(&mut self, j: usize, location: &Point) -> u32 {
+        // pinocchio-lint: allow(hot-path-alloc) -- rebuild is amortised: it runs once per max(64, live/4) row changes, not per insert
         self.maybe_rebuild_object_tree();
-        let mut influenced_slots: Vec<usize> = Vec::new();
-        let mut undecided_slots: Vec<usize> = Vec::new();
+        let mut influenced_slots = std::mem::take(&mut self.delta_influenced);
+        let mut undecided_slots = std::mem::take(&mut self.delta_undecided);
+        influenced_slots.clear();
+        undecided_slots.clear();
         self.obj_tree.influence_join_entries(
             location,
             |&s| influenced_slots.push(s),
@@ -780,7 +792,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
         let tau = self.tau;
         let mut influence = 0u32;
         let is_dirty = |dirty: &[bool], s: usize| dirty.get(s).copied().unwrap_or(false);
-        for s in influenced_slots {
+        for &s in &influenced_slots {
             if is_dirty(&self.obj_dirty, s) {
                 continue; // build-time verdict stale: re-done below
             }
@@ -790,7 +802,7 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
             Self::set_bit(&mut row.influenced_by, j);
             influence += 1;
         }
-        for s in undecided_slots {
+        for &s in &undecided_slots {
             if is_dirty(&self.obj_dirty, s) {
                 continue;
             }
@@ -838,6 +850,8 @@ impl<P: ProbabilityFunction + Clone> DynamicPrimeLs<P> {
                 influence += 1;
             }
         }
+        self.delta_influenced = influenced_slots;
+        self.delta_undecided = undecided_slots;
         influence
     }
 

@@ -69,14 +69,14 @@ fn classify(
         JoinEvent::SubtreeExcluded { count } => excluded += count,
         JoinEvent::EntryInfluenced(_) => influenced += 1,
         JoinEvent::EntryExcluded(_) => excluded += 1,
-        JoinEvent::EntryUndecided(&k) => undecided.push(k as u32),
+        JoinEvent::EntryUndecided(&k) => undecided.push(u32::try_from(k).unwrap_or(u32::MAX)),
     });
     stats.decided_by_ia += influenced;
     stats.decided_by_nib += excluded;
     stats.subtrees_pruned_ia += traversal.subtrees_ia;
     stats.subtrees_pruned_nib += traversal.subtrees_nib;
     stats.join_nodes_visited += traversal.nodes_visited;
-    influenced as u32
+    u32::try_from(influenced).unwrap_or(u32::MAX)
 }
 
 /// Runs the sequential PIN-JOIN solver.
@@ -182,7 +182,7 @@ pub fn try_solve_par<P: ProbabilityFunction + Clone + Sync>(
                     for j in lo..hi {
                         let candidate = problem.candidates()[j];
                         let min_inf = classify(tree, &candidate, &mut undecided, &mut stats);
-                        let max_inf = min_inf + undecided.len() as u32;
+                        let max_inf = min_inf + u32::try_from(undecided.len()).unwrap_or(u32::MAX);
                         // ordering: Acquire pairs with the Release half of the
                         // workers' `fetch_max` publishes below, so the filter
                         // observes every influence count published before it; a

@@ -61,7 +61,7 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
     let mut stats = SolveStats::default();
 
     let a2d = problem.a2d();
-    let r_influenceable = a2d.influenceable() as u32;
+    let r_influenceable = u32::try_from(a2d.influenceable()).unwrap_or(u32::MAX);
     stats.uninfluenceable_objects = (a2d.entries().len() - a2d.influenceable()) as u64;
 
     let mut min_inf = vec![0u32; m];
@@ -87,7 +87,7 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
                         stats.decided_by_ia += 1;
                         min_inf[j] += 1;
                     } else {
-                        vs_store[j].push(entry.index as u32);
+                        vs_store[j].push(u32::try_from(entry.index).unwrap_or(u32::MAX));
                     }
                 },
             );
@@ -105,7 +105,7 @@ pub(crate) fn prepare<P: ProbabilityFunction + Clone>(
             .entries()
             .iter()
             .filter(|e| e.regions.is_some())
-            .map(|e| e.index as u32)
+            .map(|e| u32::try_from(e.index).unwrap_or(u32::MAX))
             .collect();
     }
     Prepared {

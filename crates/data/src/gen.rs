@@ -387,8 +387,13 @@ impl SyntheticGenerator {
                 };
 
                 let (g, _) = gaussian_pair(&mut rng);
-                let n = (mu + sigma * g).exp().round() as i64;
-                let n = n.clamp(cfg.checkins_min as i64, cfg.checkins_max as i64) as usize;
+                #[allow(clippy::cast_possible_truncation)]
+                // clamped into [checkins_min, checkins_max] in the float domain
+                let n = (mu + sigma * g)
+                    .exp()
+                    .round()
+                    .clamp(cfg.checkins_min as f64, cfg.checkins_max as f64)
+                    as usize;
 
                 let positions: Vec<Point> = (0..n)
                     .map(|_| {

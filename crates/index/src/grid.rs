@@ -33,7 +33,11 @@ impl<T: Clone> GridIndex<T> {
             frame.width() > 0.0 || frame.height() > 0.0,
             "grid frame must have positive extent"
         );
+        #[allow(clippy::cast_possible_truncation)]
+        // `.max(1.0)` keeps the value in [1, extent/cell_size], far below 2^52
         let cols = (frame.width() / cell_size).ceil().max(1.0) as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        // `.max(1.0)` keeps the value in [1, extent/cell_size], far below 2^52
         let rows = (frame.height() / cell_size).ceil().max(1.0) as usize;
         GridIndex {
             frame,
@@ -75,10 +79,8 @@ impl<T: Clone> GridIndex<T> {
 
     #[inline]
     fn cell_of(&self, p: &Point) -> usize {
-        let cx = (((p.x - self.frame.lo().x) / self.cell_size) as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let cy = (((p.y - self.frame.lo().y) / self.cell_size) as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
+        let cx = clamp_axis(p.x - self.frame.lo().x, self.cell_size, self.cols);
+        let cy = clamp_axis(p.y - self.frame.lo().y, self.cell_size, self.rows);
         cy * self.cols + cx
     }
 
@@ -94,14 +96,10 @@ impl<T: Clone> GridIndex<T> {
     /// Visits every entry whose point lies inside `rect`.
     pub fn query_rect(&self, rect: &Mbr, mut visit: impl FnMut(&Point, &T)) -> QueryStats {
         let mut stats = QueryStats::default();
-        let lo_col = (((rect.lo().x - self.frame.lo().x) / self.cell_size).floor() as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let hi_col = (((rect.hi().x - self.frame.lo().x) / self.cell_size).floor() as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let lo_row = (((rect.lo().y - self.frame.lo().y) / self.cell_size).floor() as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
-        let hi_row = (((rect.hi().y - self.frame.lo().y) / self.cell_size).floor() as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
+        let lo_col = clamp_axis(rect.lo().x - self.frame.lo().x, self.cell_size, self.cols);
+        let hi_col = clamp_axis(rect.hi().x - self.frame.lo().x, self.cell_size, self.cols);
+        let lo_row = clamp_axis(rect.lo().y - self.frame.lo().y, self.cell_size, self.rows);
+        let hi_row = clamp_axis(rect.hi().y - self.frame.lo().y, self.cell_size, self.rows);
         for row in lo_row..=hi_row {
             for col in lo_col..=hi_col {
                 stats.nodes_visited += 1;
@@ -153,6 +151,17 @@ impl<T: Clone> GridIndex<T> {
         stats.matches = matches;
         stats
     }
+}
+
+/// Maps a continuous offset to a cell index along one axis, clamping
+/// into `[0, n)` in the float domain so the single lossy cast is
+/// provably in range (out-of-frame points land in the boundary cells).
+#[inline]
+#[allow(clippy::cast_possible_truncation)] // the clamp above the cast is the whole point of this helper
+fn clamp_axis(offset: f64, cell_size: f64, n: usize) -> usize {
+    (offset / cell_size)
+        .floor()
+        .clamp(0.0, n.saturating_sub(1) as f64) as usize
 }
 
 #[cfg(test)]

@@ -189,8 +189,10 @@ impl<T: Clone> MbrTree<T> {
             // ~√(leaves) slices, sort each slice by y, emit fan-out runs.
             band.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
             let leaves_in_band = band.len().div_ceil(max_entries);
-            let slices = (leaves_in_band as f64).sqrt().ceil() as usize;
-            let per_slice = band.len().div_ceil(slices.max(1)).max(1);
+            #[allow(clippy::cast_possible_truncation)]
+            // in [1, √leaves]: leaves fit memory, so far below 2^52
+            let slices = (leaves_in_band as f64).sqrt().ceil().max(1.0) as usize;
+            let per_slice = band.len().div_ceil(slices).max(1);
             for slice in band.chunks_mut(per_slice) {
                 slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
                 for run in slice.chunks(max_entries) {
@@ -319,6 +321,7 @@ impl<T: Clone> MbrTree<T> {
     /// caller. Every indexed object is covered by exactly one event, so
     /// `Σ counts + influenced + excluded + undecided = len()` — the
     /// accounting invariant the solver-level tests check.
+    // pinocchio-hot: per-candidate tree traversal of PIN-JOIN
     pub fn influence_join(
         &self,
         candidate: &Point,
@@ -390,6 +393,7 @@ impl<T: Clone> MbrTree<T> {
     /// Same pruning rules and verdicts as [`Self::influence_join`]; only
     /// the reporting differs (influenced subtrees are walked to hand out
     /// payloads, without re-testing their entries).
+    // pinocchio-hot: per-candidate tree traversal of the delta maintenance path
     pub fn influence_join_entries(
         &self,
         candidate: &Point,
@@ -509,6 +513,8 @@ impl<T: Clone> MbrTree<T> {
             return 0;
         };
         let mut leaf_depth = None;
+        #[allow(clippy::cast_possible_truncation)]
+        // the subtree count is at most `self.len`, which is a usize
         let count = walk(self, root, 0, &mut leaf_depth) as usize;
         assert_eq!(count, self.len, "len out of sync with contents");
         count

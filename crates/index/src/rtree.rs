@@ -133,9 +133,14 @@ impl<T: Clone> RTree<T> {
         let n = items.len();
         let cap = max_entries as f64;
         let leaf_count = (n as f64 / cap).ceil();
-        let slice_count = leaf_count.sqrt().ceil() as usize;
-        let slice_size = (n as f64 / slice_count as f64).ceil() as usize; // points per x-slice
-                                                                          // Points per slice must be a multiple of max_entries worth of leaves.
+        #[allow(clippy::cast_possible_truncation)]
+        // in [1, √leaves]: leaves fit memory, so far below 2^52
+        let slice_count = leaf_count.sqrt().ceil().max(1.0) as usize;
+        #[allow(clippy::cast_possible_truncation)] // in [1, n]: n is an in-memory item count
+        let slice_size = (n as f64 / slice_count as f64).ceil().max(1.0) as usize; // points per x-slice
+                                                                                   // Points per slice must be a multiple of max_entries worth of leaves.
+        #[allow(clippy::cast_possible_truncation)]
+        // at most slice_size rounded up to one leaf: an in-memory count
         let per_slice = ((slice_size as f64 / cap).ceil() * cap) as usize;
 
         items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));

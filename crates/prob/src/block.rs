@@ -187,6 +187,7 @@ impl<P: ProbabilityFunction> CumulativeProbability<P, Euclidean> {
     /// behind the product's multiply chain. The factor *values* and the
     /// multiply *order* are unchanged, so the result is still
     /// bit-identical to the fused loop.
+    // pinocchio-hot: inner distance/PF lane of every exact validation
     #[inline]
     fn refine_block(&self, c: &Point, blocks: &SoaBlocks<'_>, b: usize, product: &mut f64) {
         const LANE: usize = 16;
@@ -219,6 +220,7 @@ impl<P: ProbabilityFunction> CumulativeProbability<P, Euclidean> {
     /// [`Self::influences`] on the same positions; only the amount of
     /// work differs. See the module docs for the bounding argument and
     /// the exactness contract.
+    // pinocchio-hot: per-(candidate, object) bounding kernel of the blocked solver
     pub fn influences_blocked(
         &self,
         candidate: &Point,
@@ -251,7 +253,8 @@ impl<P: ProbabilityFunction> CumulativeProbability<P, Euclidean> {
         scratch.hi.clear();
         let mut hi_all = 1.0f64;
         for (b, mbr) in blocks.mbrs.iter().enumerate() {
-            let len = blocks.block_range(b).len() as i32;
+            #[allow(clippy::cast_possible_truncation)]
+            let len = blocks.block_range(b).len() as i32; // pinocchio-lint: allow(cast-truncation) -- a block holds at most BLOCK_SIZE = 16 positions
             let p_lo = self.pf().prob(mbr.max_dist(candidate)).clamp(0.0, 1.0);
             let f_hi = (1.0 - p_lo).powi(len);
             scratch.hi.push(f_hi);
@@ -268,7 +271,8 @@ impl<P: ProbabilityFunction> CumulativeProbability<P, Euclidean> {
         scratch.lo.clear();
         let mut lo_all = 1.0f64;
         for (b, mbr) in blocks.mbrs.iter().enumerate() {
-            let len = blocks.block_range(b).len() as i32;
+            #[allow(clippy::cast_possible_truncation)]
+            let len = blocks.block_range(b).len() as i32; // pinocchio-lint: allow(cast-truncation) -- a block holds at most BLOCK_SIZE = 16 positions
             let p_hi = self.pf().prob(mbr.min_dist(candidate)).clamp(0.0, 1.0);
             let f_lo = (1.0 - p_hi).powi(len);
             scratch.lo.push(f_lo);

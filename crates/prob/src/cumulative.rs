@@ -130,6 +130,7 @@ impl<P: ProbabilityFunction, M: DistanceMetric> CumulativeProbability<P, M> {
     /// staying exactly comparable to a from-scratch solve over the
     /// flattened positions (the contiguous method delegates here, so
     /// the two cannot drift apart).
+    // pinocchio-hot: per-(candidate, object) early-stop kernel of the dynamic path
     pub fn influences_early_stop_chunked<'a>(
         &self,
         candidate: &Point,

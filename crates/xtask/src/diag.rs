@@ -97,22 +97,105 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// The five substantive rule ids, in documentation order. The engine
-/// additionally emits `suppression-hygiene` for malformed suppressions.
-pub const RULES: [&str; 5] = [
-    "panic-path",
-    "float-soundness",
-    "atomic-ordering",
-    "crate-hygiene",
-    "stats-accounting",
+/// One entry in the rule registry: stable id, a one-line description
+/// (shown by `lint --list-rules`), the default severity, and whether the
+/// rule is the suppression meta-rule (always on, never selectable).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSpec {
+    /// Stable rule identifier (e.g. `panic-path`).
+    pub id: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Severity every finding of this rule carries by default.
+    pub default_severity: Severity,
+    /// Meta-rules run unconditionally and cannot be selected or
+    /// suppressed away; today that is only `suppression-hygiene`.
+    pub meta: bool,
+}
+
+/// The rule registry, in documentation order. Adding a rule here is the
+/// single registration step: `is_known_rule`, `--list-rules`, and the
+/// default rule set all derive from this table.
+pub const RULES: [RuleSpec; 11] = [
+    RuleSpec {
+        id: "panic-path",
+        summary: "panicking constructs / arithmetic indexing in panic-free library crates",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "float-soundness",
+        summary: "float-literal equality, NaN literals, panicking partial_cmp chains",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "atomic-ordering",
+        summary: "undocumented atomic orderings; Ordering::Relaxed is deny-by-default",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "crate-hygiene",
+        summary: "crate roots must forbid(unsafe_code) and deny(missing_docs)",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "stats-accounting",
+        summary: "instrumented entry points must account into their stats block",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "lock-ordering",
+        summary: "inconsistent or cyclic nested lock-acquisition orders across a crate",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "condvar-discipline",
+        summary: "Condvar waits must sit in a predicate-rechecking loop and consume the result",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "bounded-io",
+        summary: "unbounded reads / buffer growth on network-fed readers",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "hot-path-alloc",
+        summary: "heap allocation inside `// pinocchio-hot` functions (one call level deep)",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "cast-truncation",
+        summary: "lossy `as` casts in non-test code",
+        default_severity: Severity::Deny,
+        meta: false,
+    },
+    RuleSpec {
+        id: "suppression-hygiene",
+        summary: "suppressions must carry a justification and name a known rule",
+        default_severity: Severity::Deny,
+        meta: true,
+    },
 ];
 
 /// The meta-rule id for malformed `pinocchio-lint` suppressions.
 pub const SUPPRESSION_RULE: &str = "suppression-hygiene";
 
+/// The selectable (non-meta) rule ids, in registry order.
+pub fn default_rule_ids() -> Vec<&'static str> {
+    RULES.iter().filter(|r| !r.meta).map(|r| r.id).collect()
+}
+
 /// Whether `name` is a known rule id (including the meta-rule).
 pub fn is_known_rule(name: &str) -> bool {
-    name == SUPPRESSION_RULE || RULES.contains(&name)
+    RULES.iter().any(|r| r.id == name)
 }
 
 #[cfg(test)]
@@ -144,7 +227,24 @@ mod tests {
     #[test]
     fn rule_registry() {
         assert!(is_known_rule("float-soundness"));
+        assert!(is_known_rule("lock-ordering"));
+        assert!(is_known_rule("cast-truncation"));
         assert!(is_known_rule(SUPPRESSION_RULE));
         assert!(!is_known_rule("made-up"));
+    }
+
+    #[test]
+    fn default_rules_exclude_the_meta_rule_and_keep_registry_order() {
+        let ids = default_rule_ids();
+        assert_eq!(ids.len(), RULES.len() - 1);
+        assert!(!ids.contains(&SUPPRESSION_RULE));
+        assert_eq!(ids.first(), Some(&"panic-path"));
+        assert_eq!(ids.last(), Some(&"cast-truncation"));
+        // Every id is unique and every spec has a non-empty summary.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert!(RULES.iter().all(|r| !r.summary.is_empty()));
     }
 }

@@ -1,9 +1,19 @@
 //! File collection, rule dispatch, suppression filtering and reporting.
+//!
+//! Linting is two-phase: every file is parsed into a
+//! [`FileAnalysis`] (line classification + function spans) first, then
+//! the per-file rules run file by file and the workspace rules
+//! (`lock-ordering`, `hot-path-alloc`) run over the whole set — their
+//! graphs span files, so even a `--changed`-scoped run parses
+//! everything and only filters the *reported* diagnostics.
 
-use crate::diag::{Diagnostic, Severity, RULES};
+use crate::conc;
+use crate::diag::{default_rule_ids, Diagnostic, Severity};
 use crate::rules::check_file;
 use crate::source::SourceFile;
+use crate::span::FileAnalysis;
 use serde_json::{json, Value};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -12,8 +22,12 @@ use std::path::{Path, PathBuf};
 pub struct LintConfig {
     /// Workspace root (the directory holding `crates/` and `src/`).
     pub root: PathBuf,
-    /// Rule ids to run; defaults to every rule.
+    /// Rule ids to run; defaults to every selectable rule.
     pub rules: Vec<&'static str>,
+    /// When set, only diagnostics in these repo-relative files are
+    /// reported (the whole workspace is still parsed — workspace rules
+    /// need the full graph). This is the `--changed` mode.
+    pub scope: Option<BTreeSet<String>>,
 }
 
 impl LintConfig {
@@ -21,7 +35,8 @@ impl LintConfig {
     pub fn all(root: impl Into<PathBuf>) -> Self {
         LintConfig {
             root: root.into(),
-            rules: RULES.to_vec(),
+            rules: default_rule_ids(),
+            scope: None,
         }
     }
 
@@ -30,6 +45,7 @@ impl LintConfig {
         LintConfig {
             root: root.into(),
             rules: vec![rule],
+            scope: None,
         }
     }
 }
@@ -37,7 +53,8 @@ impl LintConfig {
 /// The outcome of a lint run.
 #[derive(Debug)]
 pub struct LintReport {
-    /// Diagnostics that survived suppression, in path/line order.
+    /// Diagnostics that survived suppression, sorted by
+    /// (file, line, rule).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
@@ -130,28 +147,81 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// The repo-relative files changed versus `base` (committed, staged or
+/// untracked), for `lint --changed`. Returns `None` when git is
+/// unavailable or `base` does not resolve — the caller falls back to a
+/// full lint rather than silently passing.
+pub fn changed_files(root: &Path, base: &str) -> Option<BTreeSet<String>> {
+    let run = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git")
+            .args(args)
+            .current_dir(root)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        String::from_utf8(out.stdout).ok()
+    };
+    let diff = run(&["diff", "--name-only", base])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default();
+    let mut set = BTreeSet::new();
+    for line in diff.lines().chain(untracked.lines()) {
+        let line = line.trim();
+        if !line.is_empty() {
+            set.insert(line.to_string());
+        }
+    }
+    Some(set)
+}
+
 /// Runs the configured rules over the workspace and returns the report.
 /// Unreadable files are skipped (they cannot carry violations the
 /// compiler would accept either).
 pub fn lint(config: &LintConfig) -> LintReport {
     let paths = collect_files(&config.root);
-    let files_scanned = paths.len();
-    let mut diagnostics = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
     for rel in &paths {
         let Ok(text) = fs::read_to_string(config.root.join(rel)) else {
             continue;
         };
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let file = SourceFile::parse(&rel_str, &text);
+        analyses.push(FileAnalysis::parse(&rel_str, &text));
+    }
+    let files_scanned = analyses.len();
+    let mut diagnostics = Vec::new();
+    for a in &analyses {
         // Malformed suppressions are reported regardless of rule subset:
         // they are an audit-trail failure, not a rule finding.
-        diagnostics.extend(file.suppression_diagnostics());
+        diagnostics.extend(a.source.suppression_diagnostics());
         diagnostics.extend(
-            check_file(&file, &config.rules)
+            check_file(&a.source, &config.rules)
                 .into_iter()
-                .filter(|d| !file.is_suppressed(d.rule, d.line)),
+                .chain(conc::check_file_spans(a, &config.rules))
+                .filter(|d| !a.source.is_suppressed(d.rule, d.line)),
         );
     }
+    // Workspace rules report into arbitrary files; route each finding
+    // through that file's own suppressions.
+    let sources: BTreeMap<&str, &SourceFile> = analyses
+        .iter()
+        .map(|a| (a.source.path.as_str(), &a.source))
+        .collect();
+    diagnostics.extend(
+        conc::check_workspace(&analyses, &config.rules)
+            .into_iter()
+            .filter(|d| {
+                sources
+                    .get(d.file.as_str())
+                    .map(|s| !s.is_suppressed(d.rule, d.line))
+                    .unwrap_or(true)
+            }),
+    );
+    if let Some(scope) = &config.scope {
+        diagnostics.retain(|d| scope.contains(&d.file));
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     LintReport {
         diagnostics,
         files_scanned,
@@ -228,6 +298,94 @@ mod tests {
         // …and the unjustified allow does not silence panic-path.
         let full = lint(&LintConfig::all(&root));
         assert!(full.diagnostics.iter().any(|d| d.rule == "panic-path"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn workspace_rules_report_across_files_and_respect_suppressions() {
+        let ab = "pub fn ab(s: &S) {\n    let g = s.alpha.lock().unwrap_or_else(|p| p.into_inner());\n    let h = s.beta.lock().unwrap_or_else(|p| p.into_inner());\n}\n";
+        let ba = "pub fn ba(s: &S) {\n    let g = s.beta.lock().unwrap_or_else(|p| p.into_inner());\n    let h = s.alpha.lock().unwrap_or_else(|p| p.into_inner());\n}\n";
+        let root = scratch_workspace(
+            "lockord",
+            &[("crates/serve/src/a.rs", ab), ("crates/serve/src/b.rs", ba)],
+        );
+        let report = lint(&LintConfig::only(&root, "lock-ordering"));
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == "lock-ordering")
+                .count(),
+            2,
+            "{:?}",
+            report.diagnostics
+        );
+        // A justified suppression on the flagged line silences that side.
+        let ba_suppressed = ba.replace(
+            "    let h = s.alpha.lock().unwrap_or_else(|p| p.into_inner());",
+            "    // pinocchio-lint: allow(lock-ordering) -- test justification\n    let h = s.alpha.lock().unwrap_or_else(|p| p.into_inner());",
+        );
+        let root2 = scratch_workspace(
+            "lockord2",
+            &[
+                ("crates/serve/src/a.rs", ab),
+                ("crates/serve/src/b.rs", ba_suppressed.as_str()),
+            ],
+        );
+        let report2 = lint(&LintConfig::only(&root2, "lock-ordering"));
+        let remaining: Vec<&Diagnostic> = report2
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lock-ordering")
+            .collect();
+        assert_eq!(remaining.len(), 1, "{remaining:?}");
+        assert!(remaining[0].file.ends_with("a.rs"));
+        let _ = fs::remove_dir_all(&root);
+        let _ = fs::remove_dir_all(&root2);
+    }
+
+    #[test]
+    fn scope_filters_reported_files_but_scans_everything() {
+        let bad = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let root = scratch_workspace(
+            "scope",
+            &[
+                ("crates/core/src/one.rs", bad),
+                ("crates/core/src/two.rs", bad),
+            ],
+        );
+        let mut config = LintConfig::only(&root, "panic-path");
+        config.scope = Some(["crates/core/src/one.rs".to_string()].into_iter().collect());
+        let report = lint(&config);
+        assert_eq!(report.files_scanned, 2, "everything is still parsed");
+        assert!(!report.diagnostics.is_empty());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.file.ends_with("one.rs")));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn diagnostics_come_back_sorted() {
+        let root = scratch_workspace(
+            "sorted",
+            &[
+                (
+                    "crates/core/src/zz.rs",
+                    "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+                ),
+                (
+                    "crates/core/src/aa.rs",
+                    "pub fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+                ),
+            ],
+        );
+        let report = lint(&LintConfig::only(&root, "panic-path"));
+        let files: Vec<&str> = report.diagnostics.iter().map(|d| d.file.as_str()).collect();
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
         let _ = fs::remove_dir_all(&root);
     }
 }

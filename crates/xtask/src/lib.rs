@@ -1,38 +1,54 @@
 //! In-repo static-analysis engine for the PINOCCHIO workspace.
 //!
-//! `cargo run -p xtask -- lint` runs a line/token-level audit over every
-//! `.rs` file under `crates/` and `src/` (vendored shims and test
+//! `cargo run -p xtask -- lint` runs a token/span-level audit over
+//! every `.rs` file under `crates/` and `src/` (vendored shims and test
 //! fixtures excluded) and fails on any *deny* diagnostic. The rules
-//! encode the domain invariants PR 1 made load-bearing — invariants
-//! clippy cannot check:
+//! encode the domain invariants the workspace made load-bearing —
+//! invariants clippy cannot check:
 //!
-//! | rule id            | guards against |
-//! |--------------------|----------------|
-//! | `panic-path`       | `unwrap`/`expect`/`panic!`-family and arithmetic indexing in non-test library code of `core`, `prob`, `geo`, `index` |
-//! | `float-soundness`  | `==`/`!=` against float literals, `f64::NAN` literals, bare `partial_cmp(..).unwrap()` |
-//! | `atomic-ordering`  | undocumented `Ordering::*` uses; `Relaxed` is deny-by-default |
-//! | `crate-hygiene`    | crate roots missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
-//! | `stats-accounting` | solver entry points that stop referencing `SolveStats` |
+//! | rule id              | guards against |
+//! |----------------------|----------------|
+//! | `panic-path`         | `unwrap`/`expect`/`panic!`-family and arithmetic indexing in non-test library code of `core`, `prob`, `geo`, `index` |
+//! | `float-soundness`    | `==`/`!=` against float literals, `f64::NAN` literals, bare `partial_cmp(..).unwrap()` |
+//! | `atomic-ordering`    | undocumented `Ordering::*` uses; `Relaxed` is deny-by-default |
+//! | `crate-hygiene`      | crate roots missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
+//! | `stats-accounting`   | solver entry points that stop referencing `SolveStats` |
+//! | `lock-ordering`      | cyclic/inconsistent nested `Mutex`/`RwLock` acquisition orders within a crate (incl. one-level call edges) |
+//! | `condvar-discipline` | `Condvar` waits outside a predicate-rechecking loop, or with a discarded guard |
+//! | `bounded-io`         | `read_to_end`/`read_line`/uncapped buffer growth on network-fed readers outside `read_bounded_*` helpers |
+//! | `hot-path-alloc`     | heap allocation in `// pinocchio-hot` functions (and their direct callees) |
+//! | `cast-truncation`    | lossy `as` casts in non-test code |
+//!
+//! The first five are line rules over the [`source`] model; the last
+//! five run on the function-span substrate built by [`span`] and live in
+//! [`conc`]. `lock-ordering` and `hot-path-alloc` are workspace-level:
+//! their graphs cross files, so they always parse everything even under
+//! `lint --changed`.
 //!
 //! Every rule can be silenced per line with
 //! `// pinocchio-lint: allow(<rule>) -- <justification>`; the
 //! justification is mandatory — an allow without one is itself a deny
-//! diagnostic (`suppression-hygiene`) and suppresses nothing.
+//! diagnostic (`suppression-hygiene`) and suppresses nothing. The rule
+//! registry ([`diag::RULES`]) is table-driven; `lint --list-rules`
+//! prints it.
 //!
 //! The engine is deliberately token-level, not AST-level: the workspace
 //! builds offline, so the linter cannot depend on `syn` or a rustc
 //! plugin. Stripping comments and string literals before matching keeps
 //! the token scan honest; the per-rule corner cases are documented in
-//! [`rules`].
+//! [`rules`], [`conc`] and DESIGN.md §14.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod conc;
 pub mod diag;
 pub mod engine;
 pub mod rules;
 pub mod source;
+pub mod span;
 
-pub use diag::{Diagnostic, Severity};
-pub use engine::{collect_files, lint, LintConfig, LintReport};
+pub use diag::{default_rule_ids, is_known_rule, Diagnostic, RuleSpec, Severity, RULES};
+pub use engine::{changed_files, collect_files, lint, LintConfig, LintReport};
 pub use source::SourceFile;
+pub use span::FileAnalysis;

@@ -9,14 +9,19 @@
 //!
 //! Common flags: `--format json|text` (default `text`),
 //! `--root <path>` (default: the workspace root containing this crate).
+//! `lint` additionally accepts `--list-rules` (print the rule registry
+//! and exit) and `--changed[=BASE]` (report only findings in files
+//! changed versus BASE, default `HEAD`; the whole workspace is still
+//! parsed so cross-file rules keep their graphs).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{lint, LintConfig, LintReport};
+use xtask::{changed_files, lint, LintConfig, LintReport, RULES};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- <lint|audit-stats|check-headers> [--format json|text] [--root PATH]"
+        "usage: cargo run -p xtask -- <lint|audit-stats|check-headers> \
+         [--format json|text] [--root PATH] [--list-rules] [--changed[=BASE]]"
     );
     ExitCode::from(2)
 }
@@ -29,6 +34,8 @@ fn main() -> ExitCode {
 
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut changed_base: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,20 +53,59 @@ fn main() -> ExitCode {
                 root = Some(PathBuf::from(v));
                 i += 2;
             }
+            "--list-rules" => {
+                list_rules = true;
+                i += 1;
+            }
+            "--changed" => {
+                changed_base = Some("HEAD".to_string());
+                i += 1;
+            }
+            other if other.starts_with("--changed=") => {
+                let base = &other["--changed=".len()..];
+                if base.is_empty() {
+                    return usage();
+                }
+                changed_base = Some(base.to_string());
+                i += 1;
+            }
             _ => return usage(),
         }
     }
     if format != "text" && format != "json" {
         return usage();
     }
+    if (list_rules || changed_base.is_some()) && command != "lint" {
+        return usage();
+    }
+    if list_rules {
+        print_rule_table();
+        return ExitCode::SUCCESS;
+    }
     let root = root.unwrap_or_else(workspace_root);
 
-    let config = match command.as_str() {
+    let mut config = match command.as_str() {
         "lint" => LintConfig::all(&root),
         "audit-stats" => LintConfig::only(&root, "stats-accounting"),
         "check-headers" => LintConfig::only(&root, "crate-hygiene"),
         _ => return usage(),
     };
+    if let Some(base) = &changed_base {
+        match changed_files(&root, base) {
+            Some(scope) => {
+                eprintln!(
+                    "xtask lint: scoped to {} file(s) changed vs {base}",
+                    scope.len()
+                );
+                config.scope = Some(scope);
+            }
+            None => {
+                // No git / unknown base: a silent pass would be worse
+                // than a full lint.
+                eprintln!("xtask lint: cannot resolve changes vs {base}; linting everything");
+            }
+        }
+    }
     let report = lint(&config);
 
     if format == "json" {
@@ -88,6 +134,20 @@ fn main() -> ExitCode {
 fn report_clean(command: &str, report: &LintReport) {
     if report.diagnostics.is_empty() {
         eprintln!("xtask {command}: clean ({} files)", report.files_scanned);
+    }
+}
+
+/// `lint --list-rules`: the registry as a fixed-width table.
+fn print_rule_table() {
+    println!("{:<20} {:<6} description", "rule", "level");
+    for rule in RULES {
+        println!(
+            "{:<20} {:<6} {}{}",
+            rule.id,
+            rule.default_severity.label(),
+            rule.summary,
+            if rule.meta { " [meta: always on]" } else { "" }
+        );
     }
 }
 

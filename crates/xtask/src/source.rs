@@ -197,18 +197,29 @@ impl Lexer {
                     self.scan_string(raw, &mut code, &mut i);
                 }
                 b'r' if is_raw_string_start(raw, i) => {
-                    let mut j = i + 1;
-                    let mut hashes = 0usize;
-                    while bytes.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
+                    let hashes = raw_string_hashes(raw, i).unwrap_or(0);
                     code.push('r');
                     for _ in 0..hashes {
                         code.push(' ');
                     }
                     code.push('"');
-                    i = j + 1;
+                    i += 1 + hashes + 1;
+                    self.raw_string = Some(hashes);
+                }
+                b'b' if is_byte_raw_string_start(raw, i) => {
+                    // `br#"…"#` — a byte raw string. Without this arm the
+                    // `b` prefix defeats the identifier check on the `r`
+                    // and the contents get scanned as a *normal* string,
+                    // where a lone `"` or `\` corrupts the rest of the
+                    // lex.
+                    let hashes = raw_string_hashes(raw, i + 1).unwrap_or(0);
+                    code.push('b');
+                    code.push('r');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += 2 + hashes + 1;
                     self.raw_string = Some(hashes);
                 }
                 b'\'' => {
@@ -279,6 +290,20 @@ fn skip_char(raw: &str, i: &mut usize) {
     }
 }
 
+/// The hash count of a raw-string opener whose `r` sits at byte
+/// `r_pos` (`r"` → 0, `r##"` → 2), or `None` when no `"` follows the
+/// hashes (e.g. a raw identifier like `r#type`).
+fn raw_string_hashes(raw: &str, r_pos: usize) -> Option<usize> {
+    let bytes = raw.as_bytes();
+    let mut j = r_pos + 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
 /// Is the `r` at byte `i` the start of a raw string (`r"` or `r#…"`)
 /// rather than part of an identifier?
 fn is_raw_string_start(raw: &str, i: usize) -> bool {
@@ -289,11 +314,20 @@ fn is_raw_string_start(raw: &str, i: usize) -> bool {
             return false;
         }
     }
-    let mut j = i + 1;
-    while bytes.get(j) == Some(&b'#') {
-        j += 1;
+    raw_string_hashes(raw, i).is_some()
+}
+
+/// Is the `b` at byte `i` the start of a byte raw string (`br"…"` /
+/// `br#…"`)?
+fn is_byte_raw_string_start(raw: &str, i: usize) -> bool {
+    let bytes = raw.as_bytes();
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
     }
-    bytes.get(j) == Some(&b'"')
+    bytes.get(i + 1) == Some(&b'r') && raw_string_hashes(raw, i + 1).is_some()
 }
 
 /// Byte length of a char literal starting at `i`, or `None` if this is
@@ -440,6 +474,64 @@ mod tests {
         let f = SourceFile::parse("x.rs", "let p = r#\".unwrap()\"#;\nlet q = 1;\n");
         assert!(!f.lines[0].code.contains("unwrap"));
         assert!(f.lines[1].code.contains("let q"));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_blanked() {
+        // Regression: `br#"…"#` used to be lexed as identifier `br`, a
+        // stray `#`, then a *normal* string — so the lone `"` inside
+        // closed it early and `.unwrap()` leaked into code.
+        let f = SourceFile::parse(
+            "x.rs",
+            "let p = br#\"say \" then .unwrap()\"#;\nlet q = 2;\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"), "{}", f.lines[0].code);
+        assert!(f.lines[0].code.contains("br"));
+        assert!(f.lines[1].code.contains("let q"), "{}", f.lines[1].code);
+    }
+
+    #[test]
+    fn raw_strings_may_contain_quotes_comments_and_braces() {
+        let text = "let a = r#\"quote \" and // comment and /* block and { brace\"#;\nlet b = 3;\n";
+        let f = SourceFile::parse("x.rs", text);
+        let code = &f.lines[0].code;
+        assert!(!code.contains("comment"), "{code}");
+        assert!(!code.contains('{'), "braces in literals must blank: {code}");
+        assert!(f.lines[0].comment.is_empty(), "{:?}", f.lines[0].comment);
+        assert!(f.lines[1].code.contains("let b"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let f = SourceFile::parse("x.rs", "let r#type = r#fn + 1;\nlet s = \"x\";\n");
+        assert!(f.lines[0].code.contains("r#type"), "{}", f.lines[0].code);
+        assert!(f.lines[1].code.contains("let s"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_ignore_shorter_closers() {
+        let text = "let a = r##\"inner \"# not closed .unwrap()\"##;\nlet b = 4;\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(!f.lines[0].code.contains("unwrap"), "{}", f.lines[0].code);
+        assert!(f.lines[1].code.contains("let b"));
+    }
+
+    #[test]
+    fn suppressions_inside_raw_strings_do_not_enact() {
+        let text =
+            "let doc = r#\"// pinocchio-lint: allow(panic-path) -- quoted\"#;\nx.unwrap();\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
+    }
+
+    #[test]
+    fn nested_block_comment_depth_spans_lines() {
+        let text = "/* outer /* inner\nstill /* deeper */ inner */ comment */ code();\nafter();\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(f.lines[1].code.contains("code()"), "{}", f.lines[1].code);
+        assert!(!f.lines[1].code.contains("inner"), "{}", f.lines[1].code);
+        assert!(f.lines[2].code.contains("after"));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! End-to-end tests of the `xtask` binary: exit codes, `--list-rules`,
+//! `--format json`, and the `--changed` git scoping — everything a CI
+//! job or pre-push hook observes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Builds a throwaway mini-workspace holding the given files.
+fn scratch(tag: &str, files: &[(&str, String)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xtask-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).expect("mkdir scratch root");
+    for (rel, text) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("files live under root")).expect("mkdir");
+        fs::write(path, text).expect("write fixture");
+    }
+    root
+}
+
+fn xtask(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("run xtask binary")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("xtask exited by signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A passing file for every rule, placeable anywhere in scope.
+fn clean_file() -> String {
+    fixture("cast_truncation/good.rs")
+}
+
+#[test]
+fn lint_exit_codes_mirror_findings() {
+    let dirty = scratch(
+        "lint-dirty",
+        &[(
+            "crates/data/src/fixture_mod.rs",
+            fixture("cast_truncation/bad.rs"),
+        )],
+    );
+    let out = xtask(&["lint", "--root", dirty.to_str().expect("utf-8 path")]);
+    assert_eq!(exit_code(&out), 1, "deny findings exit 1: {}", stdout(&out));
+    let _ = fs::remove_dir_all(&dirty);
+
+    let clean = scratch(
+        "lint-clean",
+        &[("crates/data/src/fixture_mod.rs", clean_file())],
+    );
+    let out = xtask(&["lint", "--root", clean.to_str().expect("utf-8 path")]);
+    assert_eq!(exit_code(&out), 0, "clean tree exits 0: {}", stdout(&out));
+    let _ = fs::remove_dir_all(&clean);
+}
+
+#[test]
+fn audit_stats_exit_codes_mirror_findings() {
+    let dirty = scratch(
+        "stats-dirty",
+        &[(
+            "crates/core/src/fixture_solver.rs",
+            fixture("stats_accounting/bad.rs"),
+        )],
+    );
+    let out = xtask(&["audit-stats", "--root", dirty.to_str().expect("utf-8 path")]);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "an uninstrumented solver exits 1 like lint: {}",
+        stdout(&out)
+    );
+    let _ = fs::remove_dir_all(&dirty);
+
+    let clean = scratch(
+        "stats-clean",
+        &[(
+            "crates/core/src/fixture_solver.rs",
+            fixture("stats_accounting/good.rs"),
+        )],
+    );
+    let out = xtask(&["audit-stats", "--root", clean.to_str().expect("utf-8 path")]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "instrumented solvers exit 0: {}",
+        stdout(&out)
+    );
+    let _ = fs::remove_dir_all(&clean);
+}
+
+#[test]
+fn check_headers_exit_codes_mirror_findings() {
+    let dirty = scratch(
+        "headers-dirty",
+        &[("crates/core/src/lib.rs", fixture("crate_hygiene/bad.rs"))],
+    );
+    let out = xtask(&[
+        "check-headers",
+        "--root",
+        dirty.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "missing crate-root attributes exit 1 like lint: {}",
+        stdout(&out)
+    );
+    let _ = fs::remove_dir_all(&dirty);
+
+    let clean = scratch(
+        "headers-clean",
+        &[("crates/core/src/lib.rs", fixture("crate_hygiene/good.rs"))],
+    );
+    let out = xtask(&[
+        "check-headers",
+        "--root",
+        clean.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "hygienic roots exit 0: {}",
+        stdout(&out)
+    );
+    let _ = fs::remove_dir_all(&clean);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(exit_code(&xtask(&[])), 2, "no subcommand");
+    assert_eq!(exit_code(&xtask(&["frobnicate"])), 2, "unknown subcommand");
+    assert_eq!(
+        exit_code(&xtask(&["lint", "--format", "yaml"])),
+        2,
+        "unknown format"
+    );
+    assert_eq!(
+        exit_code(&xtask(&["audit-stats", "--list-rules"])),
+        2,
+        "--list-rules is lint-only"
+    );
+    assert_eq!(
+        exit_code(&xtask(&["check-headers", "--changed"])),
+        2,
+        "--changed is lint-only"
+    );
+}
+
+#[test]
+fn list_rules_prints_the_whole_registry() {
+    let out = xtask(&["lint", "--list-rules"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = stdout(&out);
+    for spec in xtask::RULES {
+        assert!(
+            text.contains(spec.id),
+            "--list-rules must name `{}`:\n{text}",
+            spec.id
+        );
+    }
+    assert!(
+        text.contains("[meta: always on]"),
+        "the meta rule is marked:\n{text}"
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let root = scratch(
+        "json",
+        &[(
+            "crates/serve/src/fixture_io.rs",
+            fixture("bounded_io/bad.rs"),
+        )],
+    );
+    let out = xtask(&[
+        "lint",
+        "--format",
+        "json",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    let _ = fs::remove_dir_all(&root);
+    assert_eq!(exit_code(&out), 1, "findings still fail in JSON mode");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&stdout(&out)).expect("stdout is a JSON document");
+    let diags = parsed
+        .get("diagnostics")
+        .and_then(|v| v.as_array())
+        .expect("diagnostics array");
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.get("rule").and_then(|v| v.as_str()) == Some("bounded-io")),
+        "{parsed:#}"
+    );
+    assert_eq!(
+        parsed.get("deny_count").and_then(|v| v.as_u64()),
+        Some(diags.len() as u64)
+    );
+}
+
+fn git(root: &Path, args: &[&str]) -> Output {
+    Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args([
+            "-c",
+            "user.email=xtask@localhost",
+            "-c",
+            "user.name=xtask",
+            "-c",
+            "commit.gpgsign=false",
+        ])
+        .args(args)
+        .output()
+        .expect("run git")
+}
+
+#[test]
+fn changed_mode_scopes_reports_to_touched_files() {
+    let root = scratch(
+        "changed",
+        &[(
+            "crates/data/src/fixture_mod.rs",
+            fixture("cast_truncation/bad.rs"),
+        )],
+    );
+    assert!(git(&root, &["init", "-q"]).status.success(), "git init");
+    assert!(git(&root, &["add", "."]).status.success());
+    assert!(
+        git(&root, &["commit", "-qm", "seed"]).status.success(),
+        "git commit"
+    );
+
+    // The only deny finding is in a committed (unchanged) file: scoping
+    // to the empty change set must pass, while a full lint still fails.
+    let out = xtask(&[
+        "lint",
+        "--changed",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "committed findings are out of scope: {}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let full = xtask(&["lint", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(exit_code(&full), 1, "the full lint still sees them");
+
+    // A fresh (untracked) bad file is in scope and fails.
+    fs::write(
+        root.join("crates/data/src/fixture_new.rs"),
+        fixture("cast_truncation/bad.rs"),
+    )
+    .expect("write untracked file");
+    let out = xtask(&[
+        "lint",
+        "--changed",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(exit_code(&out), 1, "untracked findings are in scope");
+    let text = stdout(&out);
+    assert!(
+        text.contains("fixture_new.rs") && !text.contains("fixture_mod.rs"),
+        "only the touched file is reported:\n{text}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn changed_mode_without_git_falls_back_to_a_full_lint() {
+    let root = scratch(
+        "changed-nogit",
+        &[(
+            "crates/data/src/fixture_mod.rs",
+            fixture("cast_truncation/bad.rs"),
+        )],
+    );
+    // Block discovery of any enclosing repository: point git at the
+    // scratch dir itself so `git -C <root>` cannot crawl upwards.
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args([
+            "lint",
+            "--changed",
+            "--root",
+            root.to_str().expect("utf-8 path"),
+        ])
+        .env("GIT_CEILING_DIRECTORIES", &root)
+        .env("GIT_DIR", root.join("no-such-repo"))
+        .output()
+        .expect("run xtask binary");
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "without git the full lint runs and fails: {}",
+        stdout(&out)
+    );
+    assert!(
+        stderr(&out).contains("linting everything"),
+        "the fallback is announced on stderr: {}",
+        stderr(&out)
+    );
+    let _ = fs::remove_dir_all(&root);
+}

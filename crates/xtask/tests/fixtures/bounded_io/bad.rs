@@ -1,0 +1,32 @@
+//! Bounded-io fixture: unbounded reads a hostile peer can grow without
+//! limit — `read_to_end`, `read_line`, and uncapped buffer growth in a
+//! reader-fed loop.
+
+use std::io::{BufRead, Read};
+
+pub fn slurp(reader: &mut impl Read) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let _ = reader.read_to_end(&mut buf);
+    buf
+}
+
+pub fn next_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    line
+}
+
+pub fn drain(reader: &mut impl BufRead) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let taken = match reader.fill_buf() {
+            Ok(chunk) if !chunk.is_empty() => {
+                out.extend_from_slice(chunk);
+                chunk.len()
+            }
+            _ => break,
+        };
+        reader.consume(taken);
+    }
+    out
+}

@@ -1,0 +1,40 @@
+//! Bounded-io fixture: the two sanctioned shapes — a `read_bounded_*`
+//! helper, and a growth loop whose every extension is capped.
+
+use std::io::BufRead;
+
+pub fn read_bounded_frame(reader: &mut impl BufRead, max: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let taken = match reader.fill_buf() {
+            Ok(chunk) if !chunk.is_empty() => {
+                if out.len() + chunk.len() > max {
+                    return None;
+                }
+                out.extend_from_slice(chunk);
+                chunk.len()
+            }
+            _ => break,
+        };
+        reader.consume(taken);
+    }
+    Some(out)
+}
+
+pub fn copy_capped(reader: &mut impl BufRead, max: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let taken = match reader.fill_buf() {
+            Ok(chunk) if !chunk.is_empty() => {
+                if out.len() + chunk.len() > max {
+                    break;
+                }
+                out.extend_from_slice(chunk);
+                chunk.len()
+            }
+            _ => break,
+        };
+        reader.consume(taken);
+    }
+    out
+}

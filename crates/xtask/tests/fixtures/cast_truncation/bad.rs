@@ -1,0 +1,10 @@
+//! Cast-truncation fixture: a silent integer narrowing and a rounded
+//! float crammed into a wide integer.
+
+pub fn narrow(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn rounded(x: f64) -> usize {
+    x.round() as usize
+}

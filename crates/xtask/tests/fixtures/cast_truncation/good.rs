@@ -1,0 +1,11 @@
+//! Cast-truncation fixture: the sanctioned shapes — saturating
+//! `try_from` for integer narrowing, clamp-in-the-float-domain before
+//! the lossy cast.
+
+pub fn narrow(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+pub fn rounded(x: f64, limit: usize) -> usize {
+    x.round().clamp(0.0, limit as f64) as usize
+}

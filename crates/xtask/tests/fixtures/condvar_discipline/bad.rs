@@ -1,0 +1,26 @@
+//! Condvar fixture: one wait outside any loop (misses spurious
+//! wake-ups), one wait whose returned guard is discarded.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    ready: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    pub fn await_once(&self) {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        if !*ready {
+            ready = self.signal.wait(ready).unwrap_or_else(|e| e.into_inner());
+        }
+        *ready = false;
+    }
+
+    pub fn await_dropped(&self) {
+        let ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*ready {
+            self.signal.wait(ready).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}

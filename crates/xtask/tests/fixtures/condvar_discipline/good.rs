@@ -1,0 +1,19 @@
+//! Condvar fixture: the canonical predicate-rechecking loop with the
+//! returned guard rebound each iteration.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    ready: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    pub fn await_ready(&self) {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*ready {
+            ready = self.signal.wait(ready).unwrap_or_else(|e| e.into_inner());
+        }
+        *ready = false;
+    }
+}

@@ -1,0 +1,21 @@
+//! Hot-path-alloc fixture: a marked kernel that allocates directly,
+//! and a marked kernel whose direct callee allocates.
+
+// pinocchio-hot: fixture kernel
+pub fn hot_sum(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    doubled.iter().sum()
+}
+
+// pinocchio-hot: fixture kernel delegating to an allocating helper
+pub fn hot_wrapper(xs: &[f64]) -> f64 {
+    helper_alloc(xs)
+}
+
+fn helper_alloc(xs: &[f64]) -> f64 {
+    let mut scratch = Vec::with_capacity(xs.len());
+    for x in xs {
+        scratch.push(x * 2.0);
+    }
+    scratch.iter().sum()
+}

@@ -1,0 +1,18 @@
+//! Hot-path-alloc fixture: the sanctioned shape — the kernel writes
+//! into caller-provided scratch (amortised `push` is allowed; fresh
+//! allocation is not).
+
+// pinocchio-hot: fixture kernel with caller-provided scratch
+pub fn hot_sum_into(xs: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    for x in xs {
+        scratch.push(x * 2.0);
+    }
+    scratch.iter().sum()
+}
+
+pub fn cold_setup(xs: &[f64]) -> Vec<f64> {
+    let mut scratch = Vec::with_capacity(xs.len());
+    scratch.extend(xs.iter().copied());
+    scratch
+}

@@ -1,0 +1,29 @@
+//! Lock-ordering fixture: two paths acquire the same pair of mutexes
+//! in opposite orders, and one path re-acquires a lock it holds.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    stats: Mutex<u64>,
+    queue: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn record_then_drain(&self) -> u64 {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        *stats + *queue
+    }
+
+    pub fn drain_then_record(&self) -> u64 {
+        let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        *queue + *stats
+    }
+
+    pub fn double_acquire(&self) -> u64 {
+        let first = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let second = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        *first + *second
+    }
+}

@@ -1,0 +1,26 @@
+//! Lock-ordering fixture: every path acquires `stats` before `queue`,
+//! and the short path scopes its guard so nothing nests.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    stats: Mutex<u64>,
+    queue: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn record_then_drain(&self) -> u64 {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        *stats + *queue
+    }
+
+    pub fn drain_then_record(&self) -> u64 {
+        let drained = {
+            let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            *queue
+        };
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        drained + *stats
+    }
+}
