@@ -94,16 +94,61 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
     stats.uninfluenceable_objects = (a2d.entries().len() - a2d.influenceable()) as u64;
     let tree = problem.object_tree();
 
-    let mut influences = vec![0u32; problem.candidates().len()];
-    let mut undecided: Vec<u32> = Vec::new();
-    for (j, c) in problem.candidates().iter().enumerate() {
-        let mut inf = classify(tree, c, &mut undecided, &mut stats);
-        for &k in undecided.iter() {
-            if pair.influences(c, k as usize, true, &mut stats) {
-                inf += 1;
+    let m = problem.candidates().len();
+    let mut influences = vec![0u32; m];
+    let tile_width = pair.tile_width();
+    if tile_width <= 1 {
+        // Historical per-candidate loop (Scalar / Blocked kernels):
+        // verdict order, stats and counters exactly as before.
+        let mut undecided: Vec<u32> = Vec::new();
+        for (j, c) in problem.candidates().iter().enumerate() {
+            let mut inf = classify(tree, c, &mut undecided, &mut stats);
+            for &k in undecided.iter() {
+                if pair.influences(c, k as usize, true, &mut stats) {
+                    inf += 1;
+                }
             }
+            influences[j] = inf;
         }
-        influences[j] = inf;
+    } else {
+        // Log-blocked kernel: classify a tile of candidates, then
+        // validate their (sorted) undecided sets object-major through
+        // the shared tile loop, so objects shared across the tile are
+        // evaluated while their arena blocks are cache-resident. The
+        // zero bound disables the Strategy 1 kill — like the historical
+        // loop, the sequential join validates every undecided pair.
+        let mut buffers: Vec<Vec<u32>> = vec![Vec::new(); tile_width];
+        let mut bounds = [(0u32, 0u32); crate::eval::LOG_TILE_WIDTH];
+        let mut lo = 0usize;
+        while lo < m {
+            let hi = (lo + tile_width).min(m);
+            for (s, j) in (lo..hi).enumerate() {
+                let inf = classify(tree, &problem.candidates()[j], &mut buffers[s], &mut stats);
+                buffers[s].sort_unstable();
+                bounds[s] = (
+                    inf,
+                    inf + u32::try_from(buffers[s].len()).unwrap_or(u32::MAX),
+                );
+            }
+            let tile: Vec<vo::TileCandidate<'_>> = (lo..hi)
+                .enumerate()
+                .map(|(s, j)| vo::TileCandidate {
+                    index: j,
+                    candidate: problem.candidates()[j],
+                    vs: &buffers[s],
+                    bounds: bounds[s],
+                })
+                .collect();
+            vo::validate_tile(
+                &mut pair,
+                &tile,
+                true,
+                || 0,
+                |j, exact| influences[j] = exact,
+                &mut stats,
+            );
+            lo = hi;
+        }
     }
 
     let (best_candidate, max_influence) = argmax_smallest_index(&influences)
@@ -176,51 +221,85 @@ pub fn try_solve_par<P: ProbabilityFunction + Clone + Sync>(
                 let bound = &bound;
                 scope.spawn(move || {
                     let mut pair = problem.pair_eval();
+                    // 1 outside the log-blocked kernel — a 1-wide tile
+                    // reproduces the historical classify → filter →
+                    // validate sequence (and its stats) exactly.
+                    let tile_width = pair.tile_width();
                     let mut stats = SolveStats::default();
-                    let mut undecided: Vec<u32> = Vec::new();
+                    let mut buffers: Vec<Vec<u32>> = vec![Vec::new(); tile_width];
+                    let mut bounds = [(0u32, 0u32); crate::eval::LOG_TILE_WIDTH];
                     let mut best: Option<(u32, usize)> = None;
-                    for j in lo..hi {
-                        let candidate = problem.candidates()[j];
-                        let min_inf = classify(tree, &candidate, &mut undecided, &mut stats);
-                        let max_inf = min_inf + u32::try_from(undecided.len()).unwrap_or(u32::MAX);
+                    let mut tlo = lo;
+                    while tlo < hi {
+                        let thi = (tlo + tile_width).min(hi);
+                        for (s, j) in (tlo..thi).enumerate() {
+                            let min_inf = classify(
+                                tree,
+                                &problem.candidates()[j],
+                                &mut buffers[s],
+                                &mut stats,
+                            );
+                            if tile_width > 1 {
+                                buffers[s].sort_unstable();
+                            }
+                            bounds[s] = (
+                                min_inf,
+                                min_inf + u32::try_from(buffers[s].len()).unwrap_or(u32::MAX),
+                            );
+                        }
                         // ordering: Acquire pairs with the Release half of the
                         // workers' `fetch_max` publishes below, so the filter
                         // observes every influence count published before it; a
                         // stale (smaller) value only admits a doomed candidate
                         // to validation and can never skip a winner.
-                        if max_inf < bound.load(Ordering::Acquire) {
-                            // Filter-phase skip: the traversal bounds alone
-                            // prove this candidate cannot win, so its whole
-                            // verification set is skipped unevaluated.
-                            stats.candidates_skipped_by_bounds += 1;
-                            stats.pairs_skipped_by_bounds += undecided.len() as u64;
-                            continue;
-                        }
-                        let exact = vo::validate_candidate(
+                        let cutoff = bound.load(Ordering::Acquire);
+                        let tile: Vec<vo::TileCandidate<'_>> = (tlo..thi)
+                            .enumerate()
+                            .filter(|&(s, _)| {
+                                if bounds[s].1 < cutoff {
+                                    // Filter-phase skip: the traversal bounds
+                                    // alone prove this candidate cannot win, so
+                                    // its whole verification set is skipped
+                                    // unevaluated.
+                                    stats.candidates_skipped_by_bounds += 1;
+                                    stats.pairs_skipped_by_bounds += buffers[s].len() as u64;
+                                    false
+                                } else {
+                                    true
+                                }
+                            })
+                            .map(|(s, j)| vo::TileCandidate {
+                                index: j,
+                                candidate: problem.candidates()[j],
+                                vs: &buffers[s],
+                                bounds: bounds[s],
+                            })
+                            .collect();
+                        vo::validate_tile(
                             &mut pair,
-                            &candidate,
-                            &undecided,
-                            (min_inf, max_inf),
+                            &tile,
                             true,
                             // ordering: Acquire pairs with the `fetch_max` Release
                             // publishes — mid-validation kill tests observe fresh
                             // bounds; staleness is again only a cost, never an
                             // error.
                             || bound.load(Ordering::Acquire),
+                            |j, exact| {
+                                // ordering: AcqRel — the Release half publishes this
+                                // exact count to the other workers' Acquire loads;
+                                // the Acquire half orders the read-modify-write
+                                // after earlier publishes so the bound is monotone
+                                // non-decreasing.
+                                bound.fetch_max(exact, Ordering::AcqRel);
+                                match best {
+                                    Some((inf, idx))
+                                        if exact < inf || (exact == inf && idx < j) => {}
+                                    _ => best = Some((exact, j)),
+                                }
+                            },
                             &mut stats,
                         );
-                        if let Some(exact) = exact {
-                            // ordering: AcqRel — the Release half publishes this
-                            // exact count to the other workers' Acquire loads;
-                            // the Acquire half orders the read-modify-write
-                            // after earlier publishes so the bound is monotone
-                            // non-decreasing.
-                            bound.fetch_max(exact, Ordering::AcqRel);
-                            match best {
-                                Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
-                                _ => best = Some((exact, j)),
-                            }
-                        }
+                        tlo = thi;
                     }
                     (stats, best)
                 })

@@ -17,11 +17,20 @@ pub fn solve<P: ProbabilityFunction + Clone>(problem: &PrimeLs<P>) -> SolveResul
     let mut pair = problem.pair_eval();
     let mut stats = SolveStats::default();
 
+    // Candidate-tiled sweep: under the log-blocked kernel each object
+    // validates `tile_width()` candidates per dispatch (the O(1)
+    // object-MBR pre-check runs across the whole tile with the object
+    // state in registers); under the other kernels the width is 1 and
+    // this is exactly the historical per-pair loop.
+    let width = pair.tile_width();
     let mut influences = vec![0u32; problem.candidates().len()];
     for k in 0..problem.objects().len() {
-        for (j, c) in problem.candidates().iter().enumerate() {
-            if pair.influences(c, k, false, &mut stats) {
-                influences[j] += 1;
+        for (t, tile) in problem.candidates().chunks(width).enumerate() {
+            let mut mask = pair.influences_tile(tile, k, false, &mut stats);
+            while mask != 0 {
+                let j = mask.trailing_zeros() as usize;
+                influences[t * width + j] += 1; // pinocchio-lint: allow(panic-path) -- j is a set-bit index of a mask whose bits map to this tile's chunk, so t*width+j < candidates.len()
+                mask &= mask - 1;
             }
         }
     }

@@ -234,10 +234,16 @@ pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
                 let bound = &bound;
                 scope.spawn(move || {
                     let mut pair = problem.pair_eval();
+                    // 1 outside the log-blocked kernel: a 1-wide tile
+                    // reproduces the historical per-candidate pops and
+                    // stats exactly.
+                    let tile_width = pair.tile_width();
                     let mut stats = SolveStats::default();
                     let mut best: Option<(u32, usize)> = None;
+                    let mut tile: Vec<vo::TileCandidate<'_>> = Vec::with_capacity(tile_width);
                     loop {
-                        let j = {
+                        tile.clear();
+                        let done = {
                             // The critical section only peeks/pops/clears,
                             // all of which leave the heap structurally
                             // valid, so a poisoned lock (another worker
@@ -247,57 +253,75 @@ pub fn try_solve_vo<P: ProbabilityFunction + Clone + Sync>(
                                 Ok(guard) => guard,
                                 Err(poisoned) => poisoned.into_inner(),
                             };
-                            let Some((top_max, _, Reverse(j))) = heap.pop() else {
-                                break;
-                            };
-                            // ordering: Acquire pairs with the Release half of the
-                            // workers' `fetch_max` publishes below, so the cut-off
-                            // observes every influence count published before it; a
-                            // stale (smaller) value only delays the cut-off and can
-                            // never fire it early, preserving exactness.
-                            if top_max < bound.load(Ordering::Acquire) {
-                                // Strategy 1 cut-off: the queue is
-                                // ordered by maxInf, so the popped
-                                // candidate and everything left are
-                                // dead. Account for them once, under
-                                // the lock, and drain the heap so the
-                                // other workers stop too.
-                                stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
-                                stats.pairs_skipped_by_bounds += vs_store[j].len() as u64
-                                    + heap
-                                        .iter()
-                                        .map(|&(_, _, Reverse(r))| vs_store[r].len() as u64)
-                                        .sum::<u64>();
-                                heap.clear();
-                                break;
+                            while tile.len() < tile_width {
+                                let Some(&(top_max, _, _)) = heap.peek() else {
+                                    break;
+                                };
+                                // ordering: Acquire pairs with the Release half of the
+                                // workers' `fetch_max` publishes below, so the cut-off
+                                // observes every influence count published before it; a
+                                // stale (smaller) value only delays the cut-off and can
+                                // never fire it early, preserving exactness.
+                                if top_max < bound.load(Ordering::Acquire) {
+                                    break; // cut-off: handled below once the tile drains
+                                }
+                                let Some((_, _, Reverse(j))) = heap.pop() else {
+                                    break;
+                                };
+                                tile.push(vo::TileCandidate {
+                                    index: j,
+                                    candidate: problem.candidates()[j],
+                                    vs: &vs_store[j],
+                                    bounds: (min_inf[j], max_inf[j]),
+                                });
                             }
-                            j
+                            if tile.is_empty() {
+                                if let Some((_, _, Reverse(j))) = heap.pop() {
+                                    // Strategy 1 cut-off: the queue is
+                                    // ordered by maxInf, so the popped
+                                    // candidate and everything left are
+                                    // dead. Account for them once, under
+                                    // the lock, and drain the heap so the
+                                    // other workers stop too.
+                                    stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+                                    stats.pairs_skipped_by_bounds += vs_store[j].len() as u64
+                                        + heap
+                                            .iter()
+                                            .map(|&(_, _, Reverse(r))| vs_store[r].len() as u64)
+                                            .sum::<u64>();
+                                    heap.clear();
+                                }
+                                true
+                            } else {
+                                false
+                            }
                         };
-                        let candidate = problem.candidates()[j];
-                        let exact = vo::validate_candidate(
+                        if done {
+                            break;
+                        }
+                        vo::validate_tile(
                             &mut pair,
-                            &candidate,
-                            &vs_store[j],
-                            (min_inf[j], max_inf[j]),
+                            &tile,
                             true,
                             // ordering: Acquire pairs with the `fetch_max` Release
                             // publishes — mid-validation kill tests observe fresh
                             // bounds; staleness is again only a cost, never an error.
                             || bound.load(Ordering::Acquire),
+                            |j, exact| {
+                                // ordering: AcqRel — the Release half publishes this
+                                // exact count to the other workers' Acquire loads (the
+                                // happens-before edge in DESIGN.md); the Acquire half
+                                // orders the read-modify-write after earlier publishes
+                                // so the bound is monotone non-decreasing.
+                                bound.fetch_max(exact, Ordering::AcqRel);
+                                match best {
+                                    Some((inf, idx))
+                                        if exact < inf || (exact == inf && idx < j) => {}
+                                    _ => best = Some((exact, j)),
+                                }
+                            },
                             &mut stats,
                         );
-                        if let Some(exact) = exact {
-                            // ordering: AcqRel — the Release half publishes this
-                            // exact count to the other workers' Acquire loads (the
-                            // happens-before edge in DESIGN.md); the Acquire half
-                            // orders the read-modify-write after earlier publishes
-                            // so the bound is monotone non-decreasing.
-                            bound.fetch_max(exact, Ordering::AcqRel);
-                            match best {
-                                Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
-                                _ => best = Some((exact, j)),
-                            }
-                        }
                     }
                     (stats, best)
                 })

@@ -6,7 +6,7 @@ use crate::state::A2d;
 use pinocchio_data::{MovingObject, PositionArena};
 use pinocchio_geo::Point;
 use pinocchio_index::{MbrTree, RTree};
-use pinocchio_prob::{CumulativeProbability, ProbabilityFunction};
+use pinocchio_prob::{CumulativeProbability, LogPfTable, ProbabilityFunction};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -79,6 +79,12 @@ pub struct PrimeLs<P> {
     /// μ-aggregate tree over the influenceable objects' MBRs, built
     /// lazily for the join solver (and cached for the same reason).
     object_tree: OnceLock<MbrTree<usize>>,
+    /// Precomputed `ln(1 − PF(√s))` coefficient table for the
+    /// log-domain kernel, built lazily on first use (only the
+    /// LogBlocked kernel asks for it). Inner `None` records that the
+    /// PF defeats table construction, so the kernel downgrade is also
+    /// computed exactly once.
+    log_table: OnceLock<Option<LogPfTable>>,
     /// Which evaluation path [`PairEval`] dispatches to.
     kernel: EvalKernel,
 }
@@ -163,6 +169,17 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
         self.kernel
     }
 
+    /// The log-PF coefficient table the LogBlocked kernel evaluates
+    /// through, built on first call and cached; `None` when the PF
+    /// defeats table construction (e.g. `PF(0) = 1` makes
+    /// `ln(1 − PF)` diverge), in which case [`Self::pair_eval`]
+    /// transparently downgrades LogBlocked to the blocked kernel.
+    pub fn log_pf_table(&self) -> Option<&LogPfTable> {
+        self.log_table
+            .get_or_init(|| LogPfTable::try_new(&self.pf))
+            .as_ref()
+    }
+
     /// Returns the instance with a different evaluation kernel — the
     /// post-build counterpart of
     /// [`PrimeLsBuilder::evaluation_kernel`]. Verdicts (and therefore
@@ -175,12 +192,17 @@ impl<P: ProbabilityFunction + Clone> PrimeLs<P> {
     /// The per-pair evaluation context used by all solvers: evaluator +
     /// both position layouts + `τ` + the kernel selection.
     pub fn pair_eval(&self) -> PairEval<'_, P> {
+        let table = match self.kernel {
+            EvalKernel::LogBlocked => self.log_pf_table(),
+            _ => None,
+        };
         PairEval::new(
             self.evaluator(),
             &self.objects,
             &self.arena,
             self.kernel,
             self.tau,
+            table,
         )
     }
 
@@ -288,6 +310,7 @@ impl<P: ProbabilityFunction + Clone> PrimeLsBuilder<P> {
             candidate_tree: OnceLock::new(),
             a2d: OnceLock::new(),
             object_tree: OnceLock::new(),
+            log_table: OnceLock::new(),
             kernel: self.kernel,
         })
     }

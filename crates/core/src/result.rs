@@ -106,6 +106,12 @@ pub struct SolveStats {
     /// Aggregate-tree nodes popped during join traversals (join solver
     /// only) — the join-phase analogue of the R-tree query counters.
     pub join_nodes_visited: u64,
+    /// Pairs whose log-domain accumulator landed inside the guard band
+    /// and were re-resolved by the exact product-space fallback
+    /// (log-blocked kernel only; zero elsewhere). Each such pair is
+    /// already counted in `validated_pairs` — this counter only measures
+    /// how often the band was too tight, not extra pairs.
+    pub log_band_fallbacks: u64,
 }
 
 impl std::ops::AddAssign for SolveStats {
@@ -126,6 +132,7 @@ impl std::ops::AddAssign for SolveStats {
         self.subtrees_pruned_ia += rhs.subtrees_pruned_ia;
         self.subtrees_pruned_nib += rhs.subtrees_pruned_nib;
         self.join_nodes_visited += rhs.join_nodes_visited;
+        self.log_band_fallbacks += rhs.log_band_fallbacks;
     }
 }
 
@@ -300,6 +307,7 @@ mod tests {
             subtrees_pruned_ia: 11,
             subtrees_pruned_nib: 12,
             join_nodes_visited: 13,
+            log_band_fallbacks: 14,
         };
         let mut merged = a;
         merged += a;
@@ -319,6 +327,7 @@ mod tests {
                 subtrees_pruned_ia: 22,
                 subtrees_pruned_nib: 24,
                 join_nodes_visited: 26,
+                log_band_fallbacks: 28,
             }
         );
         assert_eq!(merged.accounted_pairs(), 2 + 4 + 6 + 14);

@@ -24,11 +24,12 @@
 //! Both strategies are *cost* optimizations only: the returned optimum
 //! (smallest index among maxima) is always identical to NA's.
 
-use crate::eval::PairEval;
+use crate::eval::{PairEval, LOG_TILE_WIDTH};
 use crate::problem::PrimeLs;
 use crate::result::{Algorithm, SolveError, SolveResult, SolveStats};
 use pinocchio_geo::Point;
 use pinocchio_prob::ProbabilityFunction;
+use std::cell::Cell;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -140,26 +141,133 @@ pub(crate) fn validate_candidate<P: ProbabilityFunction + Clone>(
     vs: &[u32],
     bounds: (u32, u32),
     early_stop: bool,
-    mut current_bound: impl FnMut() -> u32,
+    current_bound: impl FnMut() -> u32,
     stats: &mut SolveStats,
 ) -> Option<u32> {
-    let (mut min_inf, mut max_inf) = bounds;
-    for (done, &k) in vs.iter().enumerate() {
-        if pair.influences(candidate, k as usize, early_stop, stats) {
-            min_inf += 1;
+    let mut result = None;
+    let tile = [TileCandidate {
+        index: 0,
+        candidate: *candidate,
+        vs,
+        bounds,
+    }];
+    validate_tile(
+        pair,
+        &tile,
+        early_stop,
+        current_bound,
+        |_, exact| result = Some(exact),
+        stats,
+    );
+    result
+}
+
+/// One slot of a candidate tile handed to [`validate_tile`].
+pub(crate) struct TileCandidate<'v> {
+    /// Caller-meaningful identity, echoed to `publish` on completion.
+    pub index: usize,
+    /// The candidate's location.
+    pub candidate: Point,
+    /// Its verification set (dense object indices).
+    pub vs: &'v [u32],
+    /// Its insertion-time `(minInf, maxInf)` bounds.
+    pub bounds: (u32, u32),
+}
+
+/// Per-slot cursor of [`validate_tile`].
+#[derive(Clone, Copy, Default)]
+struct TileSlot {
+    pos: usize,
+    min_inf: u32,
+    max_inf: u32,
+    alive: bool,
+}
+
+/// Validates up to [`LOG_TILE_WIDTH`] candidates together, interleaving
+/// their verification sets **object-major**: at every step the live slot
+/// pointing at the smallest pending object index advances, so slots that
+/// share objects (ascending verification sets overlap heavily) evaluate
+/// them back-to-back while the object's arena blocks are cache-resident
+/// — the locality the log-blocked kernel's tile width exists for.
+///
+/// Per slot, the evaluation sequence, the Strategy 1 mid-validation kill
+/// (`maxInf < current_bound()`, re-read before every shrink) and the
+/// accounting are exactly [`validate_candidate`]'s; a 1-slot tile is
+/// bit-identical to the historical per-candidate loop, stats included.
+/// Completed slots call `publish(index, exact)` immediately, so a bound
+/// raised by one slot can kill the tile's remaining slots.
+// pinocchio-hot: the tiled validation loop every VO/join driver runs under the log kernel
+pub(crate) fn validate_tile<P: ProbabilityFunction + Clone>(
+    pair: &mut PairEval<'_, P>,
+    tile: &[TileCandidate<'_>],
+    early_stop: bool,
+    mut current_bound: impl FnMut() -> u32,
+    mut publish: impl FnMut(usize, u32),
+    stats: &mut SolveStats,
+) {
+    assert!(
+        tile.len() <= LOG_TILE_WIDTH,
+        "tile wider than LOG_TILE_WIDTH"
+    );
+    let mut slots = [TileSlot::default(); LOG_TILE_WIDTH];
+    let mut live = 0usize;
+    for (s, tc) in tile.iter().enumerate() {
+        slots[s] = TileSlot {
+            pos: 0,
+            min_inf: tc.bounds.0,
+            max_inf: tc.bounds.1,
+            alive: true,
+        };
+        if tc.vs.is_empty() {
+            // Nothing to verify: complete immediately (in tile order,
+            // matching the untiled drivers' per-candidate order).
+            slots[s].alive = false;
+            stats.candidates_fully_validated += 1;
+            debug_assert_eq!(tc.bounds.0, tc.bounds.1, "bounds must meet");
+            publish(tc.index, tc.bounds.0);
         } else {
-            max_inf -= 1;
-            if max_inf < current_bound() {
-                // Strategy 1, mid-validation variant: the rest of the
-                // verification set is skipped, never evaluated.
-                stats.pairs_skipped_by_bounds += (vs.len() - done - 1) as u64;
-                return None;
+            live += 1;
+        }
+    }
+    while live > 0 {
+        // The smallest pending object index across live slots.
+        let mut next = u32::MAX;
+        for (s, tc) in tile.iter().enumerate() {
+            if slots[s].alive {
+                next = next.min(tc.vs[slots[s].pos]);
+            }
+        }
+        for (s, tc) in tile.iter().enumerate() {
+            let slot = &mut slots[s];
+            if !slot.alive || tc.vs[slot.pos] != next {
+                continue;
+            }
+            if pair.influences(&tc.candidate, next as usize, early_stop, stats) {
+                slot.min_inf += 1;
+            } else {
+                slot.max_inf -= 1;
+                if slot.max_inf < current_bound() {
+                    // Strategy 1, mid-validation variant: the rest of
+                    // this slot's verification set is skipped.
+                    stats.pairs_skipped_by_bounds += (tc.vs.len() - slot.pos - 1) as u64;
+                    slot.alive = false;
+                    live -= 1;
+                    continue;
+                }
+            }
+            slot.pos += 1;
+            if slot.pos == tc.vs.len() {
+                slot.alive = false;
+                live -= 1;
+                stats.candidates_fully_validated += 1;
+                debug_assert_eq!(
+                    slot.min_inf, slot.max_inf,
+                    "bounds must meet after full validation"
+                );
+                publish(tc.index, slot.min_inf);
             }
         }
     }
-    stats.candidates_fully_validated += 1;
-    debug_assert_eq!(min_inf, max_inf, "bounds must meet after full validation");
-    Some(min_inf)
 }
 
 /// Runs PINOCCHIO-VO (`with_pruning = true`, Algorithm 3) or PIN-VO*
@@ -228,45 +336,68 @@ pub fn try_solve_with_options<P: ProbabilityFunction + Clone>(
     // maxminInf starts at the best certified lower bound. The candidate
     // attaining it has maxInf ≥ maxminInf, so it is always popped and
     // fully validated before the cut-off fires — the final winner is
-    // therefore always an exactly-counted candidate.
-    let mut maxmin_inf = min_inf.iter().copied().max().unwrap_or(0);
-    let mut best: Option<(u32, usize)> = None; // (exact influence, index)
+    // therefore always an exactly-counted candidate. Both are `Cell`s
+    // because the tile's `current_bound` reader and `publish` writer
+    // capture them simultaneously.
+    let maxmin_inf = Cell::new(min_inf.iter().copied().max().unwrap_or(0));
+    let best: Cell<Option<(u32, usize)>> = Cell::new(None); // (exact influence, index)
 
-    while let Some((top_max, _, std::cmp::Reverse(j))) = heap.pop() {
-        if top_max < maxmin_inf {
-            // Strategy 1 cut-off: nobody left can beat the incumbent.
-            stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
-            stats.pairs_skipped_by_bounds += vs_len(j)
-                + heap
-                    .iter()
-                    .map(|&(_, _, std::cmp::Reverse(r))| vs_len(r))
-                    .sum::<u64>();
+    // Pop tiles of `tile_width` candidates (1 outside the log-blocked
+    // kernel, reproducing the historical per-candidate loop exactly) and
+    // validate each tile object-major. The heap keys stay exact: bounds
+    // of a candidate only change while it is being validated.
+    let tile_width = pair.tile_width();
+    let mut tile: Vec<TileCandidate<'_>> = Vec::with_capacity(tile_width);
+    loop {
+        tile.clear();
+        while tile.len() < tile_width {
+            let Some(&(top_max, _, _)) = heap.peek() else {
+                break;
+            };
+            if top_max < maxmin_inf.get() {
+                break; // cut-off: handled below, with the pop accounting
+            }
+            let Some((_, _, std::cmp::Reverse(j))) = heap.pop() else {
+                break;
+            };
+            tile.push(TileCandidate {
+                index: j,
+                candidate: problem.candidates()[j],
+                vs: if with_pruning { &vs_store[j] } else { vs_all },
+                bounds: (min_inf[j], max_inf[j]),
+            });
+        }
+        if tile.is_empty() {
+            if let Some((_, _, std::cmp::Reverse(j))) = heap.pop() {
+                // Strategy 1 cut-off: nobody left can beat the incumbent.
+                stats.candidates_skipped_by_bounds += 1 + heap.len() as u64;
+                stats.pairs_skipped_by_bounds += vs_len(j)
+                    + heap
+                        .iter()
+                        .map(|&(_, _, std::cmp::Reverse(r))| vs_len(r))
+                        .sum::<u64>();
+            }
             break;
         }
-        let candidate = problem.candidates()[j];
-        let vs: &[u32] = if with_pruning { &vs_store[j] } else { vs_all };
-
-        let Some(exact) = validate_candidate(
+        validate_tile(
             &mut pair,
-            &candidate,
-            vs,
-            (min_inf[j], max_inf[j]),
+            &tile,
             early_stop,
-            || maxmin_inf,
+            || maxmin_inf.get(),
+            |idx, exact| {
+                match best.get() {
+                    Some((inf, bidx)) if exact < inf || (exact == inf && bidx < idx) => {}
+                    _ => best.set(Some((exact, idx))),
+                }
+                if exact > maxmin_inf.get() {
+                    maxmin_inf.set(exact);
+                }
+            },
             &mut stats,
-        ) else {
-            continue;
-        };
-        match best {
-            Some((inf, idx)) if exact < inf || (exact == inf && idx < j) => {}
-            _ => best = Some((exact, j)),
-        }
-        if exact > maxmin_inf {
-            maxmin_inf = exact;
-        }
+        );
     }
 
-    let (max_influence, best_candidate) = best.ok_or(SolveError::NoValidatedCandidate)?;
+    let (max_influence, best_candidate) = best.get().ok_or(SolveError::NoValidatedCandidate)?;
 
     Ok(SolveResult {
         algorithm: if with_pruning {

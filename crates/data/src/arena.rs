@@ -56,6 +56,11 @@ pub struct PositionArena {
     xs: Vec<f64>,
     ys: Vec<f64>,
     block_mbrs: Vec<Mbr>,
+    /// One whole-trajectory MBR per object (`MBR(O)`, §3.1): the paper's
+    /// Theorems 1–2 bound an object's influence from two distances to
+    /// this rectangle, so kernels can decide most far/near pairs in O(1)
+    /// before touching any block.
+    object_mbrs: Vec<Mbr>,
     spans: Vec<Span>,
 }
 
@@ -70,6 +75,7 @@ impl PositionArena {
         let mut xs = Vec::with_capacity(total);
         let mut ys = Vec::with_capacity(total);
         let mut block_mbrs = Vec::with_capacity(total.div_ceil(BLOCK_SIZE) + objects.len());
+        let mut object_mbrs = Vec::with_capacity(objects.len());
         let mut spans = Vec::with_capacity(objects.len());
         for object in objects {
             let positions = object.positions();
@@ -86,6 +92,7 @@ impl PositionArena {
                     block_mbrs.push(mbr);
                 }
             }
+            object_mbrs.push(object.mbr());
             spans.push(Span {
                 start,
                 len: positions.len(),
@@ -97,6 +104,7 @@ impl PositionArena {
             xs,
             ys,
             block_mbrs,
+            object_mbrs,
             spans,
         }
     }
@@ -145,6 +153,12 @@ impl PositionArena {
     pub fn object_block_mbrs(&self, i: usize) -> &[Mbr] {
         let s = self.spans[i];
         &self.block_mbrs[s.block_start..s.block_start + s.block_len]
+    }
+
+    /// The whole-trajectory MBR of object `i` (`MBR(O)`, §3.1).
+    #[inline]
+    pub fn object_mbr(&self, i: usize) -> &Mbr {
+        &self.object_mbrs[i]
     }
 }
 
@@ -205,6 +219,23 @@ mod tests {
                     assert!(mbr.contains_point(p));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn object_mbrs_match_objects() {
+        let objs = objects();
+        let arena = PositionArena::from_objects(&objs);
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(*arena.object_mbr(i), o.mbr(), "object {i}");
+            // The object MBR is exactly the union of its block MBRs.
+            let union = arena
+                .object_block_mbrs(i)
+                .iter()
+                .copied()
+                .reduce(|a, b| a.union(&b))
+                .unwrap();
+            assert_eq!(*arena.object_mbr(i), union, "object {i}");
         }
     }
 

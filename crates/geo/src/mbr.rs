@@ -204,6 +204,32 @@ impl Mbr {
         self.max_dist_sq(p).sqrt()
     }
 
+    /// Fused squared `minDist` and `maxDist` from `p`, returned as
+    /// `(min_dist_sq, max_dist_sq)`.
+    ///
+    /// Hot pruning loops need both bounds of the same (point, MBR)
+    /// pair; computing them together shares the four per-axis extent
+    /// differences instead of re-deriving them per call. Returns
+    /// exactly the same values as [`Mbr::min_dist_sq`] and
+    /// [`Mbr::max_dist_sq`]: per axis, with `a = lo − p` and
+    /// `b = p − hi`, `minDist` uses `max(a, b, 0)` and `maxDist` uses
+    /// `max(|a|, |b|) = max(max(a, b), −min(a, b))` — the same reals,
+    /// and any `−0.0`/`+0.0` disagreement is erased by squaring.
+    // pinocchio-hot: both distance bounds of the log-domain pre-check in one pass
+    #[inline]
+    pub fn min_max_dist_sq(&self, p: &Point) -> (f64, f64) {
+        let ax = self.lo.x - p.x;
+        let bx = p.x - self.hi.x;
+        let ay = self.lo.y - p.y;
+        let by = p.y - self.hi.y;
+        let (mx, my) = (ax.max(bx), ay.max(by));
+        let nx = mx.max(0.0);
+        let ny = my.max(0.0);
+        let fx = mx.max(-ax.min(bx));
+        let fy = my.max(-ay.min(by));
+        (nx * nx + ny * ny, fx * fx + fy * fy)
+    }
+
     /// Squared `minDist` between two rectangles: the smallest possible
     /// distance between any point of `self` and any point of `other`
     /// (zero when they intersect).
@@ -273,6 +299,29 @@ mod tests {
         assert_eq!(m.lo(), Point::new(-2.0, 0.5));
         assert_eq!(m.hi(), Point::new(3.0, 5.0));
         assert!(Mbr::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn fused_min_max_dist_matches_separate_calls() {
+        // Degenerate, thin and ordinary rectangles × a point grid that
+        // covers inside, edges, corners and all eight outside octants.
+        let rects = [
+            rect(),
+            Mbr::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0)),
+            Mbr::new(Point::new(-3.0, 0.0), Point::new(5.0, 0.0)),
+            Mbr::new(Point::new(-1.5, -2.5), Point::new(0.25, 7.0)),
+        ];
+        let coords = [-6.0, -1.5, -0.0, 0.0, 0.25, 1.0, 2.0, 4.0, 9.5];
+        for m in rects {
+            for &x in &coords {
+                for &y in &coords {
+                    let p = Point::new(x, y);
+                    let (lo, hi) = m.min_max_dist_sq(&p);
+                    assert_eq!(lo.to_bits(), m.min_dist_sq(&p).to_bits());
+                    assert_eq!(hi.to_bits(), m.max_dist_sq(&p).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

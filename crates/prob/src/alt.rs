@@ -14,6 +14,7 @@
 //! models; they exist to show the framework handles any monotone
 //! decreasing `PF` unmodified.
 
+use crate::logdomain::ln_one_minus;
 use crate::pf::ProbabilityFunction;
 
 fn validate(rho: f64, scale: f64) {
@@ -68,12 +69,14 @@ impl ProbabilityFunction for LogsigPf {
             return None;
         }
         // p = ρ·σ(k(D/2 − d))/σ(kD/2)  ⇒  d = D/2 − σ⁻¹(p·σ(kD/2)/ρ)/k,
-        // with σ⁻¹(y) = ln(y / (1 − y)).
+        // with σ⁻¹(y) = ln(y) − ln(1 − y) through the crate's shared
+        // log-domain helper (accurate as y → 1, where the quotient form
+        // cancels).
         let y = p * self.norm / self.rho;
         if y >= 1.0 {
             return Some(0.0);
         }
-        let d = self.scale / 2.0 - (y / (1.0 - y)).ln() / self.k;
+        let d = self.scale / 2.0 - (y.ln() - ln_one_minus(y)) / self.k;
         Some(d.max(0.0))
     }
 

@@ -89,15 +89,52 @@ pub struct SoaBlocks<'a> {
     ys: &'a [f64],
     mbrs: &'a [Mbr],
     block_size: usize,
+    /// MBR of the whole object (union of the block MBRs); `None` only
+    /// for an empty view. Lets kernels bound the entire trajectory from
+    /// two distances before walking any block.
+    object_mbr: Option<Mbr>,
 }
 
 impl<'a> SoaBlocks<'a> {
-    /// Creates a view over coordinate rows and per-block MBRs.
+    /// Creates a view over coordinate rows and per-block MBRs, deriving
+    /// the object-level MBR as the union of the block MBRs.
     ///
     /// # Panics
     /// Panics when the rows disagree in length, `block_size` is zero, or
     /// the MBR count does not match `xs.len().div_ceil(block_size)`.
     pub fn new(xs: &'a [f64], ys: &'a [f64], mbrs: &'a [Mbr], block_size: usize) -> Self {
+        let object_mbr = mbrs.iter().copied().reduce(|a, b| a.union(&b));
+        Self::build(xs, ys, mbrs, block_size, object_mbr)
+    }
+
+    /// Creates a view with a precomputed object-level MBR (the arena
+    /// stores one per object), skipping the union fold in [`Self::new`].
+    ///
+    /// # Panics
+    /// As [`Self::new`]; additionally debug-asserts that `object_mbr`
+    /// contains every block MBR, the invariant the kernels' object-level
+    /// bounds rely on.
+    pub fn with_object_mbr(
+        xs: &'a [f64],
+        ys: &'a [f64],
+        mbrs: &'a [Mbr],
+        block_size: usize,
+        object_mbr: Mbr,
+    ) -> Self {
+        debug_assert!(
+            mbrs.iter().all(|m| object_mbr.contains_mbr(m)),
+            "object MBR must cover every block MBR"
+        );
+        Self::build(xs, ys, mbrs, block_size, Some(object_mbr))
+    }
+
+    fn build(
+        xs: &'a [f64],
+        ys: &'a [f64],
+        mbrs: &'a [Mbr],
+        block_size: usize,
+        object_mbr: Option<Mbr>,
+    ) -> Self {
         assert_eq!(xs.len(), ys.len(), "coordinate rows must agree");
         assert!(block_size > 0, "block size must be positive");
         assert_eq!(
@@ -110,6 +147,7 @@ impl<'a> SoaBlocks<'a> {
             ys,
             mbrs,
             block_size,
+            object_mbr,
         }
     }
 
@@ -133,9 +171,34 @@ impl<'a> SoaBlocks<'a> {
 
     /// The position index range of block `b`.
     #[inline]
-    fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+    pub(crate) fn block_range(&self, b: usize) -> std::ops::Range<usize> {
         let lo = b * self.block_size;
         lo..((b + 1) * self.block_size).min(self.xs.len())
+    }
+
+    /// The x-coordinate row (crate-internal: the log-domain kernel
+    /// shares this view's layout).
+    #[inline]
+    pub(crate) fn xs(&self) -> &'a [f64] {
+        self.xs
+    }
+
+    /// The y-coordinate row.
+    #[inline]
+    pub(crate) fn ys(&self) -> &'a [f64] {
+        self.ys
+    }
+
+    /// The per-block MBRs.
+    #[inline]
+    pub(crate) fn mbrs(&self) -> &'a [Mbr] {
+        self.mbrs
+    }
+
+    /// The object-level MBR (`None` only for an empty view).
+    #[inline]
+    pub(crate) fn object_mbr(&self) -> Option<&Mbr> {
+        self.object_mbr.as_ref()
     }
 }
 
@@ -189,7 +252,13 @@ impl<P: ProbabilityFunction> CumulativeProbability<P, Euclidean> {
     /// bit-identical to the fused loop.
     // pinocchio-hot: inner distance/PF lane of every exact validation
     #[inline]
-    fn refine_block(&self, c: &Point, blocks: &SoaBlocks<'_>, b: usize, product: &mut f64) {
+    pub(crate) fn refine_block(
+        &self,
+        c: &Point,
+        blocks: &SoaBlocks<'_>,
+        b: usize,
+        product: &mut f64,
+    ) {
         const LANE: usize = 16;
         let range = blocks.block_range(b);
         let xs = &blocks.xs[range.clone()];

@@ -17,6 +17,10 @@
 //! * a block-bounded evaluation kernel over structure-of-arrays position
 //!   views — per-block `minDist`/`maxDist` bounds accumulated in log
 //!   space, exact refinement only for straddling blocks ([`block`]),
+//! * a log-domain kernel over the same views — `Σ ln(1 − PF)` against
+//!   `ln(1 − τ)` through a branch-free squared-distance coefficient
+//!   table, with a guard band and exact fallback keeping verdicts equal
+//!   to the scalar evaluator's ([`logdomain`]),
 //! * `minMaxRadius` itself plus the per-`n` memo cache (the HashMap `HM`
 //!   of Algorithm 1) in [`radius`].
 
@@ -26,11 +30,16 @@
 pub mod alt;
 pub mod block;
 pub mod cumulative;
+pub mod logdomain;
 pub mod pf;
 pub mod radius;
 
 pub use alt::{ConcavePf, ConvexPf, LinearPf, LogsigPf};
 pub use block::{BlockScratch, BlockedOutcome, SoaBlocks};
 pub use cumulative::{CumulativeProbability, EarlyStopOutcome};
+pub use logdomain::{
+    ln_one_minus, log_non_influence, LogBlockedOutcome, LogPfTable, LogScratch, LogTileOutcome,
+    TileCutoffs,
+};
 pub use pf::{PowerLawPf, ProbabilityFunction};
 pub use radius::{min_max_radius, required_single_position_probability, MinMaxRadiusCache};

@@ -9,6 +9,7 @@
 //! Because objects share position counts, Algorithm 1 memoises the radius
 //! in a HashMap keyed by `n` — reproduced here as [`MinMaxRadiusCache`].
 
+use crate::logdomain::ln_one_minus;
 use crate::pf::ProbabilityFunction;
 use std::collections::HashMap;
 
@@ -16,17 +17,18 @@ use std::collections::HashMap;
 /// `n` independent positions must individually attain for the cumulative
 /// probability to reach `τ`.
 ///
-/// Evaluated via `ln_1p`/`exp_m1` so it stays accurate for large `n`
-/// (where the naive `1 − (1−τ)^{1/n}` loses all significant digits) —
-/// the paper's datasets contain objects with up to 780 positions.
+/// Evaluated through the shared [`ln_one_minus`]/`exp_m1` helpers so it
+/// stays accurate for large `n` (where the naive `1 − (1−τ)^{1/n}`
+/// loses all significant digits) — the paper's datasets contain objects
+/// with up to 780 positions.
 ///
 /// # Panics
 /// Panics unless `τ ∈ (0, 1)` and `n ≥ 1`.
 pub fn required_single_position_probability(tau: f64, n: usize) -> f64 {
     assert!(tau > 0.0 && tau < 1.0, "tau must be in (0, 1), got {tau}");
     assert!(n >= 1, "an object must have at least one position");
-    // 1 − (1−τ)^{1/n} = −expm1(ln1p(−τ) / n)
-    -((-tau).ln_1p() / n as f64).exp_m1()
+    // 1 − (1−τ)^{1/n} = −expm1(ln(1−τ) / n)
+    -(ln_one_minus(tau) / n as f64).exp_m1()
 }
 
 /// `minMaxRadius(τ, n)` for probability function `pf` (Definition 5).

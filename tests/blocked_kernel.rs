@@ -1,9 +1,18 @@
 //! Cross-kernel exactness: every solver, run with the blocked
-//! structure-of-arrays kernel, must reproduce the scalar kernel's
-//! results bit for bit — winner index, influence vectors, early-stop
-//! verdicts — across random worlds, thresholds, thread counts, and the
-//! adversarial tie-heavy / all-uninfluenceable corners. The solver loop
-//! covers the paper's four algorithms plus the PIN-JOIN extension.
+//! structure-of-arrays kernel or the log-domain tiled kernel, must
+//! reproduce the scalar kernel's results — winner index, influence
+//! vectors, early-stop verdicts — across random worlds, thresholds,
+//! thread counts, and the adversarial tie-heavy / all-uninfluenceable
+//! corners. The solver loop covers the paper's four algorithms plus the
+//! PIN-JOIN extension.
+//!
+//! Assertion tiers (see DESIGN.md §15):
+//! - Scalar vs Blocked: bit-identical verdicts *and* identical pair
+//!   sequences (`validated + skipped` equal per solver).
+//! - Scalar vs LogBlocked: bit-identical verdicts (the guard band's
+//!   exact fallback makes this unconditional) plus the accounting
+//!   identity `accounted_pairs()` — per-bucket stats may legitimately
+//!   drift because candidate tiling publishes bounds mid-tile.
 
 use pinocchio::data::{sample_candidate_group, GeneratorConfig, SyntheticGenerator};
 use pinocchio::prelude::*;
@@ -40,11 +49,18 @@ fn assert_kernels_identical(
     ctx: &str,
 ) {
     let scalar = build(objects.clone(), candidates.clone(), tau, EvalKernel::Scalar);
-    let blocked = build(objects, candidates, tau, EvalKernel::Blocked);
+    let blocked = build(
+        objects.clone(),
+        candidates.clone(),
+        tau,
+        EvalKernel::Blocked,
+    );
+    let log = build(objects, candidates, tau, EvalKernel::LogBlocked);
 
     for algorithm in Algorithm::WITH_EXTENSIONS {
         let s = scalar.solve(algorithm);
         let b = blocked.solve(algorithm);
+        let l = log.solve(algorithm);
         assert_eq!(
             (s.best_candidate, s.max_influence),
             (b.best_candidate, b.max_influence),
@@ -59,41 +75,87 @@ fn assert_kernels_identical(
             b.stats.validated_pairs + b.stats.pairs_skipped_by_bounds,
             "{algorithm}: identical verdicts must walk identical pair sequences ({ctx})"
         );
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (l.best_candidate, l.max_influence),
+            "{algorithm} winner diverges under the log-blocked kernel ({ctx})"
+        );
+        assert_eq!(
+            s.influences, l.influences,
+            "{algorithm} influence vector diverges under the log-blocked kernel ({ctx})"
+        );
+        assert_eq!(
+            s.stats.accounted_pairs(),
+            l.stats.accounted_pairs(),
+            "{algorithm}: every kernel must account the same pair space ({ctx})"
+        );
+        assert_eq!(
+            s.stats.log_band_fallbacks + b.stats.log_band_fallbacks,
+            0,
+            "{algorithm}: only the log-blocked kernel may fall back ({ctx})"
+        );
     }
 
     for threads in [1usize, 2, 8] {
         let s = pinocchio::core::parallel::solve_vo(&scalar, threads);
         let b = pinocchio::core::parallel::solve_vo(&blocked, threads);
+        let l = pinocchio::core::parallel::solve_vo(&log, threads);
         assert_eq!(
             (s.best_candidate, s.max_influence),
             (b.best_candidate, b.max_influence),
             "parallel VO diverges (threads={threads}, {ctx})"
         );
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (l.best_candidate, l.max_influence),
+            "parallel VO diverges under the log-blocked kernel (threads={threads}, {ctx})"
+        );
         let s = pinocchio::core::parallel::solve_naive(&scalar, threads);
         let b = pinocchio::core::parallel::solve_naive(&blocked, threads);
+        let l = pinocchio::core::parallel::solve_naive(&log, threads);
         assert_eq!(
             s.influences, b.influences,
             "parallel NA (threads={threads}, {ctx})"
         );
+        assert_eq!(
+            s.influences, l.influences,
+            "parallel NA under the log-blocked kernel (threads={threads}, {ctx})"
+        );
         let s = pinocchio::core::parallel::solve_pinocchio(&scalar, threads);
         let b = pinocchio::core::parallel::solve_pinocchio(&blocked, threads);
+        let l = pinocchio::core::parallel::solve_pinocchio(&log, threads);
         assert_eq!(
             s.influences, b.influences,
             "parallel PIN (threads={threads}, {ctx})"
         );
+        assert_eq!(
+            s.influences, l.influences,
+            "parallel PIN under the log-blocked kernel (threads={threads}, {ctx})"
+        );
         let s = pinocchio::core::join::solve_par(&scalar, threads);
         let b = pinocchio::core::join::solve_par(&blocked, threads);
+        let l = pinocchio::core::join::solve_par(&log, threads);
         assert_eq!(
             (s.best_candidate, s.max_influence),
             (b.best_candidate, b.max_influence),
             "parallel PIN-JOIN diverges (threads={threads}, {ctx})"
+        );
+        assert_eq!(
+            (s.best_candidate, s.max_influence),
+            (l.best_candidate, l.max_influence),
+            "parallel PIN-JOIN diverges under the log-blocked kernel (threads={threads}, {ctx})"
         );
     }
 
     for k in [1usize, 5] {
         let s = pinocchio::core::solve_top_k(&scalar, k);
         let b = pinocchio::core::solve_top_k(&blocked, k);
+        let l = pinocchio::core::solve_top_k(&log, k);
         assert_eq!(s, b, "top-{k} ranking diverges ({ctx})");
+        assert_eq!(
+            s, l,
+            "top-{k} ranking diverges under the log-blocked kernel ({ctx})"
+        );
     }
 
     let weights: Vec<f64> = (0..scalar.objects().len())
@@ -101,6 +163,7 @@ fn assert_kernels_identical(
         .collect();
     let s = pinocchio::core::solve_weighted(&scalar, &weights);
     let b = pinocchio::core::solve_weighted(&blocked, &weights);
+    let l = pinocchio::core::solve_weighted(&log, &weights);
     assert_eq!(
         s.best_candidate, b.best_candidate,
         "weighted winner ({ctx})"
@@ -108,6 +171,14 @@ fn assert_kernels_identical(
     assert_eq!(
         s.weighted_influences, b.weighted_influences,
         "weighted influence vector ({ctx})"
+    );
+    assert_eq!(
+        s.best_candidate, l.best_candidate,
+        "weighted winner under the log-blocked kernel ({ctx})"
+    );
+    assert_eq!(
+        s.weighted_influences, l.weighted_influences,
+        "weighted influence vector under the log-blocked kernel ({ctx})"
     );
 }
 
@@ -198,6 +269,35 @@ fn blocked_position_accounting_is_total() {
 }
 
 #[test]
+fn log_blocked_position_accounting_is_total() {
+    // Log-kernel invariant at solver level: for NA, evaluated + skipped
+    // must still cover the full pair-position space exactly once — a
+    // guard-band fallback re-resolves a pair but must not double-count
+    // its positions.
+    let (objects, candidates) = world(60, 30, 9);
+    let total_pair_positions: u64 = objects
+        .iter()
+        .map(|o| o.position_count() as u64)
+        .sum::<u64>()
+        * candidates.len() as u64;
+    let log = build(objects, candidates, 0.7, EvalKernel::LogBlocked);
+    let r = log.solve(Algorithm::Naive);
+    assert_eq!(
+        r.stats.positions_evaluated + r.stats.positions_skipped_by_blocks,
+        total_pair_positions,
+        "skipped + evaluated must cover every (pair, position)"
+    );
+    assert!(
+        r.stats.blocks_pruned > 0,
+        "expected some block-level pruning"
+    );
+    assert!(
+        r.stats.positions_evaluated < total_pair_positions,
+        "log-blocked NA should skip a nonzero share of positions"
+    );
+}
+
+#[test]
 fn early_stop_toggle_is_irrelevant_under_blocked_kernel() {
     // The blocked kernel subsumes Strategy 2; both toggle settings must
     // produce identical verdicts *and identical costs* (the kernel
@@ -213,4 +313,66 @@ fn early_stop_toggle_is_irrelevant_under_blocked_kernel() {
         with_s2.stats, without_s2.stats,
         "the blocked kernel must ignore the early-stop flag entirely"
     );
+}
+
+#[test]
+fn early_stop_toggle_is_irrelevant_under_log_blocked_kernel() {
+    // Same contract for the log-domain kernel: block bounds subsume
+    // Strategy 2, so the flag changes neither verdicts nor costs.
+    let (objects, candidates) = world(50, 25, 17);
+    let log = build(objects, candidates, 0.5, EvalKernel::LogBlocked);
+    let with_s2 = pinocchio::core::solve_with_options(&log, true, true);
+    let without_s2 = pinocchio::core::solve_with_options(&log, true, false);
+    assert_eq!(with_s2.best_candidate, without_s2.best_candidate);
+    assert_eq!(with_s2.max_influence, without_s2.max_influence);
+    assert_eq!(
+        with_s2.stats, without_s2.stats,
+        "the log-blocked kernel must ignore the early-stop flag entirely"
+    );
+}
+
+#[test]
+fn log_blocked_downgrades_when_pf_defeats_the_table() {
+    // A PF with PF(0) = 1 makes ln(1 − PF) unbounded near zero, so the
+    // coefficient table is unbuildable. The problem must transparently
+    // downgrade LogBlocked to the blocked kernel and keep every verdict.
+    #[derive(Clone, Debug)]
+    struct Saturated;
+    impl ProbabilityFunction for Saturated {
+        fn prob(&self, d: f64) -> f64 {
+            1.0 / (1.0 + d * d)
+        }
+        fn inverse(&self, p: f64) -> Option<f64> {
+            (p > 0.0 && p <= 1.0).then(|| (1.0 / p - 1.0).sqrt())
+        }
+        fn name(&self) -> &'static str {
+            "saturated"
+        }
+    }
+    let (objects, candidates) = world(40, 20, 3);
+    let mk = |kernel| {
+        PrimeLs::builder()
+            .objects(objects.clone())
+            .candidates(candidates.clone())
+            .probability_function(Saturated)
+            .tau(0.6)
+            .evaluation_kernel(kernel)
+            .build()
+            .unwrap()
+    };
+    let scalar = mk(EvalKernel::Scalar);
+    let log = mk(EvalKernel::LogBlocked);
+    assert!(
+        log.log_pf_table().is_none(),
+        "PF(0) = 1 must defeat table construction"
+    );
+    for algorithm in Algorithm::WITH_EXTENSIONS {
+        let s = scalar.solve(algorithm);
+        let l = log.solve(algorithm);
+        assert_eq!(s.influences, l.influences, "{algorithm} downgrade verdicts");
+        assert_eq!(
+            l.stats.log_band_fallbacks, 0,
+            "{algorithm}: a downgraded kernel never reaches the log path"
+        );
+    }
 }
