@@ -21,9 +21,10 @@
 //! `PINOCCHIO_SCALE=small` in CI (the `serve-smoke` job).
 
 use pinocchio_bench::*;
-use pinocchio_core::Algorithm;
-use pinocchio_data::sample_candidate_group;
+use pinocchio_core::{try_solve_sharded_timed, Algorithm, EvalKernel, PrimeLs, ShardedPrimeLs};
+use pinocchio_data::{sample_candidate_group, MovingObject};
 use pinocchio_geo::Point;
+use pinocchio_prob::PowerLawPf;
 use pinocchio_serve::{serve, MaintenanceMode, ServerConfig, UpdateOp, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +59,10 @@ struct Client {
 impl Client {
     fn connect(addr: SocketAddr) -> Client {
         let stream = TcpStream::connect(addr).expect("connect");
+        // Serial request/response round-trips stall ~40 ms each under
+        // Nagle + delayed ACK; the harness measures the server, not the
+        // kernel's small-write coalescing.
+        stream.set_nodelay(true).expect("set nodelay");
         let reader = BufReader::new(stream.try_clone().expect("clone stream"));
         Client { stream, reader }
     }
@@ -68,6 +73,35 @@ impl Client {
         // pinocchio-lint: allow(bounded-io) -- in-process harness reading its own server's length-bounded response lines
         self.reader.read_line(&mut line).expect("recv");
         serde_json::from_str(line.trim_end()).expect("response is JSON")
+    }
+}
+
+/// Peak resident set size of this process in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, `0` on platforms without that
+/// interface. Recorded in every BENCH row so memory regressions show
+/// up next to the throughput numbers they trade against.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 
@@ -159,6 +193,7 @@ fn run_one(initial: &World, batch_max: usize) -> serde_json::Value {
             let candidate_ids = candidate_ids.clone();
             thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("set nodelay");
                 let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
                 let mut stream = stream;
                 let mut sent = 0usize;
@@ -254,6 +289,7 @@ fn run_one(initial: &World, batch_max: usize) -> serde_json::Value {
         "shared_solves": shared,
         "epochs_published": stats.epochs_published,
         "queue_high_water": stats.queue_high_water,
+        "peak_rss_bytes": peak_rss_bytes(),
         "stats": stats.to_json(),
     })
 }
@@ -464,8 +500,384 @@ fn run_update_heavy() -> serde_json::Value {
         "full_scan_updates_per_sec": full_ups,
         "speedup": speedup,
         "epoch_clone_us": epoch_clone_us,
+        "peak_rss_bytes": peak_rss_bytes(),
         "final_objects": delta.object_count(),
         "final_candidates": delta.candidate_count(),
+    })
+}
+
+/// Serialises one update op to its wire request line.
+fn update_request(op: &UpdateOp) -> String {
+    match op {
+        UpdateOp::InsertObject { object, positions } => {
+            let coords: Vec<String> = positions
+                .iter()
+                .map(|p| format!("[{},{}]", p.x, p.y))
+                .collect();
+            format!(
+                r#"{{"v":1,"op":"insert_object","object":{object},"positions":[{}]}}"#,
+                coords.join(",")
+            )
+        }
+        UpdateOp::AppendPosition { object, position } => format!(
+            r#"{{"v":1,"op":"append_position","object":{object},"x":{},"y":{}}}"#,
+            position.x, position.y
+        ),
+        UpdateOp::RemoveObject { object } => {
+            format!(r#"{{"v":1,"op":"remove_object","object":{object}}}"#)
+        }
+        UpdateOp::InsertCandidate {
+            candidate,
+            location,
+        } => format!(
+            r#"{{"v":1,"op":"insert_candidate","candidate":{candidate},"x":{},"y":{}}}"#,
+            location.x, location.y
+        ),
+        UpdateOp::RemoveCandidate { candidate } => {
+            format!(r#"{{"v":1,"op":"remove_candidate","candidate":{candidate}}}"#)
+        }
+    }
+}
+
+/// Steady-state in-flight request count for the flash-crowd client.
+const FLASH_STEADY_PIPELINE: usize = 4;
+/// Burst in-flight request count — 10x the steady rate, and well past
+/// the admission queue, so the server must shed rather than buffer.
+const FLASH_BURST_PIPELINE: usize = 40;
+/// Admission-queue capacity for the flash-crowd server (deliberately
+/// small: the burst is the overload, shedding is the correct answer).
+const FLASH_QUEUE_CAPACITY: usize = 8;
+/// The flash-crowd server runs partitioned, so every accepted answer
+/// during the overload exercises the shard merge.
+const FLASH_SHARDS: usize = 4;
+
+/// The flash-crowd scenario: a 4-shard server under an update-heavy
+/// stream takes query bursts at 10x the steady in-flight rate against
+/// a small admission queue. Bursts are all `solve` requests (fresh
+/// epochs keep the per-epoch memo cold), so the queue overflows and the
+/// server sheds with typed `overloaded` rejections — never by blocking
+/// or dropping connections. After the load drains, the final served
+/// answers must bit-match a from-scratch **unsharded** mirror, and the
+/// counter identity must hold with the client-observed shed count.
+fn run_flash_crowd() -> serde_json::Value {
+    let (objects, candidates, op_count) = if is_small_scale() {
+        (120, 40, 600)
+    } else {
+        (240, 60, 1_500)
+    };
+    println!(
+        "flash-crowd: {objects} objects x {candidates} candidates, {op_count} updates, \
+         {FLASH_SHARDS} shards, burst {FLASH_BURST_PIPELINE} vs steady {FLASH_STEADY_PIPELINE} \
+         in flight, queue {FLASH_QUEUE_CAPACITY}"
+    );
+    let (setup, ops) = update_heavy_ops(objects, candidates, op_count);
+    let mut world = World::new(defaults::TAU);
+    for op in &setup {
+        world.apply(op).expect("setup is valid");
+    }
+    // The exactness mirror stays unsharded: every final served answer
+    // must bit-match this from-scratch single-world computation.
+    let mut mirror = world.clone();
+    for op in &ops {
+        mirror.apply(op).expect("op stream is valid");
+    }
+
+    let handle = serve(
+        world,
+        ServerConfig {
+            queue_capacity: FLASH_QUEUE_CAPACITY,
+            batch_max: 4,
+            workers: 1,
+            solve_threads: 1,
+            shards: FLASH_SHARDS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let started = Instant::now();
+
+    // Writer: the update-heavy stream, serially acked so the final
+    // epoch is exactly `op_count`.
+    let writer = {
+        let ops = ops.clone();
+        let mut client = Client::connect(addr);
+        thread::spawn(move || {
+            for op in &ops {
+                let ack = client.round_trip(&update_request(op));
+                assert_eq!(
+                    ack.get("applied").and_then(Value::as_bool),
+                    Some(true),
+                    "update rejected: {ack}"
+                );
+            }
+        })
+    };
+
+    // Query client: alternating steady phases (mixed reads at a gentle
+    // in-flight rate) and flash crowds (pipelined all-`solve` bursts).
+    let crowd = thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("set nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut stream = stream;
+        let mut sent = 0u64;
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        let drain = |reader: &mut BufReader<TcpStream>, n: usize| {
+            let (mut ok, mut over) = (0u64, 0u64);
+            for _ in 0..n {
+                let mut line = String::new();
+                // pinocchio-lint: allow(bounded-io) -- in-process harness reading its own server's length-bounded response lines
+                reader.read_line(&mut line).expect("recv");
+                let v: Value = serde_json::from_str(line.trim_end()).expect("response is JSON");
+                if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                    ok += 1;
+                } else {
+                    assert_eq!(
+                        v.get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Value::as_str),
+                        Some("overloaded"),
+                        "only shed rejections are acceptable under burst: {v}"
+                    );
+                    over += 1;
+                }
+            }
+            (ok, over)
+        };
+        for round in 0..10usize {
+            // Steady phase: mixed reads, small pipeline.
+            for chunk in 0..FLASH_STEADY_PIPELINE {
+                let mut burst = String::new();
+                for i in 0..FLASH_STEADY_PIPELINE {
+                    burst.push_str(&match (round + chunk + i) % 3 {
+                        0 => r#"{"v":1,"op":"best"}"#.to_string(),
+                        1 => format!(r#"{{"v":1,"op":"top_k","k":{}}}"#, 1 + i % 5),
+                        _ => r#"{"v":1,"op":"solve","algo":"pin-vo"}"#.to_string(),
+                    });
+                    burst.push('\n');
+                }
+                stream.write_all(burst.as_bytes()).expect("send steady");
+                let (ok, over) = drain(&mut reader, FLASH_STEADY_PIPELINE);
+                sent += FLASH_STEADY_PIPELINE as u64;
+                accepted += ok;
+                shed += over;
+            }
+            // Flash crowd: one pipelined burst of fresh solves.
+            let mut burst = String::new();
+            for i in 0..FLASH_BURST_PIPELINE {
+                let algo = ["pin-vo", "pin", "pin-join"][i % 3];
+                burst.push_str(&format!(r#"{{"v":1,"op":"solve","algo":"{algo}"}}"#));
+                burst.push('\n');
+            }
+            stream.write_all(burst.as_bytes()).expect("send burst");
+            let (ok, over) = drain(&mut reader, FLASH_BURST_PIPELINE);
+            sent += FLASH_BURST_PIPELINE as u64;
+            accepted += ok;
+            shed += over;
+        }
+        (sent, accepted, shed)
+    });
+
+    writer.join().expect("writer thread");
+    let (sent, accepted, shed) = crowd.join().expect("crowd thread");
+    let seconds = started.elapsed().as_secs_f64();
+    assert_eq!(
+        accepted + shed,
+        sent,
+        "every request gets exactly one response"
+    );
+    assert!(shed > 0, "the burst must overflow the queue (shed = 0)");
+    assert!(accepted > 0, "steady load must still be served");
+
+    // Exactness gate: the 4-shard server's post-drain answers bit-match
+    // the unsharded mirror.
+    let mut check = Client::connect(addr);
+    let best = check.round_trip(r#"{"v":1,"op":"best"}"#);
+    let (id, loc, inf) = mirror.best().unwrap().expect("non-empty world");
+    assert_eq!(uint(&best, "epoch"), op_count as u64, "stale final epoch");
+    assert_eq!(uint(&best, "candidate"), id, "served best diverged");
+    assert_eq!(float_bits(&best, "x"), loc.x.to_bits());
+    assert_eq!(float_bits(&best, "y"), loc.y.to_bits());
+    assert_eq!(uint(&best, "influence"), u64::from(inf));
+    let solved = check.round_trip(r#"{"v":1,"op":"solve","algo":"pin-vo"}"#);
+    let outcome = mirror.solve(Algorithm::PinocchioVo, 1).expect("solvable");
+    assert_eq!(uint(&solved, "candidate"), outcome.candidate);
+    assert_eq!(uint(&solved, "influence"), u64::from(outcome.influence));
+    assert_eq!(float_bits(&solved, "x"), outcome.location.x.to_bits());
+    assert_eq!(float_bits(&solved, "y"), outcome.location.y.to_bits());
+
+    let ack = check.round_trip(r#"{"v":1,"op":"shutdown"}"#);
+    assert_eq!(ack.get("draining").and_then(Value::as_bool), Some(true));
+    drop(check);
+    let stats = handle.join();
+
+    assert_eq!(stats.shed, shed, "server and client disagree on shed count");
+    assert_eq!(stats.updates_applied, op_count as u64);
+    assert_eq!(stats.queries_completed(), accepted + 2);
+    assert_eq!(
+        stats.lines_received,
+        stats.accounted_lines(),
+        "accounting identity violated: {stats:?}"
+    );
+    println!(
+        "  {sent} queries: {accepted} served, {shed} shed in {} \
+         ({:.0}% of the load survived the crowd)",
+        fmt_secs(seconds),
+        100.0 * accepted as f64 / sent as f64,
+    );
+    serde_json::json!({
+        "objects": objects,
+        "candidates": candidates,
+        "updates": op_count,
+        "shards": FLASH_SHARDS,
+        "queue_capacity": FLASH_QUEUE_CAPACITY,
+        "steady_pipeline": FLASH_STEADY_PIPELINE,
+        "burst_pipeline": FLASH_BURST_PIPELINE,
+        "queries_sent": sent,
+        "queries_served": accepted,
+        "queries_shed": shed,
+        "seconds": seconds,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "stats": stats.to_json(),
+    })
+}
+
+/// Frame side (km) for the sharded-scaling world — the update-heavy
+/// geometry (city-sized frame, venue-sized trajectories) where spatial
+/// pruning leaves the per-shard filter sweep as the dominant cost.
+const SCALING_FRAME_KM: f64 = 400.0;
+/// Candidate-set size for the scaling run (object-heavy regime: the
+/// candidate broadcast is small, the object partition is what scales).
+const SCALING_CANDIDATES: usize = 60;
+/// Shard counts compared by the scaling gate.
+const SCALING_SHARDS: [usize; 2] = [1, 4];
+/// Acceptance floor: 4-shard critical-path speedup over 1 shard.
+const SCALING_FLOOR: f64 = 1.8;
+
+/// The sharded-scaling scenario: an object-heavy PIN-VO solve at 1 vs 4
+/// shards, bit-identity-gated against the unsharded sequential solver
+/// and floor-gated on **critical-path** speedup.
+///
+/// Phase timings are measured with `threads = 1` so each shard's filter
+/// cost is uncontended and clean; the critical path — `max(per-shard
+/// prepare) + coordinator` — is the latency an N-core (or N-process)
+/// deployment pays, which single-core wall clock cannot show (on one
+/// core the phases serialise and wall clock is shard-count-invariant).
+fn run_sharded_scaling() -> serde_json::Value {
+    let objects_n: u64 = if is_small_scale() { 20_000 } else { 120_000 };
+    println!(
+        "sharded-scaling: {objects_n} objects x {SCALING_CANDIDATES} candidates, \
+         frame {SCALING_FRAME_KM} km, shards {SCALING_SHARDS:?}"
+    );
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    let objects: Vec<MovingObject> = (0..objects_n)
+        .map(|id| {
+            let cx = rng.gen_range(0.0..SCALING_FRAME_KM);
+            let cy = rng.gen_range(0.0..SCALING_FRAME_KM);
+            let n = rng.gen_range(3..9);
+            let positions = (0..n)
+                .map(|_| Point::new(cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)))
+                .collect();
+            MovingObject::new(id, positions)
+        })
+        .collect();
+    let candidates: Vec<Point> = (0..SCALING_CANDIDATES)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..SCALING_FRAME_KM),
+                rng.gen_range(0.0..SCALING_FRAME_KM),
+            )
+        })
+        .collect();
+
+    let reference = PrimeLs::builder()
+        .objects(objects.clone())
+        .candidates(candidates.clone())
+        .probability_function(PowerLawPf::paper_default())
+        .tau(defaults::TAU)
+        .build()
+        .expect("scaling problem is well-formed")
+        .solve(Algorithm::PinocchioVo);
+
+    let mut rows = Vec::new();
+    let mut critical_paths = Vec::new();
+    for &shards in &SCALING_SHARDS {
+        let sharded = ShardedPrimeLs::partition(
+            objects.clone(),
+            candidates.clone(),
+            PowerLawPf::paper_default(),
+            defaults::TAU,
+            EvalKernel::Scalar,
+            shards,
+        )
+        .expect("partition is well-formed");
+        // Best of three: partition once, solve repeatedly.
+        let mut best: Option<(f64, f64, f64, f64)> = None;
+        for _ in 0..3 {
+            let (result, timings) = try_solve_sharded_timed(&sharded, Algorithm::PinocchioVo, 1)
+                .expect("sharded solve succeeds");
+            assert_eq!(
+                result.best_candidate, reference.best_candidate,
+                "winner diverged at {shards} shard(s)"
+            );
+            assert_eq!(result.max_influence, reference.max_influence);
+            assert_eq!(
+                result.best_location.x.to_bits(),
+                reference.best_location.x.to_bits()
+            );
+            assert_eq!(
+                result.best_location.y.to_bits(),
+                reference.best_location.y.to_bits()
+            );
+            let critical = timings.critical_path_seconds();
+            let max_prepare = timings.prepare_seconds.iter().copied().fold(0.0, f64::max);
+            if best.is_none_or(|(c, ..)| critical < c) {
+                best = Some((
+                    critical,
+                    result.elapsed.as_secs_f64(),
+                    max_prepare,
+                    timings.coordinator_seconds,
+                ));
+            }
+        }
+        let (critical, wall, max_prepare, coordinator) = best.expect("three trials ran");
+        println!(
+            "  shards={shards}: critical path {} (max prepare {}, coordinator {}), \
+             single-core wall {}",
+            fmt_secs(critical),
+            fmt_secs(max_prepare),
+            fmt_secs(coordinator),
+            fmt_secs(wall),
+        );
+        critical_paths.push(critical);
+        rows.push(serde_json::json!({
+            "shards": shards,
+            "critical_path_seconds": critical,
+            "max_prepare_seconds": max_prepare,
+            "coordinator_seconds": coordinator,
+            "single_core_wall_seconds": wall,
+        }));
+    }
+
+    let speedup = critical_paths[0] / critical_paths[1];
+    println!("  critical-path speedup at 4 shards: {speedup:.2}x");
+    // The tentpole's acceptance gate: partitioning must shorten the
+    // solve-phase critical path by at least the floor.
+    assert!(
+        speedup >= SCALING_FLOOR,
+        "4-shard critical path must be >= {SCALING_FLOOR}x shorter than 1-shard, got {speedup:.2}x"
+    );
+    serde_json::json!({
+        "objects": objects_n,
+        "candidates": SCALING_CANDIDATES,
+        "frame_km": SCALING_FRAME_KM,
+        "algorithm": "pin-vo",
+        "rows": rows,
+        "critical_path_speedup": speedup,
+        "speedup_floor": SCALING_FLOOR,
+        "peak_rss_bytes": peak_rss_bytes(),
     })
 }
 
@@ -516,5 +928,23 @@ fn main() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
     let body = serde_json::to_string_pretty(&record).expect("serialisable record");
     std::fs::write(&root, body + "\n").expect("can write BENCH_PR6.json");
+    println!("[record written to {}]", root.display());
+
+    // The PR 9 sharded scenarios: the flash-crowd overload against a
+    // 4-shard server (shed + merge exactness) and the object-partition
+    // scaling gate (critical-path speedup floor, bit-identity).
+    let flash_crowd = run_flash_crowd();
+    let sharded_scaling = run_sharded_scaling();
+    let record = serde_json::json!({
+        "id": "load_gen_pr9",
+        "scale": if is_small_scale() { "small" } else { "full" },
+        "tau": defaults::TAU,
+        "flash_crowd": flash_crowd,
+        "sharded_scaling": sharded_scaling,
+    });
+    write_record("load_gen_pr9", &record);
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialisable record");
+    std::fs::write(&root, body + "\n").expect("can write BENCH_PR9.json");
     println!("[record written to {}]", root.display());
 }

@@ -55,7 +55,7 @@ use std::time::Instant;
 /// count *objects*, the `subtrees_*` counters count O(1) node
 /// decisions), the undecided object indices are collected into
 /// `undecided`, and the certified influence (IA total) is returned.
-fn classify(
+pub(crate) fn classify(
     tree: &MbrTree<usize>,
     candidate: &Point,
     undecided: &mut Vec<u32>,

@@ -47,6 +47,7 @@ pub mod parallel;
 pub mod pinocchio;
 pub mod problem;
 pub mod result;
+pub mod shard;
 pub mod state;
 pub mod topk;
 pub mod vo;
@@ -59,6 +60,10 @@ pub use parallel::{solve_naive as solve_naive_par, solve_pinocchio as solve_pino
 pub use parallel::{solve_vo as solve_vo_par, try_solve_vo as try_solve_vo_par};
 pub use problem::{BuildError, PrimeLs, PrimeLsBuilder};
 pub use result::{argmax_smallest_index, Algorithm, SolveError, SolveResult, SolveStats};
+pub use shard::{
+    shard_of, solve_sharded, try_solve_sharded, try_solve_sharded_timed, ShardTimings,
+    ShardedPrimeLs,
+};
 pub use state::{A2d, ObjectEntry};
 pub use topk::{solve_top_k, try_solve_top_k, TopKEntry, TopKResult};
 pub use vo::{solve_with_options, try_solve_with_options};

@@ -83,6 +83,28 @@ impl World {
         Ok(world)
     }
 
+    /// The influence threshold τ of the underlying dynamic state.
+    pub fn tau(&self) -> f64 {
+        self.state.tau()
+    }
+
+    /// Materialises every live object (wire id preserved), slot order —
+    /// the O(positions) freeze the shard router uses to re-partition a
+    /// seed world.
+    pub fn snapshot_objects(&self) -> Vec<MovingObject> {
+        self.state.objects().collect()
+    }
+
+    /// Every live candidate as `(wire id, location, influence)`, in slot
+    /// order — the per-shard partial the sharded world sums elementwise.
+    pub fn live_influences(&self) -> Result<Vec<(u64, Point, u32)>, WireError> {
+        self.state
+            .live_candidates()
+            .into_iter()
+            .map(|(handle, location, influence)| Ok((self.wire_id(handle)?, location, influence)))
+            .collect()
+    }
+
     /// The active maintenance mode of the underlying dynamic state.
     pub fn maintenance_mode(&self) -> MaintenanceMode {
         self.state.maintenance_mode()
@@ -212,7 +234,7 @@ impl World {
     }
 
     /// Wire id of a handle; total for handles minted by this world.
-    fn wire_id(&self, handle: CandidateHandle) -> Result<u64, WireError> {
+    pub(crate) fn wire_id(&self, handle: CandidateHandle) -> Result<u64, WireError> {
         self.candidate_ids.get(&handle).copied().ok_or_else(|| {
             WireError::new(
                 ErrorCode::UnknownCandidate,
@@ -276,6 +298,20 @@ impl World {
             )
         })?;
         Ok(self.state.influence(handle))
+    }
+
+    /// Freezes the state into a static problem plus the wire id of each
+    /// candidate index (index order = slot order) — the per-shard input
+    /// of the sharded solve path.
+    pub(crate) fn to_problem(
+        &self,
+    ) -> Result<(pinocchio_core::PrimeLs<PowerLawPf>, Vec<u64>), WireError> {
+        let (problem, slots) = self.state.to_prime_ls()?;
+        let ids = slots
+            .into_iter()
+            .map(|handle| self.wire_id(handle))
+            .collect::<Result<Vec<u64>, WireError>>()?;
+        Ok((problem, ids))
     }
 
     /// Freezes the world and solves it from scratch with the named

@@ -20,6 +20,11 @@
 //! * [`ingest`] — [`World`], the id-keyed state wrapper whose
 //!   [`World::apply`] is the one update codepath shared by the server's
 //!   writer thread and the CLI `replay` subcommand.
+//! * [`shard`] — [`ShardedWorld`], the object-partitioned topology:
+//!   N in-process shard worlds (routed by a stable hash of the wire
+//!   object id), merged influence partials for queries, and the core
+//!   sharded solver for `solve` requests — shard-transparent on the
+//!   wire.
 //! * [`server`] — the thread topology: accept loop, per-connection
 //!   reader/writer pairs, the writer thread, the worker pool, and
 //!   graceful drain-on-shutdown with `resume_unwind` panic containment.
@@ -37,6 +42,7 @@
 pub mod ingest;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod wire;
@@ -45,6 +51,7 @@ pub use ingest::{SolveOutcome, World};
 pub use pinocchio_core::MaintenanceMode;
 pub use scheduler::{AdmissionQueue, Job, SubmitError};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shard::{InProcessShard, ShardSummary, ShardTransport, ShardedWorld};
 pub use stats::{ServeStats, LATENCY_BUCKETS, LATENCY_BUCKET_BOUNDS_US};
 pub use store::{Publisher, Reader, Snapshot};
 pub use wire::{

@@ -26,6 +26,7 @@
 
 use crate::ingest::{SolveOutcome, World};
 use crate::scheduler::{AdmissionQueue, BatchWait, Job, SubmitError};
+use crate::shard::ShardedWorld;
 use crate::stats::ServeStats;
 use crate::store::{Publisher, Reader, Snapshot};
 use crate::wire::{self, ErrorCode, QueryOp, Request, UpdateOp, WireError};
@@ -70,6 +71,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Threads handed to the parallel solvers for `solve` requests.
     pub solve_threads: usize,
+    /// In-process shard count. `1` (the default) serves the world
+    /// unsharded; larger values partition objects across shard worlds
+    /// by a stable hash of the wire object id. Shard-transparent on the
+    /// wire — answers are bit-identical for every value.
+    pub shards: usize,
     /// A connection with no complete request line for this long is
     /// closed.
     pub idle_timeout: Duration,
@@ -85,6 +91,7 @@ impl Default for ServerConfig {
             batch_max: 16,
             workers: 2,
             solve_threads: 2,
+            shards: 1,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
         }
@@ -186,12 +193,15 @@ fn join_thread<T>(handle: JoinHandle<T>) -> T {
         .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
-/// Binds and spawns the full server over `world`. Returns once the
+/// Binds and spawns the full server over `world`, partitioned across
+/// [`ServerConfig::shards`] in-process shard worlds. Returns once the
 /// listener is live; all serving happens on background threads.
 pub fn serve(world: World, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let (publisher, reader) = Publisher::new(world);
+    let sharded = ShardedWorld::from_world(world, config.shards)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+    let (publisher, reader) = Publisher::new(sharded);
     let shared = Arc::new(Shared {
         queue: AdmissionQueue::new(config.queue_capacity),
         stats: Mutex::new(ServeStats::default()),
@@ -234,7 +244,7 @@ fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     ingest: &SyncSender<UpdateMsg>,
-    mut reader: Reader<World>,
+    mut reader: Reader<ShardedWorld>,
 ) {
     if listener.set_nonblocking(true).is_err() {
         return;
@@ -249,6 +259,10 @@ fn accept_loop(
         let _ = reader.latest();
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Responses are single short lines; without nodelay a
+                // serial request/response client stalls ~40 ms per
+                // round-trip on Nagle + delayed ACK.
+                let _ = stream.set_nodelay(true);
                 let shared = Arc::clone(shared);
                 let ingest = ingest.clone();
                 let reader = reader.clone();
@@ -270,7 +284,7 @@ fn connection_loop(
     stream: TcpStream,
     shared: &Arc<Shared>,
     ingest: &SyncSender<UpdateMsg>,
-    mut epoch_reader: Reader<World>,
+    mut epoch_reader: Reader<ShardedWorld>,
 ) {
     if stream.set_read_timeout(Some(POLL_QUANTUM)).is_err() {
         return;
@@ -418,7 +432,7 @@ fn handle_line(
     line: &str,
     shared: &Arc<Shared>,
     ingest: &SyncSender<UpdateMsg>,
-    epoch_reader: &mut Reader<World>,
+    epoch_reader: &mut Reader<ShardedWorld>,
     reply: &Sender<String>,
 ) {
     shared.bump(|s| s.lines_received += 1);
@@ -498,7 +512,11 @@ fn reject_draining(shared: &Arc<Shared>, reply: &Sender<String>, id: Option<u64>
 
 // ---- the writer thread -------------------------------------------------
 
-fn writer_loop(mut publisher: Publisher<World>, updates: Receiver<UpdateMsg>, shared: &Shared) {
+fn writer_loop(
+    mut publisher: Publisher<ShardedWorld>,
+    updates: Receiver<UpdateMsg>,
+    shared: &Shared,
+) {
     while let Ok(first) = updates.recv() {
         // Batch whatever else is already queued (bounded by batch_max)
         // so one world clone and one epoch publication cover them all.
@@ -553,7 +571,7 @@ fn writer_loop(mut publisher: Publisher<World>, updates: Receiver<UpdateMsg>, sh
 
 // ---- the worker pool ---------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>, mut reader: Reader<World>) {
+fn worker_loop(shared: &Arc<Shared>, mut reader: Reader<ShardedWorld>) {
     loop {
         let batch = match shared
             .queue
@@ -590,7 +608,7 @@ fn worker_loop(shared: &Arc<Shared>, mut reader: Reader<World>) {
 
 fn answer(
     job: &Job,
-    snapshot: &Snapshot<World>,
+    snapshot: &Snapshot<ShardedWorld>,
     solve_memo: &mut Vec<(Algorithm, Result<SolveOutcome, WireError>)>,
     local: &mut ServeStats,
     shared: &Arc<Shared>,
@@ -679,6 +697,22 @@ fn answer(
             let mut body = Map::new();
             body.insert("stats".to_string(), view.to_json());
             body.insert("queue_depth".to_string(), json!(shared.queue.depth()));
+            // Per-shard counters of the answering epoch: topology is
+            // wire-transparent everywhere else, but operators need to
+            // see the partition balance and routing volume.
+            let shards: Vec<serde_json::Value> = world
+                .shard_summaries()
+                .iter()
+                .map(|s| {
+                    json!({
+                        "shard": s.shard,
+                        "objects": s.objects,
+                        "candidates": s.candidates,
+                        "updates_routed": s.updates_routed,
+                    })
+                })
+                .collect();
+            body.insert("shards".to_string(), serde_json::Value::Array(shards));
             Ok(body)
         }
         QueryOp::Ping => {
@@ -838,6 +872,99 @@ mod tests {
         assert_eq!(final_stats.accounted_lines(), final_stats.lines_received);
         assert_eq!(final_stats.queries_completed(), final_stats.latency_total());
         assert_eq!(final_stats.control, 1);
+    }
+
+    #[test]
+    fn sharded_server_matches_unsharded_and_reports_partition_stats() {
+        // The same world behind a 1-shard and a 4-shard server, fed the
+        // same update stream: every answer must agree field for field
+        // (the wire protocol is shard-transparent), and only the stats
+        // body reveals the partition.
+        let handle1 = serve(test_world(), ServerConfig::default()).expect("bind");
+        let handle4 = serve(
+            test_world(),
+            ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut c1 = Client::connect(handle1.addr());
+        let mut c4 = Client::connect(handle4.addr());
+
+        let inserted = 20u64;
+        for id in 20..20 + inserted {
+            let req = format!(
+                r#"{{"v":1,"op":"insert_object","object":{id},"positions":[[{}.0,0.5]]}}"#,
+                id % 12
+            );
+            for (label, client) in [("unsharded", &mut c1), ("sharded", &mut c4)] {
+                let ack = client.roundtrip(&req);
+                assert_eq!(
+                    ack.get("ok").and_then(Value::as_bool),
+                    Some(true),
+                    "{label}: {ack}"
+                );
+            }
+        }
+
+        for req in [
+            r#"{"v":1,"op":"best"}"#,
+            r#"{"v":1,"op":"top_k","k":3}"#,
+            r#"{"v":1,"op":"influence_of","candidate":2}"#,
+        ] {
+            let a = c1.roundtrip(req);
+            let b = c4.roundtrip(req);
+            assert_eq!(a, b, "answers diverged for {req}");
+        }
+        for algo in ["na", "pin", "pin-vo", "pin-vo*", "pin-join"] {
+            let req = format!(r#"{{"v":1,"op":"solve","algo":"{algo}"}}"#);
+            let a = c1.roundtrip(&req);
+            let b = c4.roundtrip(&req);
+            // The `shared` flag is batch-timing-dependent; every
+            // answer-bearing field must agree bit for bit.
+            for field in ["candidate", "influence", "epoch"] {
+                assert_eq!(get_u64(&a, field), get_u64(&b, field), "{algo} {field}");
+            }
+            for field in ["x", "y"] {
+                let fa = a.get(field).and_then(Value::as_f64).expect("f64 field");
+                let fb = b.get(field).and_then(Value::as_f64).expect("f64 field");
+                assert_eq!(fa.to_bits(), fb.to_bits(), "{algo} {field}");
+            }
+            assert_eq!(
+                a.get("algorithm").and_then(Value::as_str),
+                b.get("algorithm").and_then(Value::as_str)
+            );
+        }
+
+        let stats = c4.roundtrip(r#"{"v":1,"op":"stats"}"#);
+        let shards = stats
+            .get("shards")
+            .and_then(Value::as_array)
+            .expect("stats body lists shards");
+        assert_eq!(shards.len(), 4);
+        let objects: u64 = shards.iter().map(|s| get_u64(s, "objects")).sum();
+        assert_eq!(objects, 4 + inserted, "partition covers every object");
+        let routed: u64 = shards.iter().map(|s| get_u64(s, "updates_routed")).sum();
+        assert_eq!(routed, inserted, "every object update was routed once");
+        for s in shards {
+            assert_eq!(get_u64(s, "candidates"), 3, "broadcast candidate set");
+        }
+        // The unsharded server reports the trivial 1-shard topology.
+        let stats = c1.roundtrip(r#"{"v":1,"op":"stats"}"#);
+        let shards = stats
+            .get("shards")
+            .and_then(Value::as_array)
+            .expect("stats body lists shards");
+        assert_eq!(shards.len(), 1);
+        assert_eq!(get_u64(&shards[0], "objects"), 4 + inserted);
+
+        for handle in [handle1, handle4] {
+            handle.shutdown();
+            let stats = handle.join();
+            assert_eq!(stats.updates_applied, inserted);
+            assert_eq!(stats.accounted_lines(), stats.lines_received);
+        }
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Object-partitioned serving: N in-process shard worlds behind one
+//! shard-transparent coordinator.
+//!
+//! [`ShardedWorld`] holds one full [`World`] per shard. Objects are
+//! routed to the shard [`shard_of`] names for their wire id — stable
+//! across epochs and restarts — while candidate updates are broadcast so
+//! every shard holds the identical candidate set in identical slot
+//! order. Each shard world maintains its own incremental state (the
+//! PR 6 delta-validated maintenance path runs per shard, touching only
+//! the shard that owns the moved object), and the writer thread's
+//! clone-apply-publish cycle clones all N shard worlds — cheap, because
+//! a [`World`] clone is structural sharing over `Arc`ed position logs.
+//!
+//! Queries merge per-shard partials:
+//!
+//! * `influence_of` / `best` / `top_k` — influence is a sum over
+//!   objects, so the merged per-candidate influence is the elementwise
+//!   sum of the shard worlds' counts; ranking the merged counts by
+//!   (influence desc, slot) reproduces the unsharded ranking bit for
+//!   bit.
+//! * `solve` — each shard freezes its partition into a static
+//!   [`PrimeLs`](pinocchio_core::PrimeLs) and the core sharded solver
+//!   ([`pinocchio_core::try_solve_sharded`]) merges filter partials and
+//!   fans residual verification back out to the owning shards.
+//!
+//! The wire protocol stays shard-transparent: clients see one world,
+//! and only the `stats` response gains a per-shard counter block. The
+//! [`ShardTransport`] trait is the seam for future multi-process
+//! shards: the coordinator only needs the trait surface for updates,
+//! and the serve crate's replay path doubles as shard catch-up.
+
+use crate::ingest::{SolveOutcome, World};
+use crate::wire::{UpdateOp, WireError};
+use pinocchio_core::{
+    shard_of, try_solve_sharded, Algorithm, BuildError, MaintenanceMode, ShardedPrimeLs,
+};
+use pinocchio_geo::Point;
+use std::cmp::Reverse;
+
+/// The transport seam between the coordinator and one shard.
+///
+/// Today's only implementation is [`InProcessShard`]; a multi-process
+/// shard would implement the same surface by shipping ops over its own
+/// connection and replaying the update stream as catch-up.
+pub trait ShardTransport {
+    /// Applies one routed (or broadcast) update to the shard.
+    fn apply(&mut self, op: &UpdateOp) -> Result<(), WireError>;
+    /// Live objects owned by the shard.
+    fn object_count(&self) -> usize;
+    /// Live candidates broadcast to the shard.
+    fn candidate_count(&self) -> usize;
+}
+
+/// An in-process shard: one [`World`] owning one object partition.
+#[derive(Debug, Clone)]
+pub struct InProcessShard {
+    world: World,
+}
+
+impl InProcessShard {
+    fn new(world: World) -> InProcessShard {
+        InProcessShard { world }
+    }
+
+    /// Read access for the coordinator's query merges (an in-process
+    /// privilege: a remote transport would answer these over its wire).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+}
+
+impl ShardTransport for InProcessShard {
+    fn apply(&mut self, op: &UpdateOp) -> Result<(), WireError> {
+        self.world.apply(op)
+    }
+
+    fn object_count(&self) -> usize {
+        self.world.object_count()
+    }
+
+    fn candidate_count(&self) -> usize {
+        self.world.candidate_count()
+    }
+}
+
+/// Per-shard counters surfaced in the wire `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard slot index.
+    pub shard: usize,
+    /// Live objects owned by the shard.
+    pub objects: usize,
+    /// Live candidates (broadcast; identical on every shard).
+    pub candidates: usize,
+    /// Object updates routed to this shard since construction
+    /// (candidate broadcasts are not counted — they hit every shard).
+    pub updates_routed: u64,
+}
+
+/// N shard worlds behind one [`World`]-shaped query surface.
+///
+/// With `shard_count <= 1` this is a zero-cost wrapper over the single
+/// world — every call delegates — so the unsharded server topology is
+/// the 1-shard special case, bit for bit.
+#[derive(Debug, Clone)]
+pub struct ShardedWorld {
+    shards: Vec<InProcessShard>,
+    routed_updates: Vec<u64>,
+}
+
+impl ShardedWorld {
+    /// Re-partitions a seed world across `shard_count` shards: the
+    /// candidate set is broadcast in slot order (so every shard assigns
+    /// the same slots), then each object is routed by [`shard_of`] on
+    /// its wire id. `shard_count <= 1` keeps the seed world as-is.
+    pub fn from_world(world: World, shard_count: usize) -> Result<ShardedWorld, WireError> {
+        let n = shard_count.max(1);
+        if n == 1 {
+            return Ok(ShardedWorld {
+                shards: vec![InProcessShard::new(world)],
+                routed_updates: vec![0],
+            });
+        }
+        let tau = world.tau();
+        let mode = world.maintenance_mode();
+        let candidates = world.live_influences()?;
+        let mut shards: Vec<InProcessShard> = (0..n)
+            .map(|_| {
+                let mut w = World::new(tau);
+                w.set_maintenance_mode(mode);
+                InProcessShard::new(w)
+            })
+            .collect();
+        for &(id, location, _) in &candidates {
+            let op = UpdateOp::InsertCandidate {
+                candidate: id,
+                location,
+            };
+            for shard in &mut shards {
+                shard.apply(&op)?;
+            }
+        }
+        for object in world.snapshot_objects() {
+            let op = UpdateOp::InsertObject {
+                object: object.id(),
+                positions: object.positions().to_vec(),
+            };
+            shards[shard_of(object.id(), n)].apply(&op)?;
+        }
+        Ok(ShardedWorld {
+            shards,
+            routed_updates: vec![0; n],
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard counters for the `stats` response.
+    pub fn shard_summaries(&self) -> Vec<ShardSummary> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardSummary {
+                shard,
+                objects: s.object_count(),
+                candidates: s.candidate_count(),
+                updates_routed: self.routed_updates[shard],
+            })
+            .collect()
+    }
+
+    /// Total live objects across all shards.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(ShardTransport::object_count).sum()
+    }
+
+    /// Live candidates (identical on every shard).
+    pub fn candidate_count(&self) -> usize {
+        self.shards[0].candidate_count()
+    }
+
+    /// The live candidate ids, ascending.
+    pub fn candidate_ids(&self) -> Vec<u64> {
+        self.shards[0].world.candidate_ids()
+    }
+
+    /// The live object ids, ascending, across all shards.
+    pub fn object_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.world.object_ids())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The active maintenance mode (identical on every shard).
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.shards[0].world.maintenance_mode()
+    }
+
+    /// Switches the maintenance mode on every shard.
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        for shard in &mut self.shards {
+            shard.world.set_maintenance_mode(mode);
+        }
+    }
+
+    /// Rebuilds every shard's influence counts from scratch and asserts
+    /// they match the incremental state. Test/benchmark gate.
+    pub fn verify_against_static(&self) {
+        for shard in &self.shards {
+            shard.world.verify_against_static();
+        }
+    }
+
+    /// Applies one update: object ops are routed to the owning shard,
+    /// candidate ops are broadcast to all shards. On error nothing
+    /// changed — shard 0 validates broadcasts first, and because every
+    /// shard holds the identical candidate state, its verdict is every
+    /// shard's verdict.
+    pub fn apply(&mut self, op: &UpdateOp) -> Result<(), WireError> {
+        match op {
+            UpdateOp::InsertObject { object, .. }
+            | UpdateOp::AppendPosition { object, .. }
+            | UpdateOp::RemoveObject { object } => {
+                let s = shard_of(*object, self.shards.len());
+                self.shards[s].apply(op)?;
+                self.routed_updates[s] += 1;
+                Ok(())
+            }
+            UpdateOp::InsertCandidate { .. } | UpdateOp::RemoveCandidate { .. } => {
+                let (first, rest) = self
+                    .shards
+                    .split_first_mut()
+                    .expect("a sharded world always has at least one shard");
+                first.apply(op)?;
+                for shard in rest {
+                    shard
+                        .apply(op)
+                        .expect("candidate broadcast diverged across shards");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Every live candidate as `(wire id, location, merged influence)`,
+    /// slot order — the elementwise sum of the shard partials.
+    fn merged_live(&self) -> Result<Vec<(u64, Point, u32)>, WireError> {
+        let mut shards = self.shards.iter();
+        let first = shards
+            .next()
+            .expect("a sharded world always has at least one shard");
+        let mut merged = first.world.live_influences()?;
+        for shard in shards {
+            let partial = shard.world.live_influences()?;
+            assert_eq!(
+                partial.len(),
+                merged.len(),
+                "candidate broadcast diverged across shards"
+            );
+            for (acc, (id, _, influence)) in merged.iter_mut().zip(partial) {
+                debug_assert_eq!(acc.0, id, "candidate slot order diverged across shards");
+                acc.2 += influence;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The current optimum as `(wire id, location, influence)`; ties
+    /// break towards the earlier slot — the same rule as the unsharded
+    /// [`World::best`].
+    pub fn best(&self) -> Result<Option<(u64, Point, u32)>, WireError> {
+        let live = self.merged_live()?;
+        Ok(live
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(slot, (_, _, influence))| (influence, Reverse(slot)))
+            .map(|(_, entry)| entry))
+    }
+
+    /// The `k` highest-influence candidates, influence descending, ties
+    /// by slot order — identical ranking to the unsharded
+    /// [`World::top_k`] because the merged influences are exact.
+    pub fn top_k(&self, k: usize) -> Result<Vec<(u64, Point, u32)>, WireError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut live: Vec<(usize, (u64, Point, u32))> =
+            self.merged_live()?.into_iter().enumerate().collect();
+        let rank = |a: &(usize, (u64, Point, u32)), b: &(usize, (u64, Point, u32))| {
+            (Reverse(a.1 .2), a.0).cmp(&(Reverse(b.1 .2), b.0))
+        };
+        if k < live.len() {
+            live.select_nth_unstable_by(k - 1, rank);
+            live.truncate(k);
+        }
+        live.sort_unstable_by(rank);
+        Ok(live.into_iter().map(|(_, entry)| entry).collect())
+    }
+
+    /// Exact influence of one candidate: the sum of the shard worlds'
+    /// counts (each shard counts its own objects, partitions are
+    /// disjoint).
+    pub fn influence_of(&self, candidate: u64) -> Result<u32, WireError> {
+        let mut total = 0u32;
+        for shard in &self.shards {
+            total += shard.world.influence_of(candidate)?;
+        }
+        Ok(total)
+    }
+
+    /// Freezes every shard and solves through the core sharded
+    /// coordinator ([`try_solve_sharded`]): per-shard filter partials,
+    /// merged bounds, residual verify fan-out. One shard delegates to
+    /// the unsharded drivers. Same winner as [`Self::best`], ties
+    /// included — the exactness property the soak suite gates on.
+    pub fn solve(&self, algorithm: Algorithm, threads: usize) -> Result<SolveOutcome, WireError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].world.solve(algorithm, threads);
+        }
+        let threads = threads.max(1);
+        let mut problems = Vec::with_capacity(self.shards.len());
+        let mut ids: Option<Vec<u64>> = None;
+        for shard in &self.shards {
+            if shard.object_count() == 0 {
+                problems.push(None);
+                continue;
+            }
+            let (problem, shard_ids) = shard.world.to_problem()?;
+            match &ids {
+                Some(existing) => {
+                    debug_assert_eq!(
+                        existing, &shard_ids,
+                        "candidate slots diverged across shards"
+                    );
+                }
+                None => ids = Some(shard_ids),
+            }
+            problems.push(Some(problem));
+        }
+        let Some(ids) = ids else {
+            // No shard owns an object — the same error the unsharded
+            // freeze raises on an object-less world.
+            return Err(WireError::from(BuildError::NoObjects));
+        };
+        let sharded = ShardedPrimeLs::from_problems(problems).map_err(WireError::from)?;
+        let result = try_solve_sharded(&sharded, algorithm, threads)?;
+        Ok(SolveOutcome {
+            algorithm: result.algorithm,
+            candidate: ids[result.best_candidate],
+            location: result.best_location,
+            influence: result.max_influence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ErrorCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_world(seed: u64, objects: usize, candidates: usize) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = World::new(0.7);
+        for j in 0..candidates {
+            w.apply(&UpdateOp::InsertCandidate {
+                candidate: j as u64,
+                location: Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)),
+            })
+            .unwrap();
+        }
+        for i in 0..objects {
+            let n = rng.gen_range(1..10);
+            let positions = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)))
+                .collect();
+            w.apply(&UpdateOp::InsertObject {
+                object: i as u64,
+                positions,
+            })
+            .unwrap();
+        }
+        w
+    }
+
+    fn random_op(rng: &mut StdRng, live: &mut Vec<u64>, next_id: &mut u64) -> UpdateOp {
+        let roll = rng.gen_range(0u32..10);
+        if roll < 6 && !live.is_empty() {
+            UpdateOp::AppendPosition {
+                object: live[rng.gen_range(0..live.len())],
+                position: Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..20.0)),
+            }
+        } else if roll < 9 || live.len() <= 5 {
+            let object = *next_id;
+            *next_id += 1;
+            live.push(object);
+            UpdateOp::InsertObject {
+                object,
+                positions: vec![Point::new(
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.0..20.0),
+                )],
+            }
+        } else {
+            let object = live.swap_remove(rng.gen_range(0..live.len()));
+            UpdateOp::RemoveObject { object }
+        }
+    }
+
+    fn assert_same_answers(sharded: &ShardedWorld, mirror: &World) {
+        assert_eq!(sharded.best().unwrap(), mirror.best().unwrap());
+        for k in [1, 3, 100] {
+            assert_eq!(sharded.top_k(k).unwrap(), mirror.top_k(k).unwrap());
+        }
+        for id in mirror.candidate_ids() {
+            assert_eq!(
+                sharded.influence_of(id).unwrap(),
+                mirror.influence_of(id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn one_shard_wraps_the_world_unchanged() {
+        let world = random_world(3, 30, 8);
+        let sharded = ShardedWorld::from_world(world.clone(), 1).unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        assert_same_answers(&sharded, &world);
+        let outcome = sharded.solve(Algorithm::PinocchioVo, 2).unwrap();
+        assert_eq!(outcome, world.solve(Algorithm::PinocchioVo, 2).unwrap());
+    }
+
+    #[test]
+    fn partitioned_queries_and_solves_bit_match_the_unsharded_world() {
+        let world = random_world(5, 40, 9);
+        for n in [2, 4, 8] {
+            let sharded = ShardedWorld::from_world(world.clone(), n).unwrap();
+            assert_eq!(sharded.shard_count(), n);
+            assert_eq!(sharded.object_count(), world.object_count());
+            assert_eq!(sharded.candidate_count(), world.candidate_count());
+            assert_eq!(sharded.object_ids(), world.object_ids());
+            sharded.verify_against_static();
+            assert_same_answers(&sharded, &world);
+            for algorithm in Algorithm::WITH_EXTENSIONS {
+                for threads in [1, 3] {
+                    let got = sharded.solve(algorithm, threads).unwrap();
+                    let want = world.solve(algorithm, 1).unwrap();
+                    assert_eq!(got.candidate, want.candidate, "{algorithm:?} n={n}");
+                    assert_eq!(got.influence, want.influence, "{algorithm:?} n={n}");
+                    assert_eq!(
+                        (got.location.x.to_bits(), got.location.y.to_bits()),
+                        (want.location.x.to_bits(), want.location.y.to_bits())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_updates_stay_in_lockstep_with_an_unsharded_mirror() {
+        let mut mirror = random_world(7, 25, 7);
+        let mut sharded = ShardedWorld::from_world(mirror.clone(), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x5AD7);
+        let mut live = mirror.object_ids();
+        let mut next_id = 1000u64;
+        for step in 0..120 {
+            let op = random_op(&mut rng, &mut live, &mut next_id);
+            sharded.apply(&op).unwrap();
+            mirror.apply(&op).unwrap();
+            if step % 20 == 19 {
+                sharded.verify_against_static();
+                assert_same_answers(&sharded, &mirror);
+                let outcome = sharded.solve(Algorithm::PinocchioJoin, 2).unwrap();
+                assert_eq!(outcome, mirror.solve(Algorithm::PinocchioJoin, 1).unwrap());
+            }
+        }
+        // Routing counters account exactly the object updates applied.
+        let routed: u64 = sharded
+            .shard_summaries()
+            .iter()
+            .map(|s| s.updates_routed)
+            .sum();
+        assert_eq!(routed, 120);
+        // Candidate churn broadcasts; both sides keep agreeing.
+        sharded
+            .apply(&UpdateOp::InsertCandidate {
+                candidate: 99,
+                location: Point::new(1.0, 1.0),
+            })
+            .unwrap();
+        mirror
+            .apply(&UpdateOp::InsertCandidate {
+                candidate: 99,
+                location: Point::new(1.0, 1.0),
+            })
+            .unwrap();
+        assert_same_answers(&sharded, &mirror);
+        sharded
+            .apply(&UpdateOp::RemoveCandidate { candidate: 99 })
+            .unwrap();
+        mirror
+            .apply(&UpdateOp::RemoveCandidate { candidate: 99 })
+            .unwrap();
+        assert_same_answers(&sharded, &mirror);
+        for summary in sharded.shard_summaries() {
+            assert_eq!(summary.candidates, mirror.candidate_count());
+        }
+    }
+
+    #[test]
+    fn update_errors_are_typed_and_leave_every_shard_unchanged() {
+        let world = random_world(9, 20, 6);
+        let mut sharded = ShardedWorld::from_world(world, 4).unwrap();
+        let before = sharded.shard_summaries();
+        let err = sharded
+            .apply(&UpdateOp::AppendPosition {
+                object: 777,
+                position: Point::ORIGIN,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownObject);
+        let err = sharded
+            .apply(&UpdateOp::InsertCandidate {
+                candidate: 0,
+                location: Point::ORIGIN,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DuplicateCandidate);
+        assert_eq!(sharded.shard_summaries(), before);
+        sharded.verify_against_static();
+    }
+
+    #[test]
+    fn empty_worlds_error_like_the_unsharded_path() {
+        let mut w = World::new(0.7);
+        w.apply(&UpdateOp::InsertCandidate {
+            candidate: 0,
+            location: Point::ORIGIN,
+        })
+        .unwrap();
+        let sharded = ShardedWorld::from_world(w, 4).unwrap();
+        let err = sharded.solve(Algorithm::PinocchioVo, 2).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Build);
+    }
+}

@@ -25,6 +25,15 @@
 //! always render through [`std::fmt::Display`] — the typed solver and
 //! builder errors convert via [`From`], so a `Debug` representation can
 //! never leak onto the wire.
+//!
+//! The protocol is **shard-transparent**: a server running an
+//! object-partitioned topology ([`ShardedWorld`](crate::ShardedWorld))
+//! answers every query identically to an unsharded one, bit for bit.
+//! The only shard-visible surface is the `stats` response, which
+//! additionally reports per-shard counters as
+//! `"shards":[{"shard":0,"objects":…,"candidates":…,"updates_routed":…},…]`
+//! (one entry per shard; the unsharded server reports the trivial
+//! 1-shard topology).
 
 use pinocchio_core::{Algorithm, BuildError, SolveError};
 use pinocchio_geo::Point;

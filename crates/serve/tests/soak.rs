@@ -190,8 +190,11 @@ fn verify(probe: Probe, response: &Value, reference: &World) {
     }
 }
 
-#[test]
-fn concurrent_readers_bit_match_every_epoch_and_shutdown_is_clean() {
+/// Runs the full soak at the given shard count. The mirror worlds are
+/// always **unsharded**, so every verified response is a bit-match of a
+/// sharded server answer against a from-scratch unsharded computation
+/// of its epoch.
+fn soak(shards: usize) {
     let mut rng = StdRng::seed_from_u64(0x50A4);
     let initial = seed_world(&mut rng);
     let candidate_ids = initial.candidate_ids();
@@ -203,6 +206,7 @@ fn concurrent_readers_bit_match_every_epoch_and_shutdown_is_clean() {
             batch_max: 8,
             workers: 3,
             solve_threads: 2,
+            shards,
             ..ServerConfig::default()
         },
     )
@@ -326,4 +330,14 @@ fn concurrent_readers_bit_match_every_epoch_and_shutdown_is_clean() {
         stats.accounted_lines(),
         "every received line must be accounted for exactly once: {stats:?}"
     );
+}
+
+#[test]
+fn concurrent_readers_bit_match_every_epoch_and_shutdown_is_clean() {
+    soak(1);
+}
+
+#[test]
+fn four_shard_server_bit_matches_unsharded_mirrors_every_epoch() {
+    soak(4);
 }

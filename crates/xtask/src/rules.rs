@@ -385,12 +385,18 @@ fn crate_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Per-crate accounting contracts: a column-0 `pub fn <prefix>…` is an
 /// entry point into an instrumented subsystem, and the file defining it
 /// must reference the crate's counter block.
-const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 2] = [
+const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 3] = [
     (
         "core",
         "pub fn solve",
         "SolveStats",
         "solver entry point in a file that never references `SolveStats`",
+    ),
+    (
+        "core",
+        "pub fn try_solve",
+        "SolveStats",
+        "fallible solver entry point in a file that never references `SolveStats`",
     ),
     (
         "serve",
@@ -404,28 +410,32 @@ fn stats_accounting(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !file.path.contains("/src/") {
         return;
     }
-    let Some((_, prefix, stats_type, message)) = ACCOUNTED_ENTRY_POINTS
+    // A crate can carry several contracts (e.g. `pub fn solve…` and the
+    // fallible `pub fn try_solve…` coordinator entry points); apply every
+    // one that matches the file's crate.
+    for (_, prefix, stats_type, message) in ACCOUNTED_ENTRY_POINTS
         .iter()
-        .find(|(krate, ..)| crate_of(&file.path) == Some(krate))
-    else {
-        return;
-    };
-    let references_stats = file.code_contains(stats_type);
-    for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test {
+        .filter(|(krate, ..)| crate_of(&file.path) == Some(krate))
+    {
+        if file.code_contains(stats_type) {
             continue;
         }
-        // A column-0 `pub fn solve…`/`pub fn serve…` is an entry point;
-        // methods are indented and dispatch to these.
-        if line.code.starts_with(prefix) && !references_stats {
-            out.push(
-                Diagnostic::deny("stats-accounting", &file.path, idx + 1, message.to_string())
-                    .with_suggestion(format!(
-                        "account the work in `{stats_type}` (see the accounting tests) so cost \
-                     experiments keep covering it",
-                    )),
-            );
-            return; // one diagnostic per file is enough
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            // A column-0 `pub fn solve…`/`pub fn serve…` is an entry point;
+            // methods are indented and dispatch to these.
+            if line.code.starts_with(prefix) {
+                out.push(
+                    Diagnostic::deny("stats-accounting", &file.path, idx + 1, message.to_string())
+                        .with_suggestion(format!(
+                            "account the work in `{stats_type}` (see the accounting tests) so \
+                             cost experiments keep covering it",
+                        )),
+                );
+                break; // one diagnostic per (file, contract) is enough
+            }
         }
     }
 }
@@ -527,6 +537,26 @@ mod tests {
         assert!(lint_as("crates/core/src/x.rs", method, "stats-accounting").is_empty());
         // Other crates are out of scope.
         assert!(lint_as("crates/eval/src/fast.rs", bad, "stats-accounting").is_empty());
+    }
+
+    #[test]
+    fn stats_accounting_covers_fallible_shard_coordinators() {
+        // `pub fn try_solve…` does not share the `pub fn solve` prefix, so
+        // this only trips if every matching contract is applied, not just
+        // the first one found for the crate.
+        let bad = "pub fn try_solve_sharded() -> u32 {\n    1\n}\n";
+        let d = lint_as("crates/core/src/shard.rs", bad, "stats-accounting");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("fallible"));
+        let good = "use crate::result::SolveStats;\npub fn try_solve_sharded() -> SolveStats {\n    SolveStats::default()\n}\n";
+        assert!(lint_as("crates/core/src/shard.rs", good, "stats-accounting").is_empty());
+        // A file violating both core contracts gets one diagnostic each.
+        let both =
+            "pub fn solve_all() -> u32 {\n    1\n}\npub fn try_solve_all() -> u32 {\n    2\n}\n";
+        assert_eq!(
+            lint_as("crates/core/src/shard.rs", both, "stats-accounting").len(),
+            2
+        );
     }
 
     #[test]

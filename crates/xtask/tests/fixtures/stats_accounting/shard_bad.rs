@@ -1,0 +1,10 @@
+//! Fixture: a fallible shard coordinator that ignores the counter block.
+//!
+//! Deliberately uses the `try_solve` prefix only — it must trip even
+//! though it never matches the older `pub fn solve` contract, proving
+//! the linter applies every accounting contract for the crate.
+
+/// Coordinates shard partials without merging any `SolveStats`.
+pub fn try_solve_sharded() -> u32 {
+    0
+}

@@ -1,0 +1,17 @@
+//! Fixture: a fallible shard coordinator wired into `SolveStats`.
+//!
+//! Mirrors the real coordinator's discipline: each shard worker returns
+//! its own counter block and the coordinator merges them with
+//! `AddAssign`, so the accounting identity (`accounted_pairs` equals
+//! the sum over shards) survives the merge.
+
+use crate::result::SolveStats;
+
+/// Coordinates shard partials and returns the merged counters.
+pub fn try_solve_sharded(partials: &[SolveStats]) -> SolveStats {
+    let mut merged = SolveStats::default();
+    for partial in partials {
+        merged += *partial;
+    }
+    merged
+}

@@ -160,6 +160,44 @@ fn stats_accounting_bad_trips_good_passes() {
 }
 
 #[test]
+fn stats_accounting_covers_shard_coordinator_entry_points() {
+    let bad = lint_fixture(
+        "sa-shard-bad",
+        "crates/core/src/fixture_shard.rs",
+        "stats_accounting/shard_bad.rs",
+    );
+    assert!(
+        rule_ids(&bad).contains(&"stats-accounting"),
+        "a fallible shard coordinator without SolveStats must trip: {bad:?}"
+    );
+    assert!(
+        bad.diagnostics
+            .iter()
+            .any(|d| d.rule == "stats-accounting" && d.message.contains("fallible")),
+        "the diagnostic must come from the `try_solve` contract: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "sa-shard-good",
+        "crates/core/src/fixture_shard.rs",
+        "stats_accounting/shard_good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+
+    // The shard fixture placed in serve is out of scope there: serve's
+    // contract is about `pub fn serve…`, not solver coordinators.
+    let cross = lint_fixture(
+        "sa-shard-scope",
+        "crates/serve/src/fixture_shard.rs",
+        "stats_accounting/shard_bad.rs",
+    );
+    assert!(
+        !rule_ids(&cross).contains(&"stats-accounting"),
+        "`pub fn try_solve…` in serve is not a serve entry point: {cross:?}"
+    );
+}
+
+#[test]
 fn stats_accounting_covers_serve_entry_points() {
     let bad = lint_fixture(
         "sa-serve-bad",

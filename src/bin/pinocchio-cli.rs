@@ -10,7 +10,7 @@
 //! pinocchio-cli generate --out DIR [--dataset ...] [--seed N]
 //! pinocchio-cli serve    [--dataset ...] [--tau T] [--candidates M] [--seed N]
 //!                        [--addr HOST:PORT] [--queue N] [--batch N]
-//!                        [--workers N] [--threads N]
+//!                        [--workers N] [--threads N] [--shards N]
 //! pinocchio-cli replay   [--dataset ...] [--tau T] [--candidates M] [--seed N]
 //!                        [--rounds N] [--every N]
 //! ```
@@ -39,7 +39,7 @@ fn usage() -> ExitCode {
          pinocchio-cli solve    [--dataset ...] [--algo na|pin|pin-vo|pin-vo*|pin-join] [--tau T] [--candidates M] [--seed N] [--top K] [--threads N]\n  \
          pinocchio-cli approx   [--dataset ...] [--tau T] [--candidates M] [--epsilon E] [--delta D] [--seed N]\n  \
          pinocchio-cli generate --out DIR [--dataset ...] [--seed N]\n  \
-         pinocchio-cli serve    [--dataset ...] [--tau T] [--candidates M] [--seed N] [--addr HOST:PORT] [--queue N] [--batch N] [--workers N] [--threads N]\n  \
+         pinocchio-cli serve    [--dataset ...] [--tau T] [--candidates M] [--seed N] [--addr HOST:PORT] [--queue N] [--batch N] [--workers N] [--threads N] [--shards N]\n  \
          pinocchio-cli replay   [--dataset ...] [--tau T] [--candidates M] [--seed N] [--rounds N] [--every N]"
     );
     ExitCode::from(2)
@@ -310,6 +310,7 @@ fn main() -> ExitCode {
                     batch_max: flag_or(&flags, "batch", 16usize)?,
                     workers: flag_or(&flags, "workers", 2usize)?,
                     solve_threads: flag_or(&flags, "threads", 2usize)?,
+                    shards: flag_or(&flags, "shards", 1usize)?,
                     ..ServerConfig::default()
                 };
                 Ok((tau, m, config))
@@ -331,9 +332,10 @@ fn main() -> ExitCode {
                 }
             };
             println!(
-                "serving {} objects x {} candidates at tau={tau}",
+                "serving {} objects x {} candidates at tau={tau} across {} shard(s)",
                 world.object_count(),
-                world.candidate_count()
+                world.candidate_count(),
+                config.shards
             );
             let handle = match serve(world, config) {
                 Ok(h) => h,
