@@ -881,6 +881,264 @@ fn run_sharded_scaling() -> serde_json::Value {
     })
 }
 
+/// Heat-map grid resolution for the offline descent-vs-naive race.
+const HEATMAP_RESOLUTION: u32 = 128;
+/// Acceptance floor: the quadtree descent must rasterise the grid at
+/// least this many times faster than per-tile dense evaluation.
+const HEATMAP_FLOOR: f64 = 5.0;
+/// Tiles requested by `top_region` probes.
+const HEATMAP_TOP_K: usize = 10;
+
+/// The PR 10 heat-map scenario, in two phases.
+///
+/// **Offline race**: one frozen problem, one grid. The quadtree descent
+/// (`try_heatmap`) against the naive dense grid — every tile centre
+/// evaluated against every object — at identical resolution. Gated on
+/// bit-exactness (every descent sample equals the naive count; every
+/// band contains it) and on the [`HEATMAP_FLOOR`] speedup, both
+/// asserted before a record is written. `try_top_region` rides along
+/// and must bit-match the dense grid's `(influence desc, index asc)`
+/// argmax.
+///
+/// **Wire phase**: the same world behind a live server; a client
+/// streams `heatmap` and `top_region` queries while a writer races
+/// position updates through the ingest path. Every streamed batch must
+/// be epoch-consistent with its terminal line and the offsets must
+/// tile the grid exactly.
+fn run_heatmap() -> serde_json::Value {
+    let (objects_n, resolution) = if is_small_scale() {
+        (160usize, 64u32)
+    } else {
+        (400usize, HEATMAP_RESOLUTION)
+    };
+    println!(
+        "heatmap: {objects_n} objects, {resolution}x{resolution} grid, \
+         frame {UPDATE_FRAME_KM} km, floor {HEATMAP_FLOOR}x"
+    );
+    let mut rng = StdRng::seed_from_u64(0x0EA7);
+    let objects: Vec<MovingObject> = (0..objects_n as u64)
+        .map(|id| {
+            let cx = rng.gen_range(0.0..UPDATE_FRAME_KM);
+            let cy = rng.gen_range(0.0..UPDATE_FRAME_KM);
+            let n = rng.gen_range(3..9);
+            let positions = (0..n)
+                .map(|_| Point::new(cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)))
+                .collect();
+            MovingObject::new(id, positions)
+        })
+        .collect();
+    let candidates: Vec<Point> = (0..8)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..UPDATE_FRAME_KM),
+                rng.gen_range(0.0..UPDATE_FRAME_KM),
+            )
+        })
+        .collect();
+    let problem = PrimeLs::builder()
+        .objects(objects.clone())
+        .candidates(candidates.clone())
+        .probability_function(PowerLawPf::paper_default())
+        .tau(defaults::TAU)
+        .build()
+        .expect("heat-map problem is well-formed");
+
+    // Descent: best of three, exactness re-checked on every trial.
+    let mut descent_secs = f64::INFINITY;
+    let mut heatmap = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let h = pinocchio_heatmap::try_heatmap(&problem, resolution, None).expect("heatmap");
+        descent_secs = descent_secs.min(started.elapsed().as_secs_f64());
+        heatmap = Some(h);
+    }
+    let heatmap = heatmap.expect("three trials ran");
+    let n_tiles = heatmap.tiles.len();
+
+    // Naive dense grid: the same centres (taken from the descent's own
+    // geometry, so the comparison is centre-for-centre), every object
+    // evaluated per centre.
+    let naive_started = Instant::now();
+    let mut naive = vec![0u32; n_tiles];
+    {
+        let mut eval = problem.pair_eval();
+        let mut scratch = pinocchio_core::SolveStats::default();
+        for (idx, slot) in naive.iter_mut().enumerate() {
+            let center = heatmap.tile_center(idx);
+            for object in 0..problem.objects().len() {
+                if eval.influences(&center, object, true, &mut scratch) {
+                    *slot += 1;
+                }
+            }
+        }
+    }
+    let naive_secs = naive_started.elapsed().as_secs_f64();
+
+    // Exactness gates: samples are the ground truth, bands contain it.
+    for (idx, (tile, &exact)) in heatmap.tiles.iter().zip(&naive).enumerate() {
+        assert_eq!(tile.sample, exact, "descent sample diverged at tile {idx}");
+        assert!(
+            tile.lo <= exact && exact <= tile.hi,
+            "band [{}, {}] misses the exact count {exact} at tile {idx}",
+            tile.lo,
+            tile.hi
+        );
+    }
+    let speedup = naive_secs / descent_secs;
+    let refined = heatmap.stats.cells_refined;
+    println!(
+        "  descent {} vs naive {} = {speedup:.1}x, {refined} ambiguous tiles of {n_tiles} \
+         ({} IA cells, {} NIB cells)",
+        fmt_secs(descent_secs),
+        fmt_secs(naive_secs),
+        heatmap.stats.cells_resolved_ia,
+        heatmap.stats.cells_resolved_nib,
+    );
+
+    // top_region must bit-match the dense grid's argmax.
+    let top_started = Instant::now();
+    let region = pinocchio_heatmap::try_top_region(&problem, HEATMAP_TOP_K, resolution, None)
+        .expect("top_region");
+    let top_region_secs = top_started.elapsed().as_secs_f64();
+    let mut ranked: Vec<(usize, u32)> = naive.iter().copied().enumerate().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(HEATMAP_TOP_K);
+    assert_eq!(region.cells.len(), ranked.len());
+    for (cell, (tile, influence)) in region.cells.iter().zip(ranked) {
+        assert_eq!(cell.tile, tile, "top_region picked a different tile");
+        assert_eq!(cell.influence, influence);
+    }
+    println!(
+        "  top_region k={HEATMAP_TOP_K}: {} ({} pairs validated)",
+        fmt_secs(top_region_secs),
+        region.stats.validated_pairs,
+    );
+
+    // The acceptance gate, before any record is written.
+    assert!(
+        speedup >= HEATMAP_FLOOR,
+        "quadtree descent must be >= {HEATMAP_FLOOR}x faster than the dense grid, \
+         got {speedup:.2}x ({descent_secs:.4}s vs {naive_secs:.4}s)"
+    );
+
+    // Wire phase: streamed tiles racing live updates.
+    let world = World::from_parts(objects, candidates, defaults::TAU).expect("world");
+    let object_ids = world.object_ids();
+    let handle = serve(
+        world,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let wire_updates = 50usize;
+    let writer = {
+        let mut rng = StdRng::seed_from_u64(0x0EA8);
+        let mut client = Client::connect(addr);
+        thread::spawn(move || {
+            for _ in 0..wire_updates {
+                let object = object_ids[rng.gen_range(0..object_ids.len())];
+                let ack = client.round_trip(&format!(
+                    r#"{{"v":1,"op":"append_position","object":{object},"x":{},"y":{}}}"#,
+                    rng.gen_range(0.0..UPDATE_FRAME_KM),
+                    rng.gen_range(0.0..UPDATE_FRAME_KM),
+                ));
+                assert_eq!(ack.get("applied").and_then(Value::as_bool), Some(true));
+            }
+        })
+    };
+    let wire_queries = 24usize;
+    let wire_resolution = 64u32;
+    let wire_started = Instant::now();
+    let mut tiles_streamed = 0u64;
+    {
+        let mut client = Client::connect(addr);
+        for q in 0..wire_queries {
+            if q % 2 == 0 {
+                writeln!(
+                    client.stream,
+                    r#"{{"v":1,"id":{q},"op":"heatmap","resolution":{wire_resolution}}}"#
+                )
+                .expect("send");
+                let mut offset = 0u64;
+                loop {
+                    let mut line = String::new();
+                    // pinocchio-lint: allow(bounded-io) -- in-process harness reading its own server's length-bounded response lines
+                    client.reader.read_line(&mut line).expect("recv");
+                    let v: Value = serde_json::from_str(line.trim_end()).expect("batch is JSON");
+                    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+                    assert_eq!(uint(&v, "id"), q as u64, "id echoed on every line");
+                    if v.get("done").and_then(Value::as_bool) == Some(true) {
+                        assert_eq!(uint(&v, "tiles_total"), offset, "stream tiled the grid");
+                        assert_eq!(
+                            offset,
+                            u64::from(wire_resolution) * u64::from(wire_resolution)
+                        );
+                        break;
+                    }
+                    assert_eq!(uint(&v, "offset"), offset, "batches arrive in order");
+                    let batch = v.get("tiles").and_then(Value::as_array).expect("tiles");
+                    offset += batch.len() as u64;
+                    tiles_streamed += batch.len() as u64;
+                }
+            } else {
+                let v = client.round_trip(&format!(
+                    r#"{{"v":1,"op":"top_region","k":{HEATMAP_TOP_K},"resolution":{wire_resolution}}}"#
+                ));
+                assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+                let cells = v.get("cells").and_then(Value::as_array).expect("cells");
+                assert_eq!(cells.len(), HEATMAP_TOP_K);
+            }
+        }
+        writer.join().expect("writer thread");
+        let ack = client.round_trip(r#"{"v":1,"op":"shutdown"}"#);
+        assert_eq!(ack.get("draining").and_then(Value::as_bool), Some(true));
+    }
+    let wire_secs = wire_started.elapsed().as_secs_f64();
+    let stats = handle.join();
+    assert_eq!(stats.queries_heatmap, (wire_queries / 2) as u64);
+    assert_eq!(stats.queries_top_region, (wire_queries / 2) as u64);
+    assert_eq!(stats.updates_applied, wire_updates as u64);
+    assert_eq!(
+        stats.lines_received,
+        stats.accounted_lines(),
+        "accounting identity violated: {stats:?}"
+    );
+    println!(
+        "  wire: {wire_queries} queries ({tiles_streamed} tiles streamed) racing \
+         {wire_updates} updates in {}",
+        fmt_secs(wire_secs),
+    );
+
+    serde_json::json!({
+        "objects": objects_n,
+        "frame_km": UPDATE_FRAME_KM,
+        "resolution": resolution,
+        "tiles": n_tiles,
+        "descent_seconds": descent_secs,
+        "naive_seconds": naive_secs,
+        "speedup": speedup,
+        "speedup_floor": HEATMAP_FLOOR,
+        "cells_resolved_ia": heatmap.stats.cells_resolved_ia,
+        "cells_resolved_nib": heatmap.stats.cells_resolved_nib,
+        "cells_refined": refined,
+        "validated_pairs": heatmap.stats.validated_pairs,
+        "top_region_k": HEATMAP_TOP_K,
+        "top_region_seconds": top_region_secs,
+        "wire": {
+            "queries": wire_queries,
+            "resolution": wire_resolution,
+            "tiles_streamed": tiles_streamed,
+            "updates": wire_updates,
+            "seconds": wire_secs,
+            "stats": stats.to_json(),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    })
+}
+
 fn main() {
     let d = dataset(DatasetKind::Foursquare);
     let m = CANDIDATES.min(d.venues().len());
@@ -946,5 +1204,21 @@ fn main() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json");
     let body = serde_json::to_string_pretty(&record).expect("serialisable record");
     std::fs::write(&root, body + "\n").expect("can write BENCH_PR9.json");
+    println!("[record written to {}]", root.display());
+
+    // The PR 10 heat-map scenario: quadtree descent vs the naive dense
+    // grid (exactness-gated, 5x floor) plus streamed tiles over the
+    // wire racing live updates.
+    let heatmap = run_heatmap();
+    let record = serde_json::json!({
+        "id": "load_gen_pr10",
+        "scale": if is_small_scale() { "small" } else { "full" },
+        "tau": defaults::TAU,
+        "heatmap": heatmap,
+    });
+    write_record("load_gen_pr10", &record);
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialisable record");
+    std::fs::write(&root, body + "\n").expect("can write BENCH_PR10.json");
     println!("[record written to {}]", root.display());
 }

@@ -112,6 +112,22 @@ pub struct SolveStats {
     /// already counted in `validated_pairs` — this counter only measures
     /// how often the band was too tight, not extra pairs.
     pub log_band_fallbacks: u64,
+    /// Heat-map quadtree cells whose descent terminated fully resolved
+    /// with at least one cell-level IA verdict (`lo == hi > 0`): the
+    /// influence count is constant over the whole cell and no position
+    /// was ever touched (heat-map descent only; zero elsewhere). The
+    /// three `cells_*` counters partition the terminal cells of a
+    /// descent, so `Σ span² over cells_resolved_ia +
+    /// cells_resolved_nib + cells_refined = resolution²` — the
+    /// tile-coverage accounting identity.
+    pub cells_resolved_ia: u64,
+    /// Heat-map cells resolved with every object excluded
+    /// (`lo == hi == 0`) — the cell-level NIB analogue.
+    pub cells_resolved_nib: u64,
+    /// Heat-map leaf cells (single tiles) that stayed ambiguous and
+    /// were refined by exact evaluation at the tile's sample point;
+    /// those evaluations land in `validated_pairs` as usual.
+    pub cells_refined: u64,
 }
 
 impl std::ops::AddAssign for SolveStats {
@@ -133,6 +149,9 @@ impl std::ops::AddAssign for SolveStats {
         self.subtrees_pruned_nib += rhs.subtrees_pruned_nib;
         self.join_nodes_visited += rhs.join_nodes_visited;
         self.log_band_fallbacks += rhs.log_band_fallbacks;
+        self.cells_resolved_ia += rhs.cells_resolved_ia;
+        self.cells_resolved_nib += rhs.cells_resolved_nib;
+        self.cells_refined += rhs.cells_refined;
     }
 }
 
@@ -308,6 +327,9 @@ mod tests {
             subtrees_pruned_nib: 12,
             join_nodes_visited: 13,
             log_band_fallbacks: 14,
+            cells_resolved_ia: 15,
+            cells_resolved_nib: 16,
+            cells_refined: 17,
         };
         let mut merged = a;
         merged += a;
@@ -328,6 +350,9 @@ mod tests {
                 subtrees_pruned_nib: 24,
                 join_nodes_visited: 26,
                 log_band_fallbacks: 28,
+                cells_resolved_ia: 30,
+                cells_resolved_nib: 32,
+                cells_refined: 34,
             }
         );
         assert_eq!(merged.accounted_pairs(), 2 + 4 + 6 + 14);

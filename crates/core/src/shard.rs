@@ -846,6 +846,9 @@ mod tests {
             subtrees_pruned_nib: base + 12,
             join_nodes_visited: base + 13,
             log_band_fallbacks: base + 14,
+            cells_resolved_ia: base + 15,
+            cells_resolved_nib: base + 16,
+            cells_refined: base + 17,
         };
         for n in [2usize, 4, 8] {
             // One empty-shard partial, one carrying 10x the load of the

@@ -258,6 +258,34 @@ impl Mbr {
         dx * dx + dy * dy
     }
 
+    /// Squared `maxDist` between two rectangles: the largest possible
+    /// distance between any point of `self` and any point of `other`,
+    /// realised at a corner pair.
+    ///
+    /// Per axis the supremum of `|p − q|` over the two projected
+    /// intervals `A = [lo, hi]` and `B = [lo', hi']` is
+    /// `max(A.hi − B.lo, B.hi − A.lo)` — stretch right-of-`self`
+    /// against left-of-`other` and vice versa; for valid intervals the
+    /// two terms sum to `width(A) + width(B) ≥ 0`, so the max is never
+    /// negative.
+    ///
+    /// **Containment monotonicity.** Shrinking either rectangle can
+    /// only shrink the supremum, so for `A ⊆ B`:
+    /// `maxDistSq(A, Q) ≤ maxDistSq(B, Q)` — the same monotonicity as
+    /// [`Mbr::max_dist_sq`], which this generalises (a degenerate
+    /// `other` reproduces the point form exactly). This is what makes
+    /// it sound as a cell-level IA test: a cell rectangle contains
+    /// every query point inside it and a node MBR contains every
+    /// object MBR below it, so `maxDistSq(cell, node) ≤ μ²` implies
+    /// `maxDist(c, obj) ≤ μ` for every point `c` of the cell and every
+    /// object in the subtree (Theorem 1 lifted to cell × subtree).
+    #[inline]
+    pub fn max_dist_sq_mbr(&self, other: &Mbr) -> f64 {
+        let dx = (self.hi.x - other.lo.x).max(other.hi.x - self.lo.x);
+        let dy = (self.hi.y - other.lo.y).max(other.hi.y - self.lo.y);
+        dx * dx + dy * dy
+    }
+
     /// The MBR inflated by `r` on every side (the Minkowski sum with an
     /// axis-aligned square of half-width `r`). This is the rectangular
     /// over-approximation of the non-influence boundary that Algorithm 1
@@ -458,6 +486,53 @@ mod tests {
         let inner = Mbr::new(Point::new(7.5, 6.5), Point::new(8.0, 8.0));
         assert!(far.contains_mbr(&inner));
         assert!(a.min_dist_sq_mbr(&far) <= a.min_dist_sq_mbr(&inner));
+    }
+
+    #[test]
+    fn mbr_to_mbr_max_dist() {
+        let a = rect(); // (0,0)..(4,2)
+                        // Against itself: the diagonal.
+        assert_eq!(a.max_dist_sq_mbr(&a), 16.0 + 4.0);
+        // Separated along x: far corners (0,0)..(8,3).
+        assert_eq!(
+            a.max_dist_sq_mbr(&Mbr::new(Point::new(7.0, 1.0), Point::new(8.0, 3.0))),
+            64.0 + 9.0
+        );
+        // Symmetric.
+        let far = Mbr::new(Point::new(7.0, 6.0), Point::new(9.0, 9.0));
+        assert_eq!(far.max_dist_sq_mbr(&a), a.max_dist_sq_mbr(&far));
+        // The supremum over all corner pairs is exactly the helper.
+        for other in [
+            far,
+            Mbr::new(Point::new(-3.0, -1.0), Point::new(1.0, 0.5)),
+            Mbr::new(Point::new(1.0, 0.5), Point::new(2.0, 1.5)), // nested
+        ] {
+            let brute = a
+                .corners()
+                .iter()
+                .flat_map(|p| other.corners().map(|q| p.euclidean(&q)))
+                .fold(0.0_f64, f64::max);
+            let got = a.max_dist_sq_mbr(&other).sqrt();
+            assert!((got - brute).abs() < 1e-12, "{other:?}");
+        }
+        // Degenerate `other` reproduces the point metric bit-for-bit.
+        for p in [
+            Point::new(7.0, 6.0),
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 0.5),
+        ] {
+            assert_eq!(
+                a.max_dist_sq_mbr(&Mbr::from_point(p)).to_bits(),
+                a.max_dist_sq(&p).to_bits()
+            );
+        }
+        // Monotone under containment of either side.
+        let inner = Mbr::new(Point::new(7.5, 6.5), Point::new(8.0, 8.0));
+        assert!(far.contains_mbr(&inner));
+        assert!(a.max_dist_sq_mbr(&inner) <= a.max_dist_sq_mbr(&far));
+        let small = Mbr::new(Point::new(1.0, 0.5), Point::new(2.0, 1.5));
+        assert!(a.contains_mbr(&small));
+        assert!(small.max_dist_sq_mbr(&far) <= a.max_dist_sq_mbr(&far));
     }
 
     #[test]

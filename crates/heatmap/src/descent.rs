@@ -1,0 +1,467 @@
+//! The quadtree descent engine behind [`try_heatmap`] and
+//! [`try_top_region`].
+//!
+//! Cells are addressed in integer tile coordinates `(tx, ty, span)`
+//! with `span` a power of two: the cell covers tiles
+//! `[tx, tx + span) × [ty, ty + span)`. Cell rectangle edges are
+//! always computed from the same integer formula
+//! `frame.lo + frame.extent · t / resolution`, so a parent's boundary
+//! bit-matches its children's and the union of terminal cells tiles
+//! the frame exactly.
+//!
+//! [`try_heatmap`]: crate::try_heatmap
+//! [`try_top_region`]: crate::try_top_region
+
+use crate::Tile;
+use pinocchio_core::{PrimeLs, SolveStats};
+use pinocchio_geo::{Mbr, Point};
+use pinocchio_index::{CellEntry, CellScratch, JoinTraversal, MbrTree};
+use pinocchio_prob::ProbabilityFunction;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Cells at depth `<=` this run a fresh [`MbrTree::cell_join`] (full
+/// tree walk with subtree-level bulk verdicts); deeper cells refine
+/// their parent's ambiguous frontier entry-by-entry. Shallow cells are
+/// few and huge, so re-walking the tree there buys whole-subtree NIB
+/// eliminations that per-entry refinement cannot express; past depth 2
+/// the frontier is already local and refinement is cheaper than a
+/// walk.
+const FRESH_JOIN_DEPTH: u32 = 2;
+
+/// Uniform `resolution × resolution` tile geometry over `frame`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Grid {
+    /// The rasterised window.
+    pub frame: Mbr,
+    /// Tiles per axis (power of two).
+    pub res: u32,
+}
+
+impl Grid {
+    pub(crate) fn new(frame: Mbr, res: u32) -> Self {
+        Grid { frame, res }
+    }
+
+    #[inline]
+    fn gx(&self, t: u32) -> f64 {
+        self.frame.lo().x + self.frame.width() * f64::from(t) / f64::from(self.res)
+    }
+
+    #[inline]
+    fn gy(&self, t: u32) -> f64 {
+        self.frame.lo().y + self.frame.height() * f64::from(t) / f64::from(self.res)
+    }
+
+    /// The rectangle of the cell spanning tiles
+    /// `[tx, tx + span) × [ty, ty + span)`.
+    #[inline]
+    pub(crate) fn rect(&self, tx: u32, ty: u32, span: u32) -> Mbr {
+        Mbr::new(
+            Point::new(self.gx(tx), self.gy(ty)),
+            Point::new(self.gx(tx + span), self.gy(ty + span)),
+        )
+    }
+
+    /// The centre of tile `(tx, ty)` — the refinement sample point.
+    #[inline]
+    pub(crate) fn center(&self, tx: u32, ty: u32) -> Point {
+        self.rect(tx, ty, 1).center()
+    }
+
+    #[inline]
+    fn index(&self, tx: u32, ty: u32) -> u32 {
+        ty * self.res + tx
+    }
+
+    #[inline]
+    fn center_of_index(&self, index: u32) -> Point {
+        self.center(index % self.res, index / self.res)
+    }
+}
+
+fn add_traversal(stats: &mut SolveStats, t: JoinTraversal) {
+    stats.join_nodes_visited += t.nodes_visited;
+    stats.subtrees_pruned_ia += t.subtrees_ia;
+    stats.subtrees_pruned_nib += t.subtrees_nib;
+}
+
+/// Computes the full tile grid. Returns row-major tiles plus stats.
+pub(crate) fn run_heatmap<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    grid: Grid,
+) -> (Vec<Tile>, SolveStats) {
+    let tree = problem.object_tree();
+    let n_tiles = grid.res as usize * grid.res as usize;
+    let mut tiles = vec![Tile::default(); n_tiles];
+    let mut stats = SolveStats {
+        uninfluenceable_objects: (problem.objects().len() - tree.len()) as u64,
+        ..SolveStats::default()
+    };
+
+    let mut scratch = CellScratch::default();
+    let mut root_frontier: Vec<CellEntry> = Vec::new();
+    let root_rect = grid.rect(0, 0, grid.res);
+    let join = tree.cell_join(&root_rect, &mut root_frontier, &mut scratch);
+    add_traversal(&mut stats, join.traversal);
+
+    // One reusable frontier buffer per quadtree level below the root.
+    let depth_cap = grid.res.trailing_zeros() as usize;
+    let mut bufs: Vec<Vec<CellEntry>> = (0..depth_cap).map(|_| Vec::new()).collect();
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    descend(
+        tree,
+        &grid,
+        &mut scratch,
+        CellAddr {
+            tx: 0,
+            ty: 0,
+            span: grid.res,
+            depth: 0,
+        },
+        join.all,
+        &root_frontier,
+        &mut bufs,
+        &mut tiles,
+        &mut pending,
+        &mut stats,
+    );
+    refine_samples(problem, &grid, &mut tiles, &mut pending, &mut stats);
+    (tiles, stats)
+}
+
+/// A cell's integer address in the quadtree.
+#[derive(Debug, Clone, Copy)]
+struct CellAddr {
+    tx: u32,
+    ty: u32,
+    span: u32,
+    depth: u32,
+}
+
+/// The recursive descent: resolve, refine-and-record, or split.
+///
+/// `all` is the number of objects already proven influenced from
+/// every point of this cell; `frontier` holds the still-ambiguous
+/// leaf entries. `bufs` provides one scratch frontier per level below
+/// `addr.depth`, so the whole descent allocates nothing after its
+/// buffers warm up.
+// pinocchio-hot: quadtree descent — per-cell verdicts, no position touched
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    tree: &MbrTree<usize>,
+    grid: &Grid,
+    scratch: &mut CellScratch,
+    addr: CellAddr,
+    all: u64,
+    frontier: &[CellEntry],
+    bufs: &mut [Vec<CellEntry>],
+    tiles: &mut [Tile],
+    pending: &mut Vec<(usize, u32)>,
+    stats: &mut SolveStats,
+) {
+    if frontier.is_empty() {
+        // Resolved: `all` is exact at every point of the cell.
+        // pinocchio-lint: allow(cast-truncation) -- `all` counts in-memory influenceable objects, which fits u32
+        let v = all as u32;
+        let t = Tile {
+            lo: v,
+            hi: v,
+            sample: v,
+        };
+        for ty in addr.ty..addr.ty + addr.span {
+            let row = grid.index(addr.tx, ty) as usize;
+            for slot in &mut tiles[row..row + addr.span as usize] {
+                *slot = t;
+            }
+        }
+        if all > 0 {
+            stats.cells_resolved_ia += 1;
+        } else {
+            stats.cells_resolved_nib += 1;
+        }
+        return;
+    }
+    if addr.span == 1 {
+        // Ambiguous single tile: band from the verdicts, exact centre
+        // sample owed by the refinement pass.
+        let idx = grid.index(addr.tx, addr.ty);
+        // pinocchio-lint: allow(cast-truncation) -- object counts fit u32
+        let lo = all as u32;
+        tiles[idx as usize] = Tile {
+            lo,
+            // pinocchio-lint: allow(cast-truncation) -- the frontier holds at most one entry per in-memory object
+            hi: lo + frontier.len() as u32,
+            sample: lo,
+        };
+        for &ce in frontier {
+            pending.push((*tree.cell_entry_payload(ce), idx));
+        }
+        stats.cells_refined += 1;
+        return;
+    }
+    let half = addr.span / 2;
+    let Some((child_buf, rest)) = bufs.split_first_mut() else {
+        return; // unreachable: bufs is sized to the tree depth
+    };
+    for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+        let child = CellAddr {
+            tx: addr.tx + dx * half,
+            ty: addr.ty + dy * half,
+            span: half,
+            depth: addr.depth + 1,
+        };
+        let rect = grid.rect(child.tx, child.ty, half);
+        child_buf.clear();
+        let child_all = if child.depth <= FRESH_JOIN_DEPTH {
+            let j = tree.cell_join(&rect, child_buf, scratch);
+            add_traversal(stats, j.traversal);
+            j.all
+        } else {
+            all + tree.cell_join_refine(&rect, frontier, child_buf).all
+        };
+        descend(
+            tree, grid, scratch, child, child_all, child_buf, rest, tiles, pending, stats,
+        );
+    }
+}
+
+/// Settles the exact centre count of every ambiguous tile.
+///
+/// `pending` holds the `(object, tile)` pairs the descent could not
+/// decide. Inverting to object-major order lets each object's tiles go
+/// through [`PairEval::influences_tile`] in kernel-width chunks, so the
+/// log-domain kernel validates up to 32 tile centres per pass.
+fn refine_samples<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    grid: &Grid,
+    tiles: &mut [Tile],
+    pending: &mut [(usize, u32)],
+    stats: &mut SolveStats,
+) {
+    pending.sort_unstable();
+    let mut eval = problem.pair_eval();
+    let width = eval.tile_width().max(1);
+    let mut centers: Vec<Point> = Vec::with_capacity(width);
+    let mut i = 0;
+    while i < pending.len() {
+        let object = pending[i].0;
+        let mut j = i;
+        while j < pending.len() && pending[j].0 == object {
+            j += 1;
+        }
+        for chunk in pending[i..j].chunks(width) {
+            centers.clear();
+            centers.extend(chunk.iter().map(|&(_, t)| grid.center_of_index(t)));
+            let mask = eval.influences_tile(&centers, object, true, stats);
+            for (bit, &(_, t)) in chunk.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    tiles[t as usize].sample += 1;
+                }
+            }
+        }
+        i = j;
+    }
+}
+
+/// An open (still-ambiguous) cell in the branch-and-bound frontier.
+///
+/// Ordered so the [`BinaryHeap`] pops the cell with the largest upper
+/// bound first, ties broken towards the smallest first tile index —
+/// the same direction as the result ordering.
+#[derive(Debug)]
+struct Open {
+    hi: u64,
+    first_index: u64,
+    all: u64,
+    addr: CellAddr,
+    frontier: Vec<CellEntry>,
+}
+
+impl PartialEq for Open {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Open {}
+impl PartialOrd for Open {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Open {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.hi
+            .cmp(&other.hi)
+            .then_with(|| other.first_index.cmp(&self.first_index))
+    }
+}
+
+/// The bounded selection of exact tiles seen so far: at most `k`
+/// entries, kept sorted by `(influence desc, index asc)`.
+struct Pool {
+    k: usize,
+    best: Vec<(u32, u32)>, // (influence, tile index)
+}
+
+impl Pool {
+    fn new(k: usize) -> Self {
+        Pool {
+            k,
+            best: Vec::new(),
+        }
+    }
+
+    /// The current `k`-th best influence, once `k` tiles are known.
+    fn threshold(&self) -> Option<u32> {
+        if self.best.len() == self.k {
+            Some(self.best[self.k - 1].0)
+        } else {
+            None
+        }
+    }
+
+    fn offer(&mut self, influence: u32, index: u32) {
+        self.best.push((influence, index));
+        self.best
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.best.truncate(self.k);
+    }
+
+    /// Offers a resolved cell: every tile of the `span × span` block
+    /// has exact influence `v`. Only the block's `k` smallest row-major
+    /// indices can matter (any further tile is dominated by `k`
+    /// equal-influence, smaller-index tiles from the same block).
+    fn offer_block(&mut self, grid: &Grid, v: u32, addr: CellAddr) {
+        let mut left = self.k;
+        'rows: for ty in addr.ty..addr.ty + addr.span {
+            for tx in addr.tx..addr.tx + addr.span {
+                if left == 0 {
+                    break 'rows;
+                }
+                self.offer(v, grid.index(tx, ty));
+                left -= 1;
+            }
+        }
+    }
+}
+
+/// Branch-and-bound top-`k` tiles by exact centre influence.
+pub(crate) fn run_top_region<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    grid: Grid,
+    k: usize,
+) -> (Vec<crate::RegionCell>, SolveStats) {
+    let tree = problem.object_tree();
+    let mut stats = SolveStats {
+        uninfluenceable_objects: (problem.objects().len() - tree.len()) as u64,
+        ..SolveStats::default()
+    };
+    let mut eval = problem.pair_eval();
+    let mut scratch = CellScratch::default();
+    let mut pool = Pool::new(k.min(grid.res as usize * grid.res as usize));
+
+    let mut heap: BinaryHeap<Open> = BinaryHeap::new();
+    let root = CellAddr {
+        tx: 0,
+        ty: 0,
+        span: grid.res,
+        depth: 0,
+    };
+    let mut root_frontier = Vec::new();
+    let join = tree.cell_join(&grid.rect(0, 0, grid.res), &mut root_frontier, &mut scratch);
+    add_traversal(&mut stats, join.traversal);
+    if root_frontier.is_empty() {
+        // pinocchio-lint: allow(cast-truncation) -- object counts fit u32
+        let v = join.all as u32;
+        if join.all > 0 {
+            stats.cells_resolved_ia += 1;
+        } else {
+            stats.cells_resolved_nib += 1;
+        }
+        pool.offer_block(&grid, v, root);
+    } else {
+        heap.push(Open {
+            hi: join.all + root_frontier.len() as u64,
+            first_index: 0,
+            all: join.all,
+            addr: root,
+            frontier: root_frontier,
+        });
+    }
+
+    while let Some(top) = heap.pop() {
+        if let Some(t) = pool.threshold() {
+            // Strictly below the k-th best: nothing under this cell
+            // (or any other open cell — the heap is hi-ordered) can
+            // enter the answer. Ties must still be expanded: an
+            // equal-influence tile with a smaller index wins.
+            if top.hi < u64::from(t) {
+                break;
+            }
+        }
+        if top.addr.span == 1 {
+            let idx = grid.index(top.addr.tx, top.addr.ty);
+            let center = grid.center_of_index(idx);
+            // pinocchio-lint: allow(cast-truncation) -- object counts fit u32
+            let mut v = top.all as u32;
+            for &ce in &top.frontier {
+                if eval.influences(&center, *tree.cell_entry_payload(ce), true, &mut stats) {
+                    v += 1;
+                }
+            }
+            stats.cells_refined += 1;
+            pool.offer(v, idx);
+            continue;
+        }
+        let half = top.addr.span / 2;
+        for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let child = CellAddr {
+                tx: top.addr.tx + dx * half,
+                ty: top.addr.ty + dy * half,
+                span: half,
+                depth: top.addr.depth + 1,
+            };
+            let rect = grid.rect(child.tx, child.ty, half);
+            let mut frontier = Vec::new();
+            let child_all = if child.depth <= FRESH_JOIN_DEPTH {
+                let j = tree.cell_join(&rect, &mut frontier, &mut scratch);
+                add_traversal(&mut stats, j.traversal);
+                j.all
+            } else {
+                top.all
+                    + tree
+                        .cell_join_refine(&rect, &top.frontier, &mut frontier)
+                        .all
+            };
+            if frontier.is_empty() {
+                if child_all > 0 {
+                    stats.cells_resolved_ia += 1;
+                } else {
+                    stats.cells_resolved_nib += 1;
+                }
+                // pinocchio-lint: allow(cast-truncation) -- object counts fit u32
+                pool.offer_block(&grid, child_all as u32, child);
+            } else {
+                heap.push(Open {
+                    hi: child_all + frontier.len() as u64,
+                    first_index: u64::from(grid.index(child.tx, child.ty)),
+                    all: child_all,
+                    addr: child,
+                    frontier,
+                });
+            }
+        }
+    }
+
+    let cells = pool
+        .best
+        .iter()
+        .map(|&(influence, index)| crate::RegionCell {
+            tile: index as usize,
+            center: grid.center_of_index(index),
+            influence,
+        })
+        .collect();
+    (cells, stats)
+}

@@ -1,0 +1,360 @@
+//! Influence heat maps: adaptive quadtree region queries over the frame.
+//!
+//! PINOCCHIO's point queries answer "how influential is *this*
+//! candidate?". This crate answers the region-level question planners
+//! actually start from: *where in the city is influence high at all?*
+//! A heat map partitions the frame into a `resolution × resolution`
+//! tile grid and reports, per tile, a sound band `[lo, hi]` on the
+//! influence count `inf(p) = |{O : Pr_p(O) ≥ τ}|` that holds for
+//! **every** point `p` of the tile, plus the exact count at the tile
+//! centre.
+//!
+//! # How the descent works
+//!
+//! Evaluating `inf` densely is `O(resolution² · |O| · positions)`.
+//! Instead we descend a quadtree over the frame and decide whole
+//! (cell, object-subtree) pairs at once using the μ-banded aggregates
+//! of [`MbrTree`]: rect-to-rect distance bounds against a subtree's
+//! `mbr`/`nib_mbr` plus its `[min_mu, max_mu]` band give `O(1)`
+//! ALL / NONE verdicts (the paper's Theorems 1–2 lifted from points to
+//! cells; see `DESIGN.md` §17). Verdicts are monotone under cell
+//! containment, so a cell whose frontier of undecided objects empties
+//! resolves to an exact, constant influence count over its whole area
+//! without ever touching a position sample — only ambiguous cells
+//! split. Single-tile cells that stay ambiguous get their centre
+//! refined exactly through the evaluation kernel
+//! ([`PairEval::influences_tile`]), batched per object in
+//! kernel-tile-width chunks.
+//!
+//! Two entry points:
+//!
+//! * [`try_heatmap`] — the full tile grid of influence bands,
+//! * [`try_top_region`] — the `k` highest-influence tiles by exact
+//!   centre count, found branch-and-bound without materialising the
+//!   grid (pruned by per-cell upper bounds; exact, with deterministic
+//!   `(count desc, tile index asc)` tie-breaking).
+//!
+//! Work is accounted in [`SolveStats`]: `cells_resolved_ia` /
+//! `cells_resolved_nib` / `cells_refined` count terminal cells (for a
+//! full heat map Σ span² over terminal cells = resolution²), the join
+//! traversal counters cover tree walks, and every exact centre
+//! evaluation is a `validated_pairs` increment.
+//!
+//! [`PairEval::influences_tile`]: pinocchio_core::PairEval::influences_tile
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod descent;
+
+use pinocchio_core::{PrimeLs, SolveStats};
+use pinocchio_geo::{Mbr, Point};
+use pinocchio_prob::ProbabilityFunction;
+use std::fmt;
+
+pub(crate) use descent::Grid;
+
+/// Largest accepted `resolution` (tiles per axis). `2048²` tiles is
+/// ~50 MiB of [`Tile`]s — past that a heat map stops being a wire
+/// answer and starts being a raster export.
+pub const MAX_RESOLUTION: u32 = 2048;
+
+/// One tile of a heat map.
+///
+/// `lo ≤ inf(p) ≤ hi` holds for **every** point `p` of the tile
+/// (sound band from cell verdicts alone); `sample` is the **exact**
+/// influence count at the tile centre, so `lo ≤ sample ≤ hi` always.
+/// For tiles whose cell resolved during the descent the three values
+/// coincide and the band is exact everywhere, not just at the centre.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tile {
+    /// Lower bound on `inf(p)` over the whole tile.
+    pub lo: u32,
+    /// Upper bound on `inf(p)` over the whole tile.
+    pub hi: u32,
+    /// Exact influence count at the tile centre.
+    pub sample: u32,
+}
+
+/// A full influence heat map: `resolution²` tiles in row-major order
+/// (tile `(tx, ty)` at index `ty * resolution + tx`, `x` fastest).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// The queried frame; tiles partition it uniformly.
+    pub frame: Mbr,
+    /// Tiles per axis (power of two).
+    pub resolution: u32,
+    /// Row-major tile grid, `resolution²` entries.
+    pub tiles: Vec<Tile>,
+    /// Work accounting for the descent and its refinements.
+    pub stats: SolveStats,
+}
+
+impl Heatmap {
+    /// The tile at grid coordinates `(tx, ty)`.
+    ///
+    /// # Panics
+    /// Panics if either coordinate is `>= resolution`.
+    pub fn tile(&self, tx: u32, ty: u32) -> Tile {
+        assert!(tx < self.resolution && ty < self.resolution);
+        self.tiles[ty as usize * self.resolution as usize + tx as usize]
+    }
+
+    /// The rectangle covered by tile `(tx, ty)`.
+    pub fn tile_rect(&self, tx: u32, ty: u32) -> Mbr {
+        Grid::new(self.frame, self.resolution).rect(tx, ty, 1)
+    }
+
+    /// The centre point of the tile at row-major `index` — the point
+    /// where [`Tile::sample`] was (or would be) evaluated.
+    pub fn tile_center(&self, index: usize) -> Point {
+        let res = self.resolution as usize;
+        Grid::new(self.frame, self.resolution)
+            // pinocchio-lint: allow(cast-truncation) -- both quotient and remainder are < resolution <= MAX_RESOLUTION, far inside u32
+            .center((index % res) as u32, (index / res) as u32)
+    }
+}
+
+/// One cell of a [`TopRegion`] answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionCell {
+    /// Row-major tile index into the (virtual) heat-map grid.
+    pub tile: usize,
+    /// The tile's centre — the evaluated location.
+    pub center: Point,
+    /// Exact influence count at `center`.
+    pub influence: u32,
+}
+
+/// The `k` highest-influence tiles of a (virtual) heat map, ordered by
+/// `(influence desc, tile index asc)` — exactly the order an argmax
+/// scan over [`try_heatmap`]'s `sample` values produces.
+#[derive(Debug, Clone)]
+pub struct TopRegion {
+    /// The queried frame.
+    pub frame: Mbr,
+    /// Tiles per axis (power of two).
+    pub resolution: u32,
+    /// The winning tiles, best first. Shorter than `k` only when the
+    /// grid has fewer than `k` tiles.
+    pub cells: Vec<RegionCell>,
+    /// Work accounting. Branch-and-bound stops early, so the
+    /// tile-coverage identity of a full descent does not apply here.
+    pub stats: SolveStats,
+}
+
+/// Why a heat-map query was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeatmapError {
+    /// `resolution` must be a power of two in `1..=MAX_RESOLUTION`.
+    Resolution(u32),
+    /// `k` must be at least 1.
+    ZeroK,
+    /// No frame was given and the problem has no influenceable
+    /// objects to derive one from.
+    EmptyFrame,
+}
+
+impl fmt::Display for HeatmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeatmapError::Resolution(r) => write!(
+                f,
+                "resolution {r} is not a power of two in 1..={MAX_RESOLUTION}"
+            ),
+            HeatmapError::ZeroK => write!(f, "k must be at least 1"),
+            HeatmapError::EmptyFrame => write!(
+                f,
+                "no frame given and no influenceable objects to derive one from"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeatmapError {}
+
+fn checked_grid<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    resolution: u32,
+    frame: Option<Mbr>,
+) -> Result<Grid, HeatmapError> {
+    if resolution == 0 || !resolution.is_power_of_two() || resolution > MAX_RESOLUTION {
+        return Err(HeatmapError::Resolution(resolution));
+    }
+    let frame = match frame {
+        Some(f) => f,
+        None => problem
+            .object_tree()
+            .bounds()
+            .ok_or(HeatmapError::EmptyFrame)?,
+    };
+    Ok(Grid::new(frame, resolution))
+}
+
+/// Computes the full influence heat map of `problem` at `resolution`.
+///
+/// `frame` defaults to the bounding rectangle of the influenceable
+/// objects; pass it explicitly to rasterise a fixed window (sharded
+/// deployments pass the global frame so per-shard grids line up
+/// tile-for-tile and merge elementwise).
+///
+/// # Errors
+/// [`HeatmapError::Resolution`] unless `resolution` is a power of two
+/// in `1..=MAX_RESOLUTION`; [`HeatmapError::EmptyFrame`] when no frame
+/// is given and none can be derived.
+pub fn try_heatmap<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    resolution: u32,
+    frame: Option<Mbr>,
+) -> Result<Heatmap, HeatmapError> {
+    let grid = checked_grid(problem, resolution, frame)?;
+    let (tiles, stats) = descent::run_heatmap(problem, grid);
+    Ok(Heatmap {
+        frame: grid.frame,
+        resolution,
+        tiles,
+        stats,
+    })
+}
+
+/// Infallible [`try_heatmap`] for known-good arguments.
+///
+/// # Panics
+/// Panics where [`try_heatmap`] would return an error.
+pub fn heatmap<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    resolution: u32,
+    frame: Option<Mbr>,
+) -> Heatmap {
+    match try_heatmap(problem, resolution, frame) {
+        Ok(h) => h,
+        Err(e) => panic!("heatmap: {e}"),
+    }
+}
+
+/// Finds the `k` tiles with the highest exact centre influence,
+/// without materialising the full grid.
+///
+/// Branch-and-bound over the same quadtree as [`try_heatmap`]: a cell
+/// whose upper bound falls strictly below the current `k`-th best
+/// exact count can be discarded wholesale — cells tied with the
+/// threshold are still expanded so the `(influence desc, tile index
+/// asc)` order is honoured exactly. The result bit-matches a top-`k`
+/// scan over [`try_heatmap`]'s `sample` values.
+///
+/// # Errors
+/// [`HeatmapError::ZeroK`] when `k == 0`, plus everything
+/// [`try_heatmap`] rejects.
+pub fn try_top_region<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    k: usize,
+    resolution: u32,
+    frame: Option<Mbr>,
+) -> Result<TopRegion, HeatmapError> {
+    if k == 0 {
+        return Err(HeatmapError::ZeroK);
+    }
+    let grid = checked_grid(problem, resolution, frame)?;
+    let (cells, stats) = descent::run_top_region(problem, grid, k);
+    Ok(TopRegion {
+        frame: grid.frame,
+        resolution,
+        cells,
+        stats,
+    })
+}
+
+/// Infallible [`try_top_region`] for known-good arguments.
+///
+/// # Panics
+/// Panics where [`try_top_region`] would return an error.
+pub fn top_region<P: ProbabilityFunction + Clone>(
+    problem: &PrimeLs<P>,
+    k: usize,
+    resolution: u32,
+    frame: Option<Mbr>,
+) -> TopRegion {
+    match try_top_region(problem, k, resolution, frame) {
+        Ok(t) => t,
+        Err(e) => panic!("top_region: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinocchio_prob::PowerLawPf;
+
+    fn tiny() -> PrimeLs<PowerLawPf> {
+        let objects = vec![
+            pinocchio_data::MovingObject::new(0, vec![Point::new(2.0, 2.0), Point::new(2.5, 2.0)]),
+            pinocchio_data::MovingObject::new(1, vec![Point::new(8.0, 8.0)]),
+        ];
+        PrimeLs::builder()
+            .objects(objects)
+            .candidates(vec![Point::new(5.0, 5.0)])
+            .probability_function(PowerLawPf::paper_default())
+            .tau(0.7)
+            .build()
+            .expect("valid problem")
+    }
+
+    #[test]
+    fn rejects_bad_resolution() {
+        let p = tiny();
+        for r in [0u32, 3, 6, MAX_RESOLUTION * 2] {
+            assert_eq!(
+                try_heatmap(&p, r, None).unwrap_err(),
+                HeatmapError::Resolution(r)
+            );
+        }
+        assert_eq!(
+            try_top_region(&p, 0, 8, None).unwrap_err(),
+            HeatmapError::ZeroK
+        );
+    }
+
+    #[test]
+    fn derives_frame_from_object_tree() {
+        let p = tiny();
+        let h = try_heatmap(&p, 4, None).expect("heatmap");
+        assert_eq!(h.frame, p.object_tree().bounds().unwrap());
+        assert_eq!(h.tiles.len(), 16);
+    }
+
+    #[test]
+    fn explicit_frame_is_respected() {
+        let p = tiny();
+        let frame = Mbr::new(Point::new(0.0, 0.0), Point::new(16.0, 16.0));
+        let h = try_heatmap(&p, 8, Some(frame)).expect("heatmap");
+        assert_eq!(h.frame, frame);
+        let r = h.tile_rect(0, 0);
+        assert_eq!(r.lo(), Point::new(0.0, 0.0));
+        assert_eq!(r.hi(), Point::new(2.0, 2.0));
+        assert_eq!(h.tile_center(0), Point::new(1.0, 1.0));
+        // Last tile's rect reaches the frame corner.
+        let last = h.tile_rect(7, 7);
+        assert_eq!(last.hi(), Point::new(16.0, 16.0));
+    }
+
+    #[test]
+    fn bands_contain_samples_and_cells_account() {
+        let p = tiny();
+        let h = try_heatmap(
+            &p,
+            16,
+            Some(Mbr::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))),
+        )
+        .expect("heatmap");
+        for t in &h.tiles {
+            assert!(t.lo <= t.sample && t.sample <= t.hi);
+        }
+        let s = &h.stats;
+        assert!(s.cells_resolved_ia + s.cells_resolved_nib + s.cells_refined > 0);
+        // Exact bands come only from resolved cells, so every refined
+        // (ambiguous) tile must have lo < hi.
+        let ambiguous = h.tiles.iter().filter(|t| t.lo < t.hi).count() as u64;
+        assert_eq!(ambiguous, s.cells_refined);
+    }
+}

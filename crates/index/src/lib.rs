@@ -29,6 +29,6 @@ pub mod rtree;
 pub mod stats;
 
 pub use grid::GridIndex;
-pub use mbr_tree::{JoinEvent, JoinTraversal, MbrTree};
+pub use mbr_tree::{CellEntry, CellJoin, CellScratch, JoinEvent, JoinTraversal, MbrTree};
 pub use rtree::{RTree, DEFAULT_MAX_ENTRIES};
 pub use stats::QueryStats;

@@ -109,6 +109,39 @@ pub struct JoinTraversal {
     pub subtrees_nib: u64,
 }
 
+/// Verdict totals of one cell-join classification (see
+/// [`MbrTree::cell_join`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellJoin {
+    /// Objects certainly influenced by **every** point of the cell
+    /// (Theorem 1 lifted to cell × subtree).
+    pub all: u64,
+    /// Objects **no** point of the cell can influence (Theorem 2
+    /// lifted to cell × subtree).
+    pub none: u64,
+    /// Traversal-cost counters (zero for pure frontier refinement,
+    /// which touches no tree nodes).
+    pub traversal: JoinTraversal,
+}
+
+/// An opaque handle to one leaf entry left ambiguous by a cell join:
+/// some points of the cell may influence the object, others may not.
+/// Handles stay valid for the lifetime of the tree they came from and
+/// are re-testable against smaller cells via
+/// [`MbrTree::cell_join_refine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellEntry {
+    node: NodeId,
+    entry: usize,
+}
+
+/// Reusable traversal stack for [`MbrTree::cell_join`], so the hot
+/// descent loop allocates nothing per cell.
+#[derive(Debug, Default)]
+pub struct CellScratch {
+    stack: Vec<NodeId>,
+}
+
 /// An aggregate R-tree over `(Mbr, μ, payload)` items (see the module
 /// docs for the pruning rules it supports).
 ///
@@ -435,6 +468,130 @@ impl<T: Clone> MbrTree<T> {
             }
         }
         t
+    }
+
+    /// Classifies a whole **cell** (a query rectangle) against the
+    /// tree in one traversal: how many objects are influenced by every
+    /// point of the cell (`all`), how many by no point (`none`), and
+    /// which leaf entries stay ambiguous (pushed onto `ambiguous` as
+    /// re-testable handles).
+    ///
+    /// The rules are the point-join rules of [`Self::influence_join`]
+    /// with the point metrics replaced by their rect-to-rect
+    /// generalisations (both reproduce the point forms exactly on a
+    /// degenerate cell — tested below):
+    ///
+    /// * **cell-NIB** — the cell misses the subtree's NIB union, or
+    ///   `minDist(cell, node.mbr) > node.max_mu`: then every point of
+    ///   the cell is farther than every μ below from every object MBR
+    ///   (minDist to a subset only grows), so no point of the cell can
+    ///   influence any object below (Theorem 2 over the whole cell).
+    /// * **cell-IA** — `maxDist(cell, node.mbr) ≤ node.min_mu`: then
+    ///   every point of the cell is within every μ below of every
+    ///   position of every object below (maxDist to a subset only
+    ///   shrinks), so all `count` objects are influenced at **every**
+    ///   point of the cell (Theorem 1 over the whole cell).
+    ///
+    /// Both verdicts are monotone under cell containment (see
+    /// [`Mbr::min_dist_sq_mbr`] / [`Mbr::max_dist_sq_mbr`]): a verdict
+    /// reached for a cell holds for every sub-cell, which is what
+    /// makes a quadtree descent that stops splitting on resolved cells
+    /// sound. Every indexed object lands in exactly one class, so
+    /// `all + none + ambiguous = len()`.
+    // pinocchio-hot: per-cell tree traversal of the heat-map descent
+    pub fn cell_join(
+        &self,
+        cell: &Mbr,
+        ambiguous: &mut Vec<CellEntry>,
+        scratch: &mut CellScratch,
+    ) -> CellJoin {
+        let mut join = CellJoin::default();
+        let Some(root) = self.root else {
+            return join;
+        };
+        scratch.stack.clear();
+        scratch.stack.push(root);
+        while let Some(id) = scratch.stack.pop() {
+            let node = &self.nodes[id];
+            join.traversal.nodes_visited += 1;
+            if !cell.intersects(&node.nib_mbr)
+                || cell.min_dist_sq_mbr(&node.mbr) > node.max_mu * node.max_mu
+            {
+                join.traversal.subtrees_nib += 1;
+                join.none += node.count;
+                continue;
+            }
+            if cell.max_dist_sq_mbr(&node.mbr) <= node.min_mu * node.min_mu {
+                join.traversal.subtrees_ia += 1;
+                join.all += node.count;
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal { children } => scratch.stack.extend_from_slice(children),
+                NodeKind::Leaf { entries } => {
+                    // pinocchio-lint: allow(hot-path-alloc) -- slice `.iter()`, not the rtree's collecting `iter` the call-graph resolves it to
+                    for (idx, e) in entries.iter().enumerate() {
+                        if cell.min_dist_sq_mbr(&e.mbr) > e.mu_sq {
+                            join.none += 1;
+                        } else if cell.max_dist_sq_mbr(&e.mbr) <= e.mu_sq {
+                            join.all += 1;
+                        } else {
+                            ambiguous.push(CellEntry {
+                                node: id,
+                                entry: idx,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        join
+    }
+
+    /// Re-tests a previous cell's ambiguous `frontier` against a
+    /// (smaller) cell, pushing the still-ambiguous survivors onto
+    /// `ambiguous`. This is the descent step of the heat-map quadtree:
+    /// a child cell only re-examines what its parent could not decide
+    /// — resolved verdicts are final by containment monotonicity.
+    ///
+    /// Returns per-entry verdict totals; `traversal` stays zero (no
+    /// tree nodes are touched).
+    // pinocchio-hot: per-entry frontier refinement of the heat-map descent
+    pub fn cell_join_refine(
+        &self,
+        cell: &Mbr,
+        frontier: &[CellEntry],
+        ambiguous: &mut Vec<CellEntry>,
+    ) -> CellJoin {
+        let mut join = CellJoin::default();
+        for &ce in frontier {
+            let e = self.entry(ce);
+            if cell.min_dist_sq_mbr(&e.mbr) > e.mu_sq {
+                join.none += 1;
+            } else if cell.max_dist_sq_mbr(&e.mbr) <= e.mu_sq {
+                join.all += 1;
+            } else {
+                ambiguous.push(ce);
+            }
+        }
+        join
+    }
+
+    /// The payload behind an ambiguous-entry handle.
+    ///
+    /// # Panics
+    /// Panics if the handle came from a different tree.
+    pub fn cell_entry_payload(&self, ce: CellEntry) -> &T {
+        &self.entry(ce).payload
+    }
+
+    /// The leaf entry behind a [`CellEntry`] handle.
+    fn entry(&self, ce: CellEntry) -> &MuEntry<T> {
+        match &self.nodes[ce.node].kind {
+            NodeKind::Leaf { entries } => &entries[ce.entry],
+            // pinocchio-lint: allow(panic-path) -- cell_join only mints CellEntry handles at leaves; an Internal here is a structural bug
+            NodeKind::Internal { .. } => unreachable!("CellEntry always points at a leaf"),
+        }
     }
 
     /// Hands every payload of the subtree rooted at `id` to `f`.
@@ -784,6 +941,180 @@ mod tests {
             total_nodes
         );
         assert!(t.subtrees_nib >= 1);
+    }
+
+    /// Runs the cell join and returns (all, none, ambiguous ids,
+    /// traversal counters).
+    fn run_cell_join(tree: &MbrTree<usize>, cell: &Mbr) -> (u64, u64, Vec<usize>, JoinTraversal) {
+        let mut frontier = Vec::new();
+        let mut scratch = CellScratch::default();
+        let join = tree.cell_join(cell, &mut frontier, &mut scratch);
+        let mut ids: Vec<usize> = frontier
+            .iter()
+            .map(|&ce| *tree.cell_entry_payload(ce))
+            .collect();
+        ids.sort_unstable();
+        (join.all, join.none, ids, join.traversal)
+    }
+
+    /// Sample points covering a cell: corners, centre, edge midpoints.
+    fn cell_samples(cell: &Mbr) -> Vec<Point> {
+        let mut pts = cell.corners().to_vec();
+        pts.push(cell.center());
+        let (lo, hi, c) = (cell.lo(), cell.hi(), cell.center());
+        pts.push(Point::new(c.x, lo.y));
+        pts.push(Point::new(c.x, hi.y));
+        pts.push(Point::new(lo.x, c.y));
+        pts.push(Point::new(hi.x, c.y));
+        pts
+    }
+
+    #[test]
+    fn degenerate_cell_join_matches_point_join() {
+        // On a zero-area cell the rect-to-rect metrics reproduce the
+        // point metrics exactly, so the cell join must agree with the
+        // point join verdict for verdict — including the traversal
+        // counters, since both walk the same pruned tree.
+        let items = pseudo_items(300, 7);
+        let tree = MbrTree::bulk_load(items);
+        let mut state = 0xCE11u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..40 {
+            let c = Point::new(next() * 60.0 - 10.0, next() * 40.0 - 8.0);
+            let (inf, exc, und, t) = run_join(&tree, &c);
+            let (all, none, amb, ct) = run_cell_join(&tree, &Mbr::from_point(c));
+            assert_eq!((all, none), (inf, exc), "counts at {c}");
+            assert_eq!(amb, und, "ambiguous set at {c}");
+            assert_eq!(ct, t, "traversal at {c}");
+        }
+    }
+
+    #[test]
+    fn cell_join_verdicts_hold_at_every_point_of_the_cell() {
+        // Soundness: an object the cell join decides (not on the
+        // ambiguous frontier) must carry the same point-level verdict
+        // at every sampled point of the cell — ALL objects influenced
+        // everywhere, NONE objects excluded everywhere.
+        let items = pseudo_items(250, 21);
+        let tree = MbrTree::bulk_load(items.clone());
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..30 {
+            let lo = Point::new(next() * 60.0 - 10.0, next() * 40.0 - 8.0);
+            let cell = Mbr::new(lo, Point::new(lo.x + next() * 15.0, lo.y + next() * 15.0));
+            let (all, none, amb, _) = run_cell_join(&tree, &cell);
+            assert_eq!(
+                all + none + amb.len() as u64,
+                items.len() as u64,
+                "accounting at {cell:?}"
+            );
+            let (mut saw_all, mut saw_none) = (0u64, 0u64);
+            for (mbr, mu, i) in &items {
+                if amb.binary_search(i).is_ok() {
+                    continue; // undecided: no claim to check
+                }
+                // The decided verdict must be point-uniform over the cell.
+                let influenced_at = |p: &Point| mbr.max_dist_sq(p) <= mu * mu;
+                let excluded_at = |p: &Point| mbr.min_dist_sq(p) > mu * mu;
+                let samples = cell_samples(&cell);
+                if influenced_at(&samples[0]) {
+                    assert!(
+                        samples.iter().all(influenced_at),
+                        "cell-decided object {i} flips verdict inside {cell:?}"
+                    );
+                    saw_all += 1;
+                } else {
+                    assert!(
+                        samples.iter().all(excluded_at),
+                        "cell-decided object {i} flips verdict inside {cell:?}"
+                    );
+                    saw_none += 1;
+                }
+            }
+            assert_eq!((saw_all, saw_none), (all, none), "totals at {cell:?}");
+        }
+    }
+
+    #[test]
+    fn cell_join_refine_narrows_the_frontier() {
+        // Descending into a quadrant: refinement of the parent's
+        // frontier must (a) account for every frontier entry, and
+        // (b) agree with the per-item rules on a degenerate sub-cell.
+        let items = pseudo_items(250, 33);
+        let tree = MbrTree::bulk_load(items.clone());
+        let cell = Mbr::new(Point::new(5.0, 5.0), Point::new(45.0, 30.0));
+        let mut frontier = Vec::new();
+        let mut scratch = CellScratch::default();
+        let parent = tree.cell_join(&cell, &mut frontier, &mut scratch);
+
+        // Quadrant split: each child refines only the parent frontier.
+        let c = cell.center();
+        let child = Mbr::new(cell.lo(), c);
+        let mut survivors = Vec::new();
+        let refined = tree.cell_join_refine(&child, &frontier, &mut survivors);
+        assert_eq!(
+            refined.all + refined.none + survivors.len() as u64,
+            frontier.len() as u64,
+            "refinement accounts for every frontier entry"
+        );
+        assert_eq!(refined.traversal, JoinTraversal::default());
+
+        // Degenerate sub-cell: refinement must match the per-item rules.
+        let p = Point::new(12.0, 9.0);
+        let mut leaf_survivors = Vec::new();
+        let exact = tree.cell_join_refine(&Mbr::from_point(p), &frontier, &mut leaf_survivors);
+        let frontier_ids: Vec<usize> = frontier
+            .iter()
+            .map(|&ce| *tree.cell_entry_payload(ce))
+            .collect();
+        let (mut want_all, mut want_none, mut want_und) = (0u64, 0u64, Vec::new());
+        for (mbr, mu, i) in &items {
+            if !frontier_ids.contains(i) {
+                continue;
+            }
+            if mbr.min_dist_sq(&p) > mu * mu {
+                want_none += 1;
+            } else if mbr.max_dist_sq(&p) <= mu * mu {
+                want_all += 1;
+            } else {
+                want_und.push(*i);
+            }
+        }
+        assert_eq!((exact.all, exact.none), (want_all, want_none));
+        let mut got_und: Vec<usize> = leaf_survivors
+            .iter()
+            .map(|&ce| *tree.cell_entry_payload(ce))
+            .collect();
+        got_und.sort_unstable();
+        want_und.sort_unstable();
+        assert_eq!(got_und, want_und);
+        // Parent's bulk decisions stay final: parent.all is a lower
+        // bound that the degenerate sub-cell can only confirm.
+        assert!(parent.all + exact.all <= items.len() as u64);
+    }
+
+    #[test]
+    fn cell_join_on_empty_tree() {
+        let tree: MbrTree<usize> = MbrTree::bulk_load(Vec::new());
+        let mut frontier = Vec::new();
+        let mut scratch = CellScratch::default();
+        let join = tree.cell_join(
+            &Mbr::new(Point::ORIGIN, Point::new(1.0, 1.0)),
+            &mut frontier,
+            &mut scratch,
+        );
+        assert_eq!(join, CellJoin::default());
+        assert!(frontier.is_empty());
     }
 
     #[test]

@@ -314,6 +314,42 @@ impl World {
         Ok((problem, ids))
     }
 
+    /// Freezes the world and computes its influence heat map (see
+    /// [`pinocchio_heatmap::try_heatmap`]). `frame` defaults to the
+    /// influenceable-object bounds of the frozen problem; the sharded
+    /// coordinator passes the global frame explicitly so per-shard
+    /// grids line up tile-for-tile.
+    pub fn heatmap(
+        &self,
+        resolution: u32,
+        frame: Option<pinocchio_geo::Mbr>,
+    ) -> Result<pinocchio_heatmap::Heatmap, WireError> {
+        let (problem, _) = self.to_problem()?;
+        Ok(pinocchio_heatmap::try_heatmap(&problem, resolution, frame)?)
+    }
+
+    /// Freezes the world and finds the `k` highest-influence tiles of
+    /// its (virtual) heat map (see [`pinocchio_heatmap::try_top_region`]).
+    pub fn top_region(
+        &self,
+        k: usize,
+        resolution: u32,
+        frame: Option<pinocchio_geo::Mbr>,
+    ) -> Result<pinocchio_heatmap::TopRegion, WireError> {
+        let (problem, _) = self.to_problem()?;
+        Ok(pinocchio_heatmap::try_top_region(
+            &problem, k, resolution, frame,
+        )?)
+    }
+
+    /// The influenceable-object bounds of the frozen state — the frame
+    /// a [`Self::heatmap`] call without an explicit frame rasterises.
+    /// `None` when no object is influenceable anywhere.
+    pub fn object_frame(&self) -> Result<Option<pinocchio_geo::Mbr>, WireError> {
+        let (problem, _) = self.to_problem()?;
+        Ok(problem.object_tree().bounds())
+    }
+
     /// Freezes the world and solves it from scratch with the named
     /// algorithm, dispatching to the parallel drivers when
     /// `threads > 1`. Every algorithm returns the same winner as

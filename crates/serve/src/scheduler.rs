@@ -36,8 +36,11 @@ pub struct Job {
     pub op: QueryOp,
     /// When the job was admitted (starts the latency clock).
     pub enqueued: Instant,
-    /// Channel to the owning connection's writer thread; the worker
-    /// sends exactly one response line per job.
+    /// Channel to the owning connection's writer thread. Most jobs
+    /// produce exactly one response line; a `heatmap` job first streams
+    /// zero or more batch lines through this channel and then its one
+    /// terminal (`done`) line. The channel is unbounded, so a slow
+    /// client back-pressures its own socket writer, never the worker.
     pub reply: Sender<String>,
 }
 

@@ -683,6 +683,82 @@ fn answer(
                 body
             })
         }
+        QueryOp::Heatmap { resolution } => {
+            local.queries_heatmap += 1;
+            world.heatmap(resolution).map(|h| {
+                // Stream the grid as bounded batch lines through the
+                // connection's writer thread. The reply channel is
+                // unbounded and the writer breaks on the first failed
+                // write, so a slow or mid-stream-disconnected client
+                // never blocks this worker — the remaining sends just
+                // land in a channel whose receiver drains and drops
+                // them (see `write_loop`).
+                let mut batches = 0u64;
+                for (i, chunk) in h.tiles.chunks(wire::TILES_PER_BATCH).enumerate() {
+                    let tiles: Vec<serde_json::Value> = chunk
+                        .iter()
+                        .map(|t| json!([t.lo, t.hi, t.sample]))
+                        .collect();
+                    let mut body = Map::new();
+                    body.insert("op".to_string(), json!("heatmap"));
+                    body.insert("offset".to_string(), json!(i * wire::TILES_PER_BATCH));
+                    body.insert("tiles".to_string(), serde_json::Value::Array(tiles));
+                    let _ = job
+                        .reply
+                        .send(wire::response_ok(job.id, snapshot.epoch, body));
+                    batches += 1;
+                }
+                // The terminal line is the worker's normal return value;
+                // `done` appears on it and nowhere else.
+                let mut body = Map::new();
+                body.insert("op".to_string(), json!("heatmap"));
+                body.insert("done".to_string(), json!(true));
+                body.insert("resolution".to_string(), json!(h.resolution));
+                body.insert(
+                    "frame".to_string(),
+                    json!([
+                        h.frame.lo().x,
+                        h.frame.lo().y,
+                        h.frame.hi().x,
+                        h.frame.hi().y
+                    ]),
+                );
+                body.insert("tiles_total".to_string(), json!(h.tiles.len()));
+                body.insert("batches".to_string(), json!(batches));
+                body.insert(
+                    "cells_resolved_ia".to_string(),
+                    json!(h.stats.cells_resolved_ia),
+                );
+                body.insert(
+                    "cells_resolved_nib".to_string(),
+                    json!(h.stats.cells_resolved_nib),
+                );
+                body.insert("cells_refined".to_string(), json!(h.stats.cells_refined));
+                body
+            })
+        }
+        QueryOp::TopRegion { k, resolution } => {
+            local.queries_top_region += 1;
+            world.top_region(k, resolution).map(|r| {
+                let cells: Vec<serde_json::Value> = r
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        json!({
+                            "tile": c.tile,
+                            "x": c.center.x,
+                            "y": c.center.y,
+                            "influence": c.influence,
+                        })
+                    })
+                    .collect();
+                let mut body = Map::new();
+                body.insert("op".to_string(), json!("top_region"));
+                body.insert("resolution".to_string(), json!(r.resolution));
+                body.insert("cells".to_string(), serde_json::Value::Array(cells));
+                body
+            })
+        }
         QueryOp::Stats => {
             local.queries_stats += 1;
             // Flush this worker's partial first so the report includes
@@ -757,6 +833,30 @@ mod tests {
             let mut line = String::new();
             self.reader.read_line(&mut line).expect("read response");
             serde_json::from_str(line.trim()).expect("valid response JSON")
+        }
+
+        /// Sends one request and reads response lines until a terminal
+        /// line arrives (one with `"done":true`, or any error / plain
+        /// single-line response). Lockstep, so every line read belongs
+        /// to the one in-flight request.
+        fn stream(&mut self, request: &str) -> Vec<Value> {
+            self.writer
+                .write_all(request.as_bytes())
+                .and_then(|()| self.writer.write_all(b"\n"))
+                .expect("write request");
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                self.reader.read_line(&mut line).expect("read response");
+                let v: Value = serde_json::from_str(line.trim()).expect("valid response JSON");
+                let terminal = v.get("ok").and_then(Value::as_bool) != Some(true)
+                    || v.get("done").and_then(Value::as_bool) == Some(true)
+                    || v.get("tiles").is_none();
+                lines.push(v);
+                if terminal {
+                    return lines;
+                }
+            }
         }
     }
 
@@ -965,6 +1065,185 @@ mod tests {
             assert_eq!(stats.updates_applied, inserted);
             assert_eq!(stats.accounted_lines(), stats.lines_received);
         }
+    }
+
+    #[test]
+    fn heatmap_streams_batches_with_id_echo_and_a_terminal_done_line() {
+        let handle = serve(test_world(), ServerConfig::default()).expect("bind");
+        let mut client = Client::connect(handle.addr());
+
+        let lines = client.stream(r#"{"v":1,"id":42,"op":"heatmap","resolution":64}"#);
+        let (terminal, batches) = lines.split_last().expect("at least the terminal line");
+        // 64×64 = 4096 tiles in ceil(4096/512) = 8 batches.
+        assert_eq!(batches.len(), 8);
+        let mut tiles_seen = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            assert_eq!(batch.get("ok").and_then(Value::as_bool), Some(true));
+            assert_eq!(get_u64(batch, "id"), 42, "id echoed on every batch");
+            assert_eq!(get_u64(batch, "epoch"), 0, "epoch echoed on every batch");
+            assert_eq!(batch.get("op").and_then(Value::as_str), Some("heatmap"));
+            assert_eq!(get_u64(batch, "offset") as usize, i * 512);
+            assert!(
+                batch.get("done").is_none(),
+                "done only on the terminal line"
+            );
+            let tiles = batch
+                .get("tiles")
+                .and_then(Value::as_array)
+                .expect("tiles array");
+            assert!(tiles.len() <= 512);
+            tiles_seen += tiles.len();
+            for tile in tiles {
+                let t = tile.as_array().expect("[lo,hi,sample] triple");
+                assert_eq!(t.len(), 3);
+                let (lo, hi, sample) = (
+                    t[0].as_u64().unwrap(),
+                    t[1].as_u64().unwrap(),
+                    t[2].as_u64().unwrap(),
+                );
+                assert!(lo <= sample && sample <= hi, "band must contain the sample");
+            }
+        }
+        assert_eq!(terminal.get("done").and_then(Value::as_bool), Some(true));
+        assert_eq!(get_u64(terminal, "id"), 42);
+        assert_eq!(get_u64(terminal, "resolution"), 64);
+        assert_eq!(get_u64(terminal, "tiles_total") as usize, tiles_seen);
+        assert_eq!(get_u64(terminal, "batches"), 8);
+        assert_eq!(tiles_seen, 64 * 64);
+        let frame = terminal
+            .get("frame")
+            .and_then(Value::as_array)
+            .expect("frame [x0,y0,x1,y1]");
+        assert_eq!(frame.len(), 4);
+
+        // top_region is a plain single-line response.
+        let region = client.roundtrip(r#"{"v":1,"id":43,"op":"top_region","k":3,"resolution":64}"#);
+        assert_eq!(region.get("ok").and_then(Value::as_bool), Some(true));
+        let cells = region
+            .get("cells")
+            .and_then(Value::as_array)
+            .expect("cells");
+        assert_eq!(cells.len(), 3);
+        for pair in cells.windows(2) {
+            assert!(
+                get_u64(&pair[0], "influence") >= get_u64(&pair[1], "influence"),
+                "cells ranked influence-descending"
+            );
+        }
+
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.queries_heatmap, 1, "one query, however many batches");
+        assert_eq!(stats.queries_top_region, 1);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+        assert_eq!(stats.queries_completed(), stats.latency_total());
+    }
+
+    #[test]
+    fn sharded_heatmap_answers_match_the_unsharded_server() {
+        let handle1 = serve(test_world(), ServerConfig::default()).expect("bind");
+        let handle4 = serve(
+            test_world(),
+            ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut c1 = Client::connect(handle1.addr());
+        let mut c4 = Client::connect(handle4.addr());
+
+        let collect_tiles = |lines: &[Value]| -> Vec<(u64, u64, u64)> {
+            lines[..lines.len() - 1]
+                .iter()
+                .flat_map(|batch| {
+                    batch
+                        .get("tiles")
+                        .and_then(Value::as_array)
+                        .expect("tiles")
+                        .iter()
+                        .map(|t| {
+                            let t = t.as_array().expect("triple");
+                            (
+                                t[0].as_u64().unwrap(),
+                                t[1].as_u64().unwrap(),
+                                t[2].as_u64().unwrap(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let req = r#"{"v":1,"id":1,"op":"heatmap","resolution":32}"#;
+        let a = c1.stream(req);
+        let b = c4.stream(req);
+        assert_eq!(
+            a.last().unwrap().get("frame"),
+            b.last().unwrap().get("frame"),
+            "global frame is shard-transparent"
+        );
+        let ta = collect_tiles(&a);
+        let tb = collect_tiles(&b);
+        assert_eq!(ta.len(), 32 * 32);
+        assert_eq!(ta.len(), tb.len());
+        for (i, (x, y)) in ta.iter().zip(&tb).enumerate() {
+            assert_eq!(x.2, y.2, "tile {i}: samples are exact on both");
+            assert!(x.0 <= x.2 && x.2 <= x.1, "tile {i}: unsharded band sound");
+            assert!(y.0 <= y.2 && y.2 <= y.1, "tile {i}: sharded band sound");
+        }
+
+        // top_region is exact, so the whole response body must agree.
+        let req = r#"{"v":1,"op":"top_region","k":5,"resolution":32}"#;
+        let a = c1.roundtrip(req);
+        let b = c4.roundtrip(req);
+        assert_eq!(a.get("cells"), b.get("cells"));
+        assert_eq!(a.get("resolution"), b.get("resolution"));
+
+        for handle in [handle1, handle4] {
+            handle.shutdown();
+            handle.join();
+        }
+    }
+
+    #[test]
+    fn mid_stream_client_disconnect_leaves_the_server_healthy() {
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let handle = serve(test_world(), config).expect("bind");
+        {
+            // Request a large stream (256×256 = 128 batches), read one
+            // batch line, then drop the socket mid-stream. The worker
+            // must finish the job without blocking — the dead
+            // connection's writer drains and drops the rest.
+            let stream = TcpStream::connect(handle.addr()).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            writeln!(
+                writer,
+                r#"{{"v":1,"id":9,"op":"heatmap","resolution":256}}"#
+            )
+            .expect("write request");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("first batch");
+            let v: Value = serde_json::from_str(line.trim()).expect("json");
+            assert_eq!(get_u64(&v, "id"), 9);
+            assert!(v.get("tiles").is_some());
+        } // both socket halves dropped here — mid-stream disconnect
+          // With one worker, a healthy follow-up proves the pool was not
+          // wedged by the abandoned stream.
+        let mut client = Client::connect(handle.addr());
+        let pong = client.roundtrip(r#"{"v":1,"id":10,"op":"ping"}"#);
+        assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+        let best = client.roundtrip(r#"{"v":1,"op":"best"}"#);
+        assert_eq!(best.get("ok").and_then(Value::as_bool), Some(true));
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.queries_heatmap, 1, "the abandoned stream completed");
+        assert_eq!(stats.queries_ping, 1);
+        assert_eq!(stats.accounted_lines(), stats.lines_received);
+        assert_eq!(stats.queries_completed(), stats.latency_total());
     }
 
     #[test]

@@ -34,7 +34,8 @@ use crate::wire::{UpdateOp, WireError};
 use pinocchio_core::{
     shard_of, try_solve_sharded, Algorithm, BuildError, MaintenanceMode, ShardedPrimeLs,
 };
-use pinocchio_geo::Point;
+use pinocchio_geo::{Mbr, Point};
+use pinocchio_heatmap::{Heatmap, HeatmapError, TopRegion};
 use std::cmp::Reverse;
 
 /// The transport seam between the coordinator and one shard.
@@ -315,6 +316,104 @@ impl ShardedWorld {
         Ok(total)
     }
 
+    /// The influence heat map of the full object set: per-shard
+    /// descents over the **global** frame (the union of every shard's
+    /// influenceable-object bounds — bit-identical to the unsharded
+    /// frame, because `f64` min/max is exact and associative), merged
+    /// elementwise. Influence is a sum over disjoint object
+    /// partitions, so merged `sample` values are exact and equal the
+    /// unsharded ones bit for bit; merged `[lo, hi]` bands are sums of
+    /// sound per-shard bands — sound, but descent-dependent, so they
+    /// may be wider or narrower than the unsharded descent's.
+    pub fn heatmap(&self, resolution: u32) -> Result<Heatmap, WireError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].world.heatmap(resolution, None);
+        }
+        let mut problems = Vec::new();
+        for shard in &self.shards {
+            if shard.object_count() == 0 {
+                continue;
+            }
+            problems.push(shard.world.to_problem()?.0);
+        }
+        if problems.is_empty() {
+            // No shard owns an object — the same error the unsharded
+            // freeze raises on an object-less world.
+            return Err(WireError::from(BuildError::NoObjects));
+        }
+        let mut frame: Option<Mbr> = None;
+        for problem in &problems {
+            if let Some(bounds) = problem.object_tree().bounds() {
+                frame = Some(match frame {
+                    Some(f) => f.union(&bounds),
+                    None => bounds,
+                });
+            }
+        }
+        let Some(frame) = frame else {
+            return Err(WireError::from(HeatmapError::EmptyFrame));
+        };
+        let mut merged: Option<Heatmap> = None;
+        for problem in &problems {
+            let partial = pinocchio_heatmap::try_heatmap(problem, resolution, Some(frame))?;
+            match &mut merged {
+                None => merged = Some(partial),
+                Some(acc) => {
+                    debug_assert_eq!(acc.tiles.len(), partial.tiles.len());
+                    for (a, t) in acc.tiles.iter_mut().zip(&partial.tiles) {
+                        a.lo += t.lo;
+                        a.hi += t.hi;
+                        a.sample += t.sample;
+                    }
+                    acc.stats += partial.stats;
+                }
+            }
+        }
+        Ok(merged.expect("at least one shard problem was frozen"))
+    }
+
+    /// The `k` highest-influence tiles, `(influence desc, tile index
+    /// asc)`. Implemented as an argmax scan over the merged heat map —
+    /// merged samples are exact, so this bit-matches the unsharded
+    /// branch-and-bound answer (both equal the argmax over exact
+    /// per-tile counts).
+    pub fn top_region(&self, k: usize, resolution: u32) -> Result<TopRegion, WireError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].world.top_region(k, resolution, None);
+        }
+        if k == 0 {
+            return Err(WireError::from(HeatmapError::ZeroK));
+        }
+        let heatmap = self.heatmap(resolution)?;
+        let mut ranked: Vec<(usize, u32)> = heatmap
+            .tiles
+            .iter()
+            .enumerate()
+            .map(|(tile, t)| (tile, t.sample))
+            .collect();
+        let rank =
+            |a: &(usize, u32), b: &(usize, u32)| (Reverse(a.1), a.0).cmp(&(Reverse(b.1), b.0));
+        if k < ranked.len() {
+            ranked.select_nth_unstable_by(k - 1, rank);
+            ranked.truncate(k);
+        }
+        ranked.sort_unstable_by(rank);
+        let cells = ranked
+            .into_iter()
+            .map(|(tile, influence)| pinocchio_heatmap::RegionCell {
+                tile,
+                center: heatmap.tile_center(tile),
+                influence,
+            })
+            .collect();
+        Ok(TopRegion {
+            frame: heatmap.frame,
+            resolution,
+            cells,
+            stats: heatmap.stats,
+        })
+    }
+
     /// Freezes every shard and solves through the core sharded
     /// coordinator ([`try_solve_sharded`]): per-shard filter partials,
     /// merged bounds, residual verify fan-out. One shard delegates to
@@ -513,6 +612,60 @@ mod tests {
         for summary in sharded.shard_summaries() {
             assert_eq!(summary.candidates, mirror.candidate_count());
         }
+    }
+
+    #[test]
+    fn sharded_heatmaps_keep_exact_samples_and_sound_bands() {
+        let world = random_world(11, 40, 6);
+        let unsharded = ShardedWorld::from_world(world.clone(), 1).unwrap();
+        let base = unsharded.heatmap(32).unwrap();
+        assert_eq!(base.tiles.len(), 32 * 32);
+        for n in [2, 4] {
+            let sharded = ShardedWorld::from_world(world.clone(), n).unwrap();
+            let merged = sharded.heatmap(32).unwrap();
+            // The global frame is the union of per-shard bounds — bit-equal
+            // to the unsharded frame because f64 min/max is exact.
+            assert_eq!(merged.frame, base.frame, "n={n}");
+            assert_eq!(merged.resolution, base.resolution);
+            for (i, (m, b)) in merged.tiles.iter().zip(&base.tiles).enumerate() {
+                // Samples are exact sums over disjoint partitions.
+                assert_eq!(m.sample, b.sample, "tile {i} sample, n={n}");
+                // Bands are descent-dependent, but both must stay sound.
+                assert!(m.lo <= m.sample && m.sample <= m.hi, "tile {i}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_top_region_bit_matches_the_unsharded_answer() {
+        let world = random_world(13, 35, 5);
+        let unsharded = ShardedWorld::from_world(world.clone(), 1).unwrap();
+        for k in [1, 4, 9] {
+            let base = unsharded.top_region(k, 16).unwrap();
+            assert_eq!(base.cells.len(), k.min(16 * 16));
+            for n in [2, 4] {
+                let sharded = ShardedWorld::from_world(world.clone(), n).unwrap();
+                let got = sharded.top_region(k, 16).unwrap();
+                assert_eq!(got.frame, base.frame);
+                assert_eq!(got.resolution, base.resolution);
+                assert_eq!(got.cells, base.cells, "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn heatmap_on_an_objectless_sharded_world_is_a_typed_error() {
+        let mut w = World::new(0.7);
+        w.apply(&UpdateOp::InsertCandidate {
+            candidate: 0,
+            location: Point::ORIGIN,
+        })
+        .unwrap();
+        let sharded = ShardedWorld::from_world(w, 4).unwrap();
+        let err = sharded.heatmap(16).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Build);
+        let err = sharded.top_region(3, 16).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Build);
     }
 
     #[test]

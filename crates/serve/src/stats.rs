@@ -56,6 +56,11 @@ pub struct ServeStats {
     pub queries_influence_of: u64,
     /// Completed `solve` queries (from-scratch solver dispatch).
     pub queries_solve: u64,
+    /// Completed `heatmap` queries (each counted once, however many
+    /// tile batches it streamed).
+    pub queries_heatmap: u64,
+    /// Completed `top_region` queries.
+    pub queries_top_region: u64,
     /// Completed `stats` queries.
     pub queries_stats: u64,
     /// Completed `ping` queries.
@@ -98,6 +103,8 @@ impl std::ops::AddAssign for ServeStats {
         self.queries_top_k += rhs.queries_top_k;
         self.queries_influence_of += rhs.queries_influence_of;
         self.queries_solve += rhs.queries_solve;
+        self.queries_heatmap += rhs.queries_heatmap;
+        self.queries_top_region += rhs.queries_top_region;
         self.queries_stats += rhs.queries_stats;
         self.queries_ping += rhs.queries_ping;
         self.updates_applied += rhs.updates_applied;
@@ -120,6 +127,8 @@ impl ServeStats {
             + self.queries_top_k
             + self.queries_influence_of
             + self.queries_solve
+            + self.queries_heatmap
+            + self.queries_top_region
             + self.queries_stats
             + self.queries_ping
     }
@@ -170,6 +179,8 @@ impl ServeStats {
             "queries_top_k": self.queries_top_k,
             "queries_influence_of": self.queries_influence_of,
             "queries_solve": self.queries_solve,
+            "queries_heatmap": self.queries_heatmap,
+            "queries_top_region": self.queries_top_region,
             "queries_stats": self.queries_stats,
             "queries_ping": self.queries_ping,
             "updates_applied": self.updates_applied,
@@ -208,6 +219,8 @@ mod tests {
             solve_runs: step + 15,
             epochs_published: step + 16,
             queue_high_water: step + 17,
+            queries_heatmap: step + 18,
+            queries_top_region: step + 19,
             ..Default::default()
         };
         for (i, b) in s.latency_us.iter_mut().enumerate() {
@@ -290,6 +303,11 @@ mod tests {
         let v = s.to_json();
         assert_eq!(v.get("lines_received").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("queue_high_water").and_then(Value::as_u64), Some(20));
+        assert_eq!(v.get("queries_heatmap").and_then(Value::as_u64), Some(21));
+        assert_eq!(
+            v.get("queries_top_region").and_then(Value::as_u64),
+            Some(22)
+        );
         let buckets = v
             .get("latency_us")
             .and_then(Value::as_object)

@@ -1,16 +1,18 @@
 //! Wire protocol: versioned newline-delimited JSON requests/responses.
 //!
-//! One request per line, one response line per request, over a plain
-//! TCP stream. Every request carries the protocol version (`"v": 1`)
-//! and an optional client correlation id (`"id"`), echoed verbatim in
-//! the response. The full grammar is documented in DESIGN.md §12; the
-//! shapes in brief:
+//! One request per line over a plain TCP stream. Every request carries
+//! the protocol version (`"v": 1`) and an optional client correlation
+//! id (`"id"`), echoed verbatim in the response. The full grammar is
+//! documented in DESIGN.md §12 (heat-map streaming in §17); the shapes
+//! in brief:
 //!
 //! ```text
 //! {"v":1,"id":7,"op":"best"}
 //! {"v":1,"op":"top_k","k":3}
 //! {"v":1,"op":"influence_of","candidate":12}
 //! {"v":1,"op":"solve","algo":"pin-vo"}
+//! {"v":1,"op":"heatmap","resolution":64}
+//! {"v":1,"op":"top_region","k":5,"resolution":64}
 //! {"v":1,"op":"stats"}            {"v":1,"op":"ping"}
 //! {"v":1,"op":"insert_object","object":5,"positions":[[1.0,2.0]]}
 //! {"v":1,"op":"append_position","object":5,"x":1.5,"y":2.0}
@@ -26,21 +28,62 @@
 //! builder errors convert via [`From`], so a `Debug` representation can
 //! never leak onto the wire.
 //!
+//! ## Response framing: single-line and streamed
+//!
+//! Every op except `heatmap` answers with **exactly one** response
+//! line. `heatmap` answers with a **stream**: zero or more batch lines
+//! followed by exactly one terminal line, all computed against one
+//! epoch snapshot:
+//!
+//! ```text
+//! {"id":…,"ok":true,"epoch":E,"op":"heatmap","offset":0,"tiles":[[lo,hi,sample],…]}
+//! {"id":…,"ok":true,"epoch":E,"op":"heatmap","offset":512,"tiles":[…]}
+//! {"id":…,"ok":true,"epoch":E,"op":"heatmap","done":true,"resolution":R,
+//!  "frame":[x0,y0,x1,y1],"tiles_total":T,"batches":B,…}
+//! ```
+//!
+//! Batches hold at most [`TILES_PER_BATCH`] row-major tiles
+//! (`offset` is the row-major index of the first one), so each line
+//! stays far below the 1 MiB framing cap. The contract every client
+//! must honour: **the correlation id and epoch are echoed on every
+//! batch, and the stream ends with the one line carrying
+//! `"done":true`** — batch lines never carry it. Responses to *other*
+//! requests pipelined on the same connection may interleave between
+//! the batches of a stream (workers answer concurrently); the echoed
+//! id is what ties a stream together, so streaming clients should
+//! always send an id. A failed `heatmap` emits a single ordinary
+//! error line and no batches.
+//!
 //! The protocol is **shard-transparent**: a server running an
 //! object-partitioned topology ([`ShardedWorld`](crate::ShardedWorld))
-//! answers every query identically to an unsharded one, bit for bit.
-//! The only shard-visible surface is the `stats` response, which
-//! additionally reports per-shard counters as
+//! answers every query identically to an unsharded one, bit for bit —
+//! with one calibrated exception: a streamed tile's `[lo, hi]` band is
+//! descent-dependent, so a sharded server may report different (still
+//! sound, still `lo ≤ sample ≤ hi`) bands than an unsharded one. Tile
+//! `sample` values, `top_region` answers, and every other op stay
+//! bit-identical. The only other shard-visible surface is the `stats`
+//! response, which additionally reports per-shard counters as
 //! `"shards":[{"shard":0,"objects":…,"candidates":…,"updates_routed":…},…]`
 //! (one entry per shard; the unsharded server reports the trivial
 //! 1-shard topology).
 
 use pinocchio_core::{Algorithm, BuildError, SolveError};
 use pinocchio_geo::Point;
+use pinocchio_heatmap::HeatmapError;
 use serde_json::{json, Value};
 
 /// The wire protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Maximum tiles per streamed `heatmap` batch line. 512 tiles render
+/// to roughly 20 KiB of JSON — comfortably under the 1 MiB line cap
+/// even for clients that mirror the server's request framing limit.
+pub const TILES_PER_BATCH: usize = 512;
+
+/// Largest `resolution` accepted on the wire (tiles per axis, power of
+/// two). Tighter than the solver's own cap: a 512² grid streams ~9 MiB
+/// of tiles, which is already a raster export, not a dashboard query.
+pub const MAX_WIRE_RESOLUTION: u32 = 512;
 
 /// A read-only query, answered by the worker pool against one epoch
 /// snapshot.
@@ -63,6 +106,21 @@ pub enum QueryOp {
     Solve {
         /// Which solver to run.
         algorithm: Algorithm,
+    },
+    /// The influence heat map of the frame, streamed as tile batches
+    /// (the one multi-line response in the protocol; see the module
+    /// docs for the framing contract).
+    Heatmap {
+        /// Tiles per axis (power of two, `<= MAX_WIRE_RESOLUTION`).
+        resolution: u32,
+    },
+    /// The `k` highest-influence tiles of the (virtual) heat map at
+    /// `resolution`, by exact centre count.
+    TopRegion {
+        /// Number of tiles requested (`>= 1`).
+        k: usize,
+        /// Tiles per axis (power of two, `<= MAX_WIRE_RESOLUTION`).
+        resolution: u32,
     },
     /// The server's [`ServeStats`](crate::ServeStats) counter block.
     Stats,
@@ -247,6 +305,23 @@ impl From<BuildError> for WireError {
     }
 }
 
+impl From<HeatmapError> for WireError {
+    /// Heat-map rejections: argument problems are `malformed` (the
+    /// parse-time validation normally catches them first, so hitting
+    /// this arm means a serve-internal caller passed bad arguments);
+    /// an underivable frame is the same `empty` a `best` on a
+    /// candidate-less world reports. The wildcard keeps this total as
+    /// the non-exhaustive `HeatmapError` grows.
+    fn from(e: HeatmapError) -> Self {
+        let code = match e {
+            HeatmapError::Resolution(_) | HeatmapError::ZeroK => ErrorCode::Malformed,
+            HeatmapError::EmptyFrame => ErrorCode::Empty,
+            _ => ErrorCode::Malformed,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let value = serde_json::from_str(line).map_err(|_| WireError::malformed("invalid JSON"))?;
@@ -285,6 +360,19 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "influence_of" => query(QueryOp::InfluenceOf {
             candidate: require_u64(obj.get("candidate"), "candidate")?,
         }),
+        "heatmap" => query(QueryOp::Heatmap {
+            resolution: require_resolution(obj)?,
+        }),
+        "top_region" => {
+            let k = require_u64(obj.get("k"), "k")? as usize;
+            if k == 0 {
+                return Err(WireError::malformed("\"k\" must be at least 1"));
+            }
+            query(QueryOp::TopRegion {
+                k,
+                resolution: require_resolution(obj)?,
+            })
+        }
         "solve" => {
             let algo = obj.get("algo").and_then(Value::as_str).unwrap_or("pin-vo");
             let algorithm = parse_algorithm(algo)?;
@@ -343,6 +431,18 @@ fn require_u64(value: Option<&Value>, field: &str) -> Result<u64, WireError> {
     value
         .and_then(Value::as_u64)
         .ok_or_else(|| WireError::malformed(format!("missing or invalid \"{field}\"")))
+}
+
+/// Parses and validates the `resolution` field of a heat-map query.
+fn require_resolution(obj: &serde_json::Map) -> Result<u32, WireError> {
+    let raw = require_u64(obj.get("resolution"), "resolution")?;
+    let resolution = u32::try_from(raw).unwrap_or(u32::MAX);
+    if resolution == 0 || !resolution.is_power_of_two() || resolution > MAX_WIRE_RESOLUTION {
+        return Err(WireError::malformed(format!(
+            "\"resolution\" must be a power of two in 1..={MAX_WIRE_RESOLUTION}, got {raw}"
+        )));
+    }
+    Ok(resolution)
 }
 
 fn require_f64(value: Option<&Value>, field: &str) -> Result<f64, WireError> {
@@ -490,6 +590,71 @@ mod tests {
                 ..
             })
         ));
+        assert_eq!(
+            parse_request(r#"{"v":1,"id":9,"op":"heatmap","resolution":64}"#),
+            Ok(Request::Query {
+                id: Some(9),
+                op: QueryOp::Heatmap { resolution: 64 }
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"op":"top_region","k":5,"resolution":128}"#),
+            Ok(Request::Query {
+                id: None,
+                op: QueryOp::TopRegion {
+                    k: 5,
+                    resolution: 128
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn heatmap_resolution_is_validated_at_parse_time() {
+        let code = |line: &str| parse_request(line).unwrap_err().code;
+        // Not a power of two, zero, over the wire cap, missing.
+        assert_eq!(
+            code(r#"{"v":1,"op":"heatmap","resolution":48}"#),
+            ErrorCode::Malformed
+        );
+        assert_eq!(
+            code(r#"{"v":1,"op":"heatmap","resolution":0}"#),
+            ErrorCode::Malformed
+        );
+        assert_eq!(
+            code(r#"{"v":1,"op":"heatmap","resolution":1024}"#),
+            ErrorCode::Malformed
+        );
+        assert_eq!(code(r#"{"v":1,"op":"heatmap"}"#), ErrorCode::Malformed);
+        // A resolution past u32 must not wrap into a valid one.
+        assert_eq!(
+            code(r#"{"v":1,"op":"heatmap","resolution":4294967297}"#),
+            ErrorCode::Malformed
+        );
+        assert_eq!(
+            code(r#"{"v":1,"op":"top_region","k":0,"resolution":64}"#),
+            ErrorCode::Malformed
+        );
+        assert_eq!(
+            code(r#"{"v":1,"op":"top_region","resolution":64}"#),
+            ErrorCode::Malformed
+        );
+        // The wire cap is accepted exactly.
+        assert!(parse_request(&format!(
+            r#"{{"v":1,"op":"heatmap","resolution":{MAX_WIRE_RESOLUTION}}}"#
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn heatmap_errors_convert_with_typed_codes() {
+        let w: WireError = HeatmapError::Resolution(48).into();
+        assert_eq!(w.code, ErrorCode::Malformed);
+        assert_eq!(w.message, HeatmapError::Resolution(48).to_string());
+        let w: WireError = HeatmapError::EmptyFrame.into();
+        assert_eq!(w.code, ErrorCode::Empty);
+        let w: WireError = HeatmapError::ZeroK.into();
+        assert_eq!(w.code, ErrorCode::Malformed);
     }
 
     #[test]

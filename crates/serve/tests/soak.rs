@@ -17,7 +17,7 @@
 
 use pinocchio_core::Algorithm;
 use pinocchio_geo::Point;
-use pinocchio_serve::{serve, ServerConfig, UpdateOp, World};
+use pinocchio_serve::{serve, ServerConfig, ShardedWorld, UpdateOp, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -49,6 +49,25 @@ impl Client {
         let mut line = String::new();
         self.reader.read_line(&mut line).expect("recv");
         serde_json::from_str(line.trim_end()).expect("response is JSON")
+    }
+
+    /// Sends one request and reads lines until the terminal one: an
+    /// error, a `"done":true` marker, or any non-batch single line.
+    fn stream(&mut self, request: &str) -> Vec<Value> {
+        writeln!(self.stream, "{request}").expect("send");
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("recv");
+            let v: Value = serde_json::from_str(line.trim_end()).expect("response is JSON");
+            let terminal = v.get("ok").and_then(Value::as_bool) != Some(true)
+                || v.get("done").and_then(Value::as_bool) == Some(true)
+                || v.get("tiles").is_none();
+            lines.push(v);
+            if terminal {
+                return lines;
+            }
+        }
     }
 }
 
@@ -84,6 +103,8 @@ enum Probe {
     TopK(usize),
     InfluenceOf(u64),
     Solve(Algorithm, &'static str),
+    Heatmap(u32),
+    TopRegion(usize, u32),
 }
 
 const SOLVES: [(Algorithm, &str); 5] = [
@@ -100,6 +121,12 @@ fn probe_request(probe: Probe) -> String {
         Probe::TopK(k) => format!(r#"{{"v":1,"op":"top_k","k":{k}}}"#),
         Probe::InfluenceOf(c) => format!(r#"{{"v":1,"op":"influence_of","candidate":{c}}}"#),
         Probe::Solve(_, wire) => format!(r#"{{"v":1,"op":"solve","algo":"{wire}"}}"#),
+        Probe::Heatmap(resolution) => {
+            format!(r#"{{"v":1,"id":7,"op":"heatmap","resolution":{resolution}}}"#)
+        }
+        Probe::TopRegion(k, resolution) => {
+            format!(r#"{{"v":1,"op":"top_region","k":{k},"resolution":{resolution}}}"#)
+        }
     }
 }
 
@@ -139,13 +166,20 @@ fn uint(v: &Value, field: &str) -> u64 {
         .unwrap_or_else(|| panic!("missing u64 field {field} in {v}"))
 }
 
-/// Checks one recorded response against the mirror world of its epoch.
-fn verify(probe: Probe, response: &Value, reference: &World) {
-    assert_eq!(
-        response.get("ok").and_then(Value::as_bool),
-        Some(true),
-        "reader got an error response: {response}"
-    );
+/// Checks one recorded response (every line of it, for streamed ones)
+/// against the mirror world of its epoch.
+fn verify(probe: Probe, lines: &[Value], reference: &World, shards: usize) {
+    let response = lines.last().expect("at least one response line");
+    for line in lines {
+        assert_eq!(
+            line.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "reader got an error response: {line}"
+        );
+        // One snapshot answers the whole job: every batch of a stream
+        // carries the same epoch as its terminal line.
+        assert_eq!(uint(line, "epoch"), uint(response, "epoch"));
+    }
     match probe {
         Probe::Best => {
             let (id, loc, inf) = reference.best().unwrap().expect("world is never empty");
@@ -186,6 +220,81 @@ fn verify(probe: Probe, response: &Value, reference: &World) {
             assert_eq!(bits(response, "x"), outcome.location.x.to_bits());
             assert_eq!(bits(response, "y"), outcome.location.y.to_bits());
             assert_eq!(uint(response, "influence"), u64::from(outcome.influence));
+        }
+        Probe::Heatmap(resolution) => {
+            // Re-solve the mirrored epoch from scratch. Samples are
+            // exact influence counts, identical for every shard
+            // topology; bands are descent-dependent, so full tile
+            // bit-equality is asserted against a mirror of the *same*
+            // topology the server ran.
+            let mirror = ShardedWorld::from_world(reference.clone(), shards)
+                .expect("mirror repartition")
+                .heatmap(resolution)
+                .expect("mirror heatmap");
+            assert_eq!(response.get("done").and_then(Value::as_bool), Some(true));
+            assert_eq!(uint(response, "resolution"), u64::from(resolution));
+            let n_tiles = (resolution as usize) * (resolution as usize);
+            assert_eq!(uint(response, "tiles_total") as usize, n_tiles);
+            assert_eq!(mirror.tiles.len(), n_tiles);
+            let frame = response
+                .get("frame")
+                .and_then(Value::as_array)
+                .expect("frame [x0,y0,x1,y1]");
+            let frame_bits: Vec<u64> = frame
+                .iter()
+                .map(|v| v.as_f64().expect("frame coordinate").to_bits())
+                .collect();
+            let want = [
+                mirror.frame.lo().x,
+                mirror.frame.lo().y,
+                mirror.frame.hi().x,
+                mirror.frame.hi().y,
+            ];
+            for (got, want) in frame_bits.iter().zip(want) {
+                assert_eq!(*got, want.to_bits(), "frame diverged from the mirror");
+            }
+            let mut streamed = 0usize;
+            for batch in &lines[..lines.len() - 1] {
+                assert_eq!(uint(batch, "offset") as usize, streamed);
+                let tiles = batch
+                    .get("tiles")
+                    .and_then(Value::as_array)
+                    .expect("tiles array");
+                for tile in tiles {
+                    let t = tile.as_array().expect("[lo,hi,sample]");
+                    let (lo, hi, sample) = (
+                        t[0].as_u64().unwrap(),
+                        t[1].as_u64().unwrap(),
+                        t[2].as_u64().unwrap(),
+                    );
+                    let m = mirror.tiles[streamed];
+                    assert_eq!(sample, u64::from(m.sample), "tile {streamed} sample");
+                    assert_eq!(lo, u64::from(m.lo), "tile {streamed} lower band");
+                    assert_eq!(hi, u64::from(m.hi), "tile {streamed} upper band");
+                    assert!(lo <= sample && sample <= hi);
+                    streamed += 1;
+                }
+            }
+            assert_eq!(streamed, n_tiles, "the stream covered the whole grid");
+        }
+        Probe::TopRegion(k, resolution) => {
+            // top_region is exact, so it must bit-match the unsharded
+            // mirror whatever topology the server runs.
+            let mirror = ShardedWorld::from_world(reference.clone(), 1)
+                .expect("mirror wrap")
+                .top_region(k, resolution)
+                .expect("mirror top_region");
+            let cells = response
+                .get("cells")
+                .and_then(Value::as_array)
+                .expect("cells");
+            assert_eq!(cells.len(), mirror.cells.len());
+            for (cell, want) in cells.iter().zip(&mirror.cells) {
+                assert_eq!(uint(cell, "tile") as usize, want.tile);
+                assert_eq!(bits(cell, "x"), want.center.x.to_bits());
+                assert_eq!(bits(cell, "y"), want.center.y.to_bits());
+                assert_eq!(uint(cell, "influence"), u64::from(want.influence));
+            }
         }
     }
 }
@@ -270,17 +379,19 @@ fn soak(shards: usize) {
                 let mut client = Client::connect(addr);
                 let mut recorded = Vec::with_capacity(QUERIES_PER_READER);
                 for i in 0..QUERIES_PER_READER {
-                    let probe = match i % 4 {
+                    let probe = match i % 6 {
                         0 => Probe::Best,
                         1 => Probe::TopK(1 + (i + r) % 5),
                         2 => Probe::InfluenceOf(candidate_ids[(i + r) % candidate_ids.len()]),
+                        3 => Probe::Heatmap(if (i + r) % 2 == 0 { 8 } else { 16 }),
+                        4 => Probe::TopRegion(1 + (i + r) % 6, 16),
                         _ => {
-                            let (algorithm, wire) = SOLVES[(i / 4 + r) % SOLVES.len()];
+                            let (algorithm, wire) = SOLVES[(i / 6 + r) % SOLVES.len()];
                             Probe::Solve(algorithm, wire)
                         }
                     };
-                    let response = client.round_trip(&probe_request(probe));
-                    recorded.push((probe, response));
+                    let lines = client.stream(&probe_request(probe));
+                    recorded.push((probe, lines));
                 }
                 recorded
             })
@@ -301,10 +412,10 @@ fn soak(shards: usize) {
 
     let mut verified = 0usize;
     for recorded in &recordings {
-        for (probe, response) in recorded {
-            let epoch = uint(response, "epoch") as usize;
+        for (probe, lines) in recorded {
+            let epoch = uint(lines.last().expect("terminal line"), "epoch") as usize;
             let (_, reference) = &epochs[epoch];
-            verify(*probe, response, reference);
+            verify(*probe, lines, reference, shards);
             verified += 1;
         }
     }

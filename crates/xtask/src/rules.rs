@@ -385,7 +385,7 @@ fn crate_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Per-crate accounting contracts: a column-0 `pub fn <prefix>…` is an
 /// entry point into an instrumented subsystem, and the file defining it
 /// must reference the crate's counter block.
-const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 3] = [
+const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 5] = [
     (
         "core",
         "pub fn solve",
@@ -403,6 +403,18 @@ const ACCOUNTED_ENTRY_POINTS: [(&str, &str, &str, &str); 3] = [
         "pub fn serve",
         "ServeStats",
         "service entry point in a file that never references `ServeStats`",
+    ),
+    (
+        "heatmap",
+        "pub fn try_heatmap",
+        "SolveStats",
+        "fallible heat-map entry point in a file that never references `SolveStats`",
+    ),
+    (
+        "heatmap",
+        "pub fn try_top_region",
+        "SolveStats",
+        "fallible top-region entry point in a file that never references `SolveStats`",
     ),
 ];
 

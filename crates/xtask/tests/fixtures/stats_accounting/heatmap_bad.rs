@@ -1,0 +1,15 @@
+//! Fixture: a heat-map entry point that ignores the counter block.
+//!
+//! Deliberately defines both column-0 entry points without referencing
+//! `SolveStats` anywhere — a descent that counts nothing is invisible to
+//! the cost experiments the accounting discipline feeds.
+
+/// Rasterises an influence heat map without accounting the descent.
+pub fn try_heatmap() -> Vec<u32> {
+    Vec::new()
+}
+
+/// Finds top tiles without accounting the branch-and-bound work.
+pub fn try_top_region() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,20 @@
+//! Fixture: heat-map entry points wired into `SolveStats`.
+//!
+//! Mirrors the real crate's discipline: the descent threads one counter
+//! block through every cell verdict and refinement, and the entry point
+//! returns it alongside the grid so `validated_pairs` keeps covering
+//! the refinement work.
+
+use pinocchio_core::SolveStats;
+
+/// Rasterises an influence heat map and returns the descent counters.
+pub fn try_heatmap() -> SolveStats {
+    let mut stats = SolveStats::default();
+    stats.cells_refined += 1;
+    stats
+}
+
+/// Finds top tiles, accounting the branch-and-bound refinements.
+pub fn try_top_region() -> SolveStats {
+    SolveStats::default()
+}

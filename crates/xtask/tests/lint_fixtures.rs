@@ -198,6 +198,47 @@ fn stats_accounting_covers_shard_coordinator_entry_points() {
 }
 
 #[test]
+fn stats_accounting_covers_heatmap_entry_points() {
+    let bad = lint_fixture(
+        "sa-heatmap-bad",
+        "crates/heatmap/src/fixture_heatmap.rs",
+        "stats_accounting/heatmap_bad.rs",
+    );
+    assert!(
+        rule_ids(&bad).contains(&"stats-accounting"),
+        "a heat-map entry point without SolveStats must trip: {bad:?}"
+    );
+    let hits = bad
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "stats-accounting")
+        .count();
+    assert_eq!(
+        hits, 2,
+        "both the try_heatmap and try_top_region contracts must trip: {bad:?}"
+    );
+
+    let good = lint_fixture(
+        "sa-heatmap-good",
+        "crates/heatmap/src/fixture_heatmap.rs",
+        "stats_accounting/heatmap_good.rs",
+    );
+    assert!(good.diagnostics.is_empty(), "{good:?}");
+
+    // The same file placed in core is out of scope there: core's
+    // contracts are about `pub fn solve…`/`pub fn try_solve…`.
+    let cross = lint_fixture(
+        "sa-heatmap-scope",
+        "crates/core/src/fixture_heatmap.rs",
+        "stats_accounting/heatmap_bad.rs",
+    );
+    assert!(
+        !rule_ids(&cross).contains(&"stats-accounting"),
+        "`pub fn try_heatmap…` in core is not a core entry point: {cross:?}"
+    );
+}
+
+#[test]
 fn stats_accounting_covers_serve_entry_points() {
     let bad = lint_fixture(
         "sa-serve-bad",
